@@ -1,0 +1,101 @@
+//! Area model (paper Table IV and Sec. VII-B).
+//!
+//! Component areas are synthesized 22 nm values with the paper's
+//! conservative ×2 DRAM-process overhead already applied, normalized against
+//! a 96 mm² DRAM die. The decoupled control core lives on the base logic die
+//! and is therefore *not* part of the per-DRAM-die overhead — that is the
+//! architectural point the table makes.
+
+/// Area of one component class on a DRAM die.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaItem {
+    /// Component name as it appears in Table IV.
+    pub name: &'static str,
+    /// Number of instances per DRAM die.
+    pub count: usize,
+    /// Total area in mm² (DRAM-process adjusted).
+    pub area_mm2: f64,
+}
+
+impl AreaItem {
+    /// Overhead relative to a DRAM die of `die_mm2`.
+    pub fn overhead_pct(&self, die_mm2: f64) -> f64 {
+        100.0 * self.area_mm2 / die_mm2
+    }
+}
+
+/// Area of a reference DRAM die (HBM-class, Sec. VII-B).
+pub const DRAM_DIE_MM2: f64 = 96.0;
+
+/// Area of the control core on the base logic die (Sec. VII-B).
+pub const CTRL_CORE_MM2: f64 = 0.92;
+
+/// VSM share of the control-core area.
+pub const VSM_MM2: f64 = 0.23;
+
+/// Spare area available per vault on the base logic die.
+pub const BASE_DIE_SPARE_PER_VAULT_MM2: f64 = 3.5;
+
+/// Table IV: per-DRAM-die area of iPIM's execution components.
+///
+/// One DRAM die hosts 16 process groups (one per vault) × 4 PEs = 64 PEs.
+pub fn table4_items() -> Vec<AreaItem> {
+    vec![
+        AreaItem { name: "SIMD Unit", count: 64, area_mm2: 2.26 },
+        AreaItem { name: "Int ALU", count: 64, area_mm2: 0.32 },
+        AreaItem { name: "Address Register File", count: 64, area_mm2: 0.20 },
+        AreaItem { name: "Data Register File", count: 64, area_mm2: 1.79 },
+        AreaItem { name: "Memory Controller", count: 16, area_mm2: 1.84 },
+        AreaItem { name: "PGSM", count: 16, area_mm2: 3.87 },
+    ]
+}
+
+/// Total added area per DRAM die in mm².
+pub fn total_added_mm2() -> f64 {
+    table4_items().iter().map(|i| i.area_mm2).sum()
+}
+
+/// Total per-DRAM-die overhead percentage (paper: 10.71 %).
+pub fn total_overhead_pct() -> f64 {
+    100.0 * total_added_mm2() / DRAM_DIE_MM2
+}
+
+/// Overhead if the control core were naively replicated per bank instead of
+/// decoupled onto the base die (paper: 122.36 %, i.e. 10.42× worse).
+pub fn naive_per_bank_core_overhead_pct() -> f64 {
+    // 64 banks/die × control core area (DRAM-process ×2), plus the
+    // execution components.
+    let per_bank_cores = 64.0 * CTRL_CORE_MM2 * 2.0;
+    100.0 * (per_bank_cores + total_added_mm2()) / DRAM_DIE_MM2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_total_matches_paper() {
+        assert!((total_added_mm2() - 10.28).abs() < 1e-9);
+        assert!((total_overhead_pct() - 10.708).abs() < 0.01, "{}", total_overhead_pct());
+    }
+
+    #[test]
+    fn naive_design_is_an_order_of_magnitude_worse() {
+        let ratio = naive_per_bank_core_overhead_pct() / total_overhead_pct();
+        assert!(ratio > 10.0 && ratio < 13.0, "ratio={ratio}");
+    }
+
+    #[test]
+    fn per_item_overheads_match_table4() {
+        let items = table4_items();
+        let simd = items.iter().find(|i| i.name == "SIMD Unit").unwrap();
+        assert!((simd.overhead_pct(DRAM_DIE_MM2) - 2.354).abs() < 0.01);
+        let pgsm = items.iter().find(|i| i.name == "PGSM").unwrap();
+        assert!((pgsm.overhead_pct(DRAM_DIE_MM2) - 4.031).abs() < 0.01);
+    }
+
+    #[test]
+    fn control_core_fits_base_die_budget() {
+        assert!(CTRL_CORE_MM2 < BASE_DIE_SPARE_PER_VAULT_MM2);
+    }
+}

@@ -1,0 +1,199 @@
+//! Energy model: Table III per-access energies and the Fig. 9 breakdown
+//! accumulator.
+
+use ipim_dram::DramEnergy;
+
+/// Per-access / per-bit energy constants (Table III, picojoules).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// SIMD unit energy per executed instruction per PE (87.37 pJ).
+    pub simd_pj: f64,
+    /// Integer ALU energy per operation (11.05 pJ).
+    pub int_alu_pj: f64,
+    /// AddrRF energy per access (0.43 pJ).
+    pub addr_rf_pj: f64,
+    /// DataRF energy per access (2.66 pJ).
+    pub data_rf_pj: f64,
+    /// PGSM energy per 128-bit access (cacti-3DD-class estimate).
+    pub pgsm_pj: f64,
+    /// VSM energy per 128-bit access (cacti-3DD-class estimate).
+    pub vsm_pj: f64,
+    /// PE bus energy per bit (0.017 pJ).
+    pub pe_bus_pj_per_bit: f64,
+    /// TSV energy per bit (4.64 pJ).
+    pub tsv_pj_per_bit: f64,
+    /// SERDES energy per bit (4.50 pJ).
+    pub serdes_pj_per_bit: f64,
+    /// On-chip network energy per bit per hop.
+    pub noc_pj_per_bit_hop: f64,
+    /// Control core power in milliwatts (in-order ARM Cortex-A5-class).
+    pub ctrl_core_mw: f64,
+    /// DRAM access energies.
+    pub dram: ipim_dram::EnergyParams,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self {
+            simd_pj: 87.37,
+            int_alu_pj: 11.05,
+            addr_rf_pj: 0.43,
+            data_rf_pj: 2.66,
+            pgsm_pj: 9.8,
+            vsm_pj: 24.5,
+            pe_bus_pj_per_bit: 0.017,
+            tsv_pj_per_bit: 4.64,
+            serdes_pj_per_bit: 4.50,
+            noc_pj_per_bit_hop: 0.52,
+            ctrl_core_mw: 80.0,
+            dram: ipim_dram::EnergyParams::default(),
+        }
+    }
+}
+
+/// Accumulated energy by component, the shape of the paper's Fig. 9
+/// breakdown (`DRAM`, `SIMDunit`, `AddrRF`, `DataRF`, `PGSM`, `Others`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBook {
+    /// DRAM energy (background + RAS + CAS + refresh).
+    pub dram: DramEnergy,
+    /// SIMD unit energy (pJ).
+    pub simd_pj: f64,
+    /// Integer ALU (index calculation) energy (pJ).
+    pub int_alu_pj: f64,
+    /// Address register file energy (pJ).
+    pub addr_rf_pj: f64,
+    /// Data register file energy (pJ).
+    pub data_rf_pj: f64,
+    /// Process-group scratchpad energy (pJ).
+    pub pgsm_pj: f64,
+    /// Vault scratchpad energy (pJ).
+    pub vsm_pj: f64,
+    /// PE bus energy (pJ).
+    pub pe_bus_pj: f64,
+    /// TSV energy (pJ).
+    pub tsv_pj: f64,
+    /// On-chip network energy (pJ).
+    pub noc_pj: f64,
+    /// SERDES (inter-cube) energy (pJ).
+    pub serdes_pj: f64,
+    /// Control core energy (pJ).
+    pub ctrl_core_pj: f64,
+}
+
+impl EnergyBook {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.dram.total_pj()
+            + self.simd_pj
+            + self.int_alu_pj
+            + self.addr_rf_pj
+            + self.data_rf_pj
+            + self.pgsm_pj
+            + self.vsm_pj
+            + self.pe_bus_pj
+            + self.tsv_pj
+            + self.noc_pj
+            + self.serdes_pj
+            + self.ctrl_core_pj
+    }
+
+    /// Total energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.total_pj() * 1e-12
+    }
+
+    /// Energy spent on the PIM dies (everything except data movement across
+    /// TSV/NoC/SERDES and the control core) — the paper reports 89.17 %.
+    pub fn pim_die_pj(&self) -> f64 {
+        self.dram.total_pj()
+            + self.simd_pj
+            + self.int_alu_pj
+            + self.addr_rf_pj
+            + self.data_rf_pj
+            + self.pgsm_pj
+            + self.pe_bus_pj
+    }
+
+    /// The `Others` slice of Fig. 9: data movement + control core + VSM.
+    pub fn others_pj(&self) -> f64 {
+        self.vsm_pj + self.tsv_pj + self.noc_pj + self.serdes_pj + self.ctrl_core_pj
+    }
+
+    /// Fraction of total energy spent on the PIM dies.
+    pub fn pim_die_fraction(&self) -> f64 {
+        let total = self.total_pj();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.pim_die_pj() / total
+        }
+    }
+}
+
+impl std::ops::Add for EnergyBook {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            dram: self.dram + rhs.dram,
+            simd_pj: self.simd_pj + rhs.simd_pj,
+            int_alu_pj: self.int_alu_pj + rhs.int_alu_pj,
+            addr_rf_pj: self.addr_rf_pj + rhs.addr_rf_pj,
+            data_rf_pj: self.data_rf_pj + rhs.data_rf_pj,
+            pgsm_pj: self.pgsm_pj + rhs.pgsm_pj,
+            vsm_pj: self.vsm_pj + rhs.vsm_pj,
+            pe_bus_pj: self.pe_bus_pj + rhs.pe_bus_pj,
+            tsv_pj: self.tsv_pj + rhs.tsv_pj,
+            noc_pj: self.noc_pj + rhs.noc_pj,
+            serdes_pj: self.serdes_pj + rhs.serdes_pj,
+            ctrl_core_pj: self.ctrl_core_pj + rhs.ctrl_core_pj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table3() {
+        let p = EnergyParams::default();
+        assert_eq!(p.simd_pj, 87.37);
+        assert_eq!(p.int_alu_pj, 11.05);
+        assert_eq!(p.addr_rf_pj, 0.43);
+        assert_eq!(p.data_rf_pj, 2.66);
+        assert_eq!(p.pe_bus_pj_per_bit, 0.017);
+        assert_eq!(p.tsv_pj_per_bit, 4.64);
+        assert_eq!(p.serdes_pj_per_bit, 4.50);
+    }
+
+    #[test]
+    fn totals_and_fractions() {
+        let book = EnergyBook {
+            simd_pj: 60.0,
+            tsv_pj: 30.0,
+            ctrl_core_pj: 10.0,
+            ..EnergyBook::default()
+        };
+        assert_eq!(book.total_pj(), 100.0);
+        assert_eq!(book.pim_die_pj(), 60.0);
+        assert_eq!(book.others_pj(), 40.0);
+        assert!((book.pim_die_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_book_fraction_is_zero() {
+        assert_eq!(EnergyBook::default().pim_die_fraction(), 0.0);
+    }
+
+    #[test]
+    fn add_is_componentwise() {
+        let a = EnergyBook { simd_pj: 1.0, noc_pj: 2.0, ..EnergyBook::default() };
+        let b = EnergyBook { simd_pj: 3.0, vsm_pj: 4.0, ..EnergyBook::default() };
+        let c = a + b;
+        assert_eq!(c.simd_pj, 4.0);
+        assert_eq!(c.noc_pj, 2.0);
+        assert_eq!(c.vsm_pj, 4.0);
+    }
+}

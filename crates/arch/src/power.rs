@@ -1,0 +1,105 @@
+//! Peak power and thermal feasibility estimates (paper Sec. VII-B).
+//!
+//! The paper reports 63 W peak per cube at 593 mW/mm² power density, with
+//! 78.5 % of peak power induced by simultaneous bank activate/precharge.
+//! These helpers reproduce those numbers from the Table III energy model so
+//! the `thermal_power` experiment binary can regenerate the section's
+//! claims.
+
+use crate::{EnergyParams, MachineConfig};
+
+/// Cube footprint in mm² (8 cubes ≈ 850 mm², Sec. VII-A).
+pub const CUBE_MM2: f64 = 850.0 / 8.0;
+
+/// Peak power density allowed by a commodity-server active cooling
+/// solution, mW/mm² (Sec. VII-B).
+pub const COMMODITY_COOLING_MW_PER_MM2: f64 = 706.0;
+
+/// Peak power density allowed by a high-end-server active cooling
+/// solution, mW/mm² (Sec. VII-B).
+pub const HIGH_END_COOLING_MW_PER_MM2: f64 = 1214.0;
+
+/// Peak-power estimate for one cube.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeakPower {
+    /// Total peak power in watts.
+    pub total_w: f64,
+    /// Share induced by the DRAM banks (activate/precharge + column access).
+    pub dram_fraction: f64,
+    /// Power density in mW/mm².
+    pub density_mw_per_mm2: f64,
+}
+
+impl PeakPower {
+    /// Whether the given cooling budget covers this power density.
+    pub fn fits_cooling(&self, budget_mw_per_mm2: f64) -> bool {
+        self.density_mw_per_mm2 <= budget_mw_per_mm2
+    }
+}
+
+/// Estimates one cube's peak power.
+///
+/// Peak scenario: every bank row-cycles as fast as `tRAS + tRP` allows with
+/// a burst of column accesses per open row, every SIMD unit retires one op
+/// per `tADD`, every integer ALU one op per cycle group, all vault TSVs
+/// stream, and every control core runs. This is the "simultaneously
+/// activating/precharging DRAM banks" worst case the paper's thermal
+/// discussion describes. (The paper reports 63 W/cube with 78.5 % induced by
+/// ACT/PRE; with the *published* Table III per-access energies the ACT/PRE
+/// share computes much lower — we reproduce the magnitude and document the
+/// share discrepancy in EXPERIMENTS.md.)
+pub fn peak_power_per_cube(config: &MachineConfig, energy: &EnergyParams) -> PeakPower {
+    let banks = (config.vaults_per_cube * config.pes_per_vault()) as f64;
+    let vaults = config.vaults_per_cube as f64;
+    let pgs = (config.vaults_per_cube * config.pgs_per_vault) as f64;
+
+    // Row cycle: ACT … (tRAS) … PRE … (tRP), with 4 column bursts per row.
+    let t_rc = (config.timing.t_ras + config.timing.t_rp) as f64;
+    let act_pre_w = banks * energy.dram.act_pre_pj / t_rc * 1e-3;
+    let cols_per_row_cycle = 4.0;
+    let cas_w = banks * cols_per_row_cycle * energy.dram.rd_wr_pj / t_rc * 1e-3;
+
+    // Compute: one SIMD op per tADD, one integer op per tADD.
+    let ops_per_ns = 1.0 / config.latency.add as f64;
+    let compute_w = banks * (energy.simd_pj + energy.int_alu_pj) * ops_per_ns * 1e-3;
+    // Register files and scratchpads at the same op rate.
+    let sram_w = banks * (energy.data_rf_pj + energy.addr_rf_pj) * ops_per_ns * 1e-3
+        + pgs * energy.pgsm_pj * ops_per_ns * 1e-3;
+    // TSVs streaming 128 bits per vault per cycle plus control cores.
+    let tsv_w = vaults * 128.0 * energy.tsv_pj_per_bit * 1e-3;
+    let core_w = vaults * energy.ctrl_core_mw * 1e-3;
+
+    let total_w = act_pre_w + cas_w + compute_w + sram_w + tsv_w + core_w;
+    PeakPower {
+        total_w,
+        dram_fraction: (act_pre_w + cas_w) / total_w,
+        density_mw_per_mm2: total_w * 1e3 / CUBE_MM2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_power_is_tens_of_watts() {
+        let p = peak_power_per_cube(&MachineConfig::default(), &EnergyParams::default());
+        // Paper: 63 W / cube; the estimate should land in the same regime.
+        assert!(p.total_w > 30.0 && p.total_w < 100.0, "total={}", p.total_w);
+    }
+
+    #[test]
+    fn dram_dominates_peak_power() {
+        let p = peak_power_per_cube(&MachineConfig::default(), &EnergyParams::default());
+        // Paper: the majority of peak power is DRAM-bank induced (78.5 %
+        // ACT/PRE in the paper's accounting).
+        assert!(p.dram_fraction > 0.4, "fraction={}", p.dram_fraction);
+    }
+
+    #[test]
+    fn density_fits_active_cooling() {
+        let p = peak_power_per_cube(&MachineConfig::default(), &EnergyParams::default());
+        assert!(p.fits_cooling(COMMODITY_COOLING_MW_PER_MM2), "density={}", p.density_mw_per_mm2);
+        assert!(p.fits_cooling(HIGH_END_COOLING_MW_PER_MM2));
+    }
+}

@@ -1,0 +1,233 @@
+//! Execution statistics: dynamic instruction mix, stall accounting,
+//! component utilization and IPC — the raw material of Figs. 11–13.
+
+use ipim_isa::Category;
+
+/// Why the control core could not issue on a given cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallReason {
+    /// RAW/WAR/WAW hazard against an in-flight instruction.
+    Hazard,
+    /// Issued-instruction queue full.
+    QueueFull,
+    /// TSV broadcast slot taken this cycle.
+    Tsv,
+    /// Taken-branch refetch bubble.
+    Branch,
+    /// Waiting at a `sync` barrier.
+    Sync,
+    /// Conservative VSM interlock against in-flight `req`s.
+    VsmInterlock,
+}
+
+/// Per-vault execution counters.
+#[derive(Debug, Clone, Default)]
+pub struct VaultStats {
+    /// Cycles this vault was active (until halt).
+    pub cycles: u64,
+    /// Dynamic instructions issued.
+    pub issued: u64,
+    /// Dynamic instruction mix by Table I category.
+    pub by_category: CategoryCounts,
+    /// Stall cycles by cause.
+    pub stalls: StallCounts,
+    /// SIMD operations executed (instruction × active PE).
+    pub simd_ops: u64,
+    /// Integer-ALU operations executed (instruction × active PE).
+    pub int_alu_ops: u64,
+    /// PE-cycles each SIMD unit was busy (summed over PEs).
+    pub simd_busy: u64,
+    /// PE-cycles each integer ALU was busy.
+    pub int_alu_busy: u64,
+    /// PE-cycles each memory unit had an outstanding bank access.
+    pub mem_busy: u64,
+    /// AddrRF accesses (reads + writes).
+    pub addr_rf_accesses: u64,
+    /// DataRF accesses (reads + writes).
+    pub data_rf_accesses: u64,
+    /// PGSM accesses.
+    pub pgsm_accesses: u64,
+    /// VSM accesses.
+    pub vsm_accesses: u64,
+    /// TSV transfer slots consumed (broadcasts + data).
+    pub tsv_transfers: u64,
+    /// Remote requests initiated by this vault.
+    pub remote_reqs: u64,
+    /// DRAM 16-byte accesses (reads + writes) across the vault's banks.
+    pub dram_accesses: u64,
+}
+
+/// Dynamic instruction counts by ISA category.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CategoryCounts {
+    /// `comp` instructions.
+    pub computation: u64,
+    /// `calc arf` / `mov` instructions.
+    pub index_calc: u64,
+    /// Intra-vault data movement.
+    pub intra_vault: u64,
+    /// `req` instructions.
+    pub inter_vault: u64,
+    /// Control flow.
+    pub control_flow: u64,
+    /// `sync` instructions.
+    pub synchronization: u64,
+}
+
+impl CategoryCounts {
+    /// Increments the counter for `cat`.
+    pub fn bump(&mut self, cat: Category) {
+        match cat {
+            Category::Computation => self.computation += 1,
+            Category::IndexCalc => self.index_calc += 1,
+            Category::IntraVault => self.intra_vault += 1,
+            Category::InterVault => self.inter_vault += 1,
+            Category::ControlFlow => self.control_flow += 1,
+            Category::Synchronization => self.synchronization += 1,
+        }
+    }
+
+    /// Total dynamic instructions.
+    pub fn total(&self) -> u64 {
+        self.computation
+            + self.index_calc
+            + self.intra_vault
+            + self.inter_vault
+            + self.control_flow
+            + self.synchronization
+    }
+
+    /// Fraction of instructions in `part` out of the total (0 when empty).
+    pub fn fraction(&self, part: u64) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            part as f64 / t as f64
+        }
+    }
+}
+
+impl std::ops::Add for CategoryCounts {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            computation: self.computation + rhs.computation,
+            index_calc: self.index_calc + rhs.index_calc,
+            intra_vault: self.intra_vault + rhs.intra_vault,
+            inter_vault: self.inter_vault + rhs.inter_vault,
+            control_flow: self.control_flow + rhs.control_flow,
+            synchronization: self.synchronization + rhs.synchronization,
+        }
+    }
+}
+
+/// Stall-cycle counts by cause.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallCounts {
+    /// Data-hazard stalls.
+    pub hazard: u64,
+    /// Issued-inst-queue-full stalls.
+    pub queue_full: u64,
+    /// TSV contention stalls.
+    pub tsv: u64,
+    /// Branch bubbles.
+    pub branch: u64,
+    /// Barrier waits.
+    pub sync: u64,
+    /// VSM/req interlock stalls.
+    pub vsm_interlock: u64,
+}
+
+impl StallCounts {
+    /// Records one stall cycle of the given kind.
+    pub fn bump(&mut self, reason: StallReason) {
+        match reason {
+            StallReason::Hazard => self.hazard += 1,
+            StallReason::QueueFull => self.queue_full += 1,
+            StallReason::Tsv => self.tsv += 1,
+            StallReason::Branch => self.branch += 1,
+            StallReason::Sync => self.sync += 1,
+            StallReason::VsmInterlock => self.vsm_interlock += 1,
+        }
+    }
+
+    /// Total stall cycles.
+    pub fn total(&self) -> u64 {
+        self.hazard + self.queue_full + self.tsv + self.branch + self.sync + self.vsm_interlock
+    }
+}
+
+impl VaultStats {
+    /// Instructions per cycle (the paper's Fig. 13 metric, avg 0.63).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.issued as f64 / self.cycles as f64
+        }
+    }
+
+    /// Utilization of a component given its busy PE-cycles and PE count.
+    pub fn utilization(&self, busy: u64, pes: usize) -> f64 {
+        if self.cycles == 0 || pes == 0 {
+            0.0
+        } else {
+            busy as f64 / (self.cycles as f64 * pes as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_bump_and_total() {
+        let mut c = CategoryCounts::default();
+        c.bump(Category::Computation);
+        c.bump(Category::Computation);
+        c.bump(Category::IndexCalc);
+        c.bump(Category::InterVault);
+        assert_eq!(c.total(), 4);
+        assert!((c.fraction(c.index_calc) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fractions_are_zero() {
+        let c = CategoryCounts::default();
+        assert_eq!(c.fraction(c.computation), 0.0);
+        let s = VaultStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.utilization(10, 4), 0.0);
+    }
+
+    #[test]
+    fn stall_accounting() {
+        let mut s = StallCounts::default();
+        s.bump(StallReason::Hazard);
+        s.bump(StallReason::Hazard);
+        s.bump(StallReason::Tsv);
+        s.bump(StallReason::Sync);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.hazard, 2);
+    }
+
+    #[test]
+    fn ipc_and_utilization() {
+        let s = VaultStats { cycles: 100, issued: 63, simd_busy: 160, ..VaultStats::default() };
+        assert!((s.ipc() - 0.63).abs() < 1e-12);
+        assert!((s.utilization(s.simd_busy, 32) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn category_counts_add() {
+        let a = CategoryCounts { computation: 1, index_calc: 2, ..Default::default() };
+        let b = CategoryCounts { computation: 3, inter_vault: 4, ..Default::default() };
+        let c = a + b;
+        assert_eq!(c.computation, 4);
+        assert_eq!(c.index_calc, 2);
+        assert_eq!(c.inter_vault, 4);
+    }
+}

@@ -1,0 +1,1179 @@
+//! One vault: a decoupled control core on the base logic die driving the
+//! SIMB-parallel process engines on the PIM dies (paper Sec. IV-B).
+//!
+//! Functional semantics execute *at issue* (issue is sequential and the
+//! Issued-Inst-Queue hazard interlock guarantees operands are final), while
+//! timing is shadowed by per-PE functional-unit queues, the per-PG memory
+//! controllers, and the shared TSV arbiter. This "execute-at-issue,
+//! timing-shadow" split is exact for hazard-free in-order machines and keeps
+//! the simulator fast.
+
+use std::collections::{HashMap, VecDeque};
+
+use ipim_dram::{
+    AccessKind, Bank, Completion, MemController, Request, RequestId, ACCESS_BYTES,
+};
+use ipim_isa::{
+    AddrOperand, ArfSrc, Category, CompMode, CompOp, CrfSrc, DataType, Instruction, Program,
+    RegRef, RemoteTarget, SimbMask, ARF_CHIP_ID, ARF_PE_ID, ARF_PG_ID, ARF_VAULT_ID,
+};
+
+use crate::stats::{StallReason, VaultStats};
+use crate::{MachineConfig, Placement, Scratchpad};
+
+/// Global identity of a vault within the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VaultId {
+    /// Cube (chip) index.
+    pub cube: usize,
+    /// Vault index within the cube.
+    pub vault: usize,
+}
+
+/// Message a vault sends to the machine's interconnect.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutMsg {
+    /// Forward a remote read request to `target`'s vault.
+    ReqForward {
+        /// Requesting vault.
+        origin: VaultId,
+        /// Remote bank location to read.
+        target: RemoteTarget,
+        /// Byte address in the remote bank.
+        dram_addr: u32,
+        /// Tag matching the response to the in-flight `req`.
+        tag: u64,
+    },
+    /// Data response back to the requesting vault.
+    ReqResponse {
+        /// The vault that issued the original `req`.
+        origin: VaultId,
+        /// Tag of the original request.
+        tag: u64,
+    },
+}
+
+/// Message delivered to a vault by the machine's interconnect.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InMsg {
+    /// Serve a remote read against this vault's banks.
+    ServeReq {
+        /// Requesting vault.
+        origin: VaultId,
+        /// Local process group to read from.
+        pg: usize,
+        /// Local PE (bank) within the process group.
+        pe: usize,
+        /// Byte address in the bank.
+        dram_addr: u32,
+        /// Tag to echo in the response.
+        tag: u64,
+    },
+    /// A previously issued `req` completed; its data is now in the VSM.
+    ReqDone {
+        /// Tag of the completed request.
+        tag: u64,
+    },
+}
+
+/// One 128-bit DataRF entry.
+pub type Vector = [u32; 4];
+
+/// A pipelined functional unit: initiation interval of one operation per
+/// cycle, completion after the operation's latency.
+#[derive(Debug, Clone, Default)]
+struct Unit {
+    queue: VecDeque<(u64, u64)>, // (inflight id, latency)
+    in_flight: VecDeque<(u64, u64)>, // (inflight id, done_at)
+    last_start: Option<u64>,
+}
+
+impl Unit {
+    fn busy(&self) -> bool {
+        !self.in_flight.is_empty() || !self.queue.is_empty()
+    }
+
+    /// Drains operations completing at or before `now` into `out`.
+    fn complete(&mut self, now: u64, out: &mut Vec<u64>) {
+        // Completions may be out of order when latencies differ; scan.
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].1 <= now {
+                let (id, _) = self.in_flight.remove(i).expect("index checked");
+                out.push(id);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Starts the next queued op if the pipeline can initiate this cycle.
+    fn start(&mut self, now: u64) {
+        if self.last_start == Some(now) {
+            return;
+        }
+        if let Some((id, lat)) = self.queue.pop_front() {
+            self.in_flight.push_back((id, now + lat));
+            self.last_start = Some(now);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct MemOp {
+    req: Request,
+}
+
+#[derive(Debug, Clone, Default)]
+struct MemUnit {
+    queue: VecDeque<MemOp>,
+    outstanding: usize,
+}
+
+/// One process engine: register files plus timing units.
+#[derive(Debug, Clone)]
+struct Pe {
+    data_rf: Vec<Vector>,
+    addr_rf: Vec<i32>,
+    simd: Unit,
+    alu: Unit,
+    pgsm_port: Unit,
+    vsm_port: Unit, // starts only when granted a TSV slot
+    mem: MemUnit,
+}
+
+impl Pe {
+    fn new(config: &MachineConfig) -> Self {
+        Self {
+            data_rf: vec![[0; 4]; config.data_rf_entries],
+            addr_rf: vec![0; config.addr_rf_entries],
+            simd: Unit::default(),
+            alu: Unit::default(),
+            pgsm_port: Unit::default(),
+            vsm_port: Unit::default(),
+            mem: MemUnit::default(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct InFlightInst {
+    pending: u32,
+    reads: Vec<RegRef>,
+    writes: Vec<RegRef>,
+}
+
+/// Where the PE-side work of an instruction executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DispatchUnit {
+    Simd,
+    Alu,
+    PgsmPort,
+    VsmPort,
+    Mem,
+}
+
+/// Control-core + barrier state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CoreState {
+    Running,
+    /// Reached `sync phase` and waits for the machine-wide barrier release.
+    AtBarrier(u32),
+    Halted,
+}
+
+/// One vault of the iPIM machine.
+#[derive(Debug, Clone)]
+pub struct Vault {
+    id: VaultId,
+    config: MachineConfig,
+    program: Program,
+    pc: usize,
+    state: CoreState,
+    branch_bubble_until: u64,
+    ctrl_rf: Vec<i32>,
+    issued: HashMap<u64, InFlightInst>,
+    next_inst_id: u64,
+    pes: Vec<Pe>,
+    pub(crate) mcs: Vec<MemController>,
+    pgsms: Vec<Scratchpad>,
+    vsm: Scratchpad,
+    // TSV arbiter: one 128-bit slot per cycle, shared by instruction
+    // broadcast and data transfers (paper Sec. IV-C).
+    tsv_free: bool,
+    // Completions that finish a fixed delay after their MC completion.
+    delayed: Vec<(u64, u64)>, // (done_at, inst_id)
+    // PonB: MC completions waiting for a TSV slot.
+    ponb_wait: VecDeque<u64>, // inst ids
+    // Remote requests this vault has issued, not yet answered.
+    reqs_in_flight: HashMap<u64, u32 /* local vsm addr */>,
+    next_req_tag: u64,
+    // Remote requests this vault is serving for others.
+    serving: HashMap<u64, (VaultId, u64)>, // local serve-id -> (origin, tag)
+    next_serve_id: u64,
+    outbox: Vec<OutMsg>,
+    // Remote serves that found the MC queue full and must retry.
+    pending_serves: Vec<(usize, Request)>,
+    // Post-DRAM latency per outstanding MC request id.
+    mem_extra: HashMap<u64, u64>,
+    // (tag, target, dram_addr, vsm_addr) of reqs whose functional fill the
+    // machine performs at service time.
+    pending_req_fills: Vec<(u64, RemoteTarget, u32, u32)>,
+    /// Execution counters.
+    pub stats: VaultStats,
+    halted_at: Option<u64>,
+}
+
+impl Vault {
+    /// Creates an idle vault with an empty program.
+    pub fn new(id: VaultId, config: &MachineConfig) -> Self {
+        let pes: Vec<Pe> = (0..config.pes_per_vault()).map(|_| Pe::new(config)).collect();
+        let mcs = (0..config.pgs_per_vault)
+            .map(|_| {
+                let banks = (0..config.pes_per_pg)
+                    .map(|_| Bank::new(config.timing, config.bank))
+                    .collect();
+                let mut mc = MemController::new(
+                    banks,
+                    config.timing,
+                    config.dram_req_queue,
+                    config.page_policy,
+                    config.sched_policy,
+                );
+                mc.set_refresh_enabled(config.refresh);
+                mc
+            })
+            .collect();
+        let pgsms = (0..config.pgs_per_vault).map(|_| Scratchpad::new(config.pgsm_bytes)).collect();
+        let mut vault = Self {
+            id,
+            config: config.clone(),
+            program: Program::default(),
+            pc: 0,
+            state: CoreState::Halted,
+            branch_bubble_until: 0,
+            ctrl_rf: vec![0; config.ctrl_rf_entries],
+            issued: HashMap::new(),
+            next_inst_id: 0,
+            pes,
+            mcs,
+            pgsms,
+            vsm: Scratchpad::new(config.vsm_bytes),
+            tsv_free: true,
+            delayed: Vec::new(),
+            ponb_wait: VecDeque::new(),
+            reqs_in_flight: HashMap::new(),
+            next_req_tag: 0,
+            serving: HashMap::new(),
+            next_serve_id: 0,
+            outbox: Vec::new(),
+            pending_serves: Vec::new(),
+            mem_extra: HashMap::new(),
+            pending_req_fills: Vec::new(),
+            stats: VaultStats::default(),
+            halted_at: None,
+        };
+        vault.reset_identity_registers();
+        vault
+    }
+
+    fn reset_identity_registers(&mut self) {
+        for pg in 0..self.config.pgs_per_vault {
+            for pe in 0..self.config.pes_per_pg {
+                let g = pg * self.config.pes_per_pg + pe;
+                self.pes[g].addr_rf[ARF_PE_ID.index()] = pe as i32;
+                self.pes[g].addr_rf[ARF_PG_ID.index()] = pg as i32;
+                self.pes[g].addr_rf[ARF_VAULT_ID.index()] = self.id.vault as i32;
+                self.pes[g].addr_rf[ARF_CHIP_ID.index()] = self.id.cube as i32;
+            }
+        }
+    }
+
+    /// This vault's machine-wide identity.
+    pub fn id(&self) -> VaultId {
+        self.id
+    }
+
+    /// Loads a program and resets execution state (registers and
+    /// scratchpads are cleared; bank contents are preserved, matching a
+    /// host that uploads data once and launches several kernels).
+    pub fn load_program(&mut self, program: Program) {
+        self.program = program;
+        self.pc = 0;
+        self.state = CoreState::Running;
+        self.branch_bubble_until = 0;
+        self.ctrl_rf.iter_mut().for_each(|c| *c = 0);
+        self.issued.clear();
+        self.delayed.clear();
+        self.ponb_wait.clear();
+        self.reqs_in_flight.clear();
+        self.serving.clear();
+        self.outbox.clear();
+        self.pending_serves.clear();
+        self.mem_extra.clear();
+        self.pending_req_fills.clear();
+        for pe in &mut self.pes {
+            pe.data_rf.iter_mut().for_each(|v| *v = [0; 4]);
+            pe.addr_rf.iter_mut().for_each(|v| *v = 0);
+            pe.simd = Unit::default();
+            pe.alu = Unit::default();
+            pe.pgsm_port = Unit::default();
+            pe.vsm_port = Unit::default();
+            pe.mem = MemUnit::default();
+        }
+        self.halted_at = None;
+        self.reset_identity_registers();
+    }
+
+    /// Whether the control core has executed the whole program and all
+    /// in-flight work (including remote serves) has drained.
+    pub fn is_halted(&self) -> bool {
+        matches!(self.state, CoreState::Halted)
+            && self.issued.is_empty()
+            && self.serving.is_empty()
+            && self.mcs.iter().all(|m| m.is_idle())
+    }
+
+    /// Cycle at which the control core retired its last instruction.
+    pub fn halted_at(&self) -> Option<u64> {
+        self.halted_at
+    }
+
+    /// Whether the core is parked at barrier `phase`.
+    pub fn at_barrier(&self) -> Option<u32> {
+        match self.state {
+            CoreState::AtBarrier(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Releases the vault from its barrier (machine-wide sync reached).
+    pub fn release_barrier(&mut self) {
+        if matches!(self.state, CoreState::AtBarrier(_)) {
+            self.state = CoreState::Running;
+        }
+    }
+
+    /// Host access: bank array of (pg, pe).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn bank_array(&self, pg: usize, pe: usize) -> &ipim_dram::BankArray {
+        self.mcs[pg].bank(pe).array()
+    }
+
+    /// Host access: mutable bank array of (pg, pe).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn bank_array_mut(&mut self, pg: usize, pe: usize) -> &mut ipim_dram::BankArray {
+        self.mcs[pg].bank_mut(pe).array_mut()
+    }
+
+    /// Host access: a PE's DataRF (tests and debugging).
+    pub fn data_rf(&self, pe: usize) -> &[Vector] {
+        &self.pes[pe].data_rf
+    }
+
+    /// Host access: a PE's AddrRF (tests and debugging).
+    pub fn addr_rf(&self, pe: usize) -> &[i32] {
+        &self.pes[pe].addr_rf
+    }
+
+    /// Host access: the vault scratchpad.
+    pub fn vsm(&mut self) -> &mut Scratchpad {
+        &mut self.vsm
+    }
+
+    /// Host access: a process group's scratchpad.
+    pub fn pgsm(&mut self, pg: usize) -> &mut Scratchpad {
+        &mut self.pgsms[pg]
+    }
+
+    /// Delivers an interconnect message.
+    pub fn deliver(&mut self, msg: InMsg, now: u64) {
+        match msg {
+            InMsg::ServeReq { origin, pg, pe, dram_addr, tag } => {
+                let serve_id = self.next_serve_id;
+                self.next_serve_id += 1;
+                self.serving.insert(serve_id, (origin, tag));
+                // The read is buffered in this vault's VSM before the link
+                // traversal (paper Sec. IV-D): count the access.
+                self.stats.vsm_accesses += 1;
+                let req = Request {
+                    id: RequestId(REMOTE_SERVE_BASE + serve_id),
+                    bank: pe,
+                    addr: dram_addr & !(ACCESS_BYTES as u32 - 1),
+                    kind: AccessKind::Read,
+                    data: [0; ACCESS_BYTES],
+                };
+                // Remote serves bypass queue back-pressure modelling: the
+                // NIC retries internally. If full, park it.
+                if !self.mcs[pg].enqueue(req, now) {
+                    self.pending_serves.push((pg, req));
+                }
+            }
+            InMsg::ReqDone { tag } => {
+                // Find the in-flight `req` with this tag and finish it.
+                if let Some(_vsm_addr) = self.reqs_in_flight.remove(&tag) {
+                    let inst_id = REQ_TAG_BASE + tag;
+                    self.finish(inst_id);
+                    self.stats.vsm_accesses += 1;
+                }
+            }
+        }
+    }
+
+    /// Drains queued outbound messages.
+    pub fn take_outbox(&mut self) -> Vec<OutMsg> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Advances the vault one cycle.
+    pub fn tick(&mut self, now: u64) {
+        if self.is_halted() && self.outbox.is_empty() && self.pending_serves.is_empty() {
+            return;
+        }
+        self.stats.cycles += 1;
+        self.tsv_free = true;
+
+        // Retry parked remote serves.
+        if !self.pending_serves.is_empty() {
+            let mut parked = std::mem::take(&mut self.pending_serves);
+            parked.retain(|(pg, req)| !self.mcs[*pg].enqueue(*req, now));
+            self.pending_serves = parked;
+        }
+
+        // 1. Pipelined unit completions and starts.
+        let mut finished: Vec<u64> = Vec::new();
+        for pe in &mut self.pes {
+            for unit in [&mut pe.simd, &mut pe.alu, &mut pe.pgsm_port] {
+                unit.complete(now, &mut finished);
+                unit.start(now);
+            }
+            // VSM port needs the TSV slot to start.
+            pe.vsm_port.complete(now, &mut finished);
+        }
+        // TSV arbitration for VSM ports: one grant per cycle, round-robin by
+        // PE index (the queue order provides fairness enough for SIMB code).
+        if self.tsv_free {
+            for pe in &mut self.pes {
+                if !pe.vsm_port.queue.is_empty() {
+                    pe.vsm_port.start(now);
+                    self.tsv_free = false;
+                    self.stats.tsv_transfers += 1;
+                    break;
+                }
+            }
+        }
+
+        // 2. Memory controllers.
+        for pg in 0..self.mcs.len() {
+            let completions = self.mcs[pg].tick(now);
+            for c in completions {
+                self.on_mc_completion(pg, c, now);
+            }
+        }
+
+        // 3. Issue new DRAM requests from PE mem queues (the MC's request
+        // queue provides the real back-pressure; the per-PE cap only
+        // bounds bookkeeping).
+        let max_outstanding = self.config.dram_req_queue.max(1);
+        for g in 0..self.pes.len() {
+            let pg = g / self.config.pes_per_pg;
+            while self.pes[g].mem.outstanding < max_outstanding {
+                let Some(op) = self.pes[g].mem.queue.front().cloned() else { break };
+                if !self.mcs[pg].enqueue(op.req, now) {
+                    break;
+                }
+                self.pes[g].mem.queue.pop_front();
+                self.pes[g].mem.outstanding += 1;
+            }
+        }
+
+        // 4. Delayed completions (post-DRAM PE-bus / PGSM latency).
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if self.delayed[i].0 <= now {
+                let (_, id) = self.delayed.swap_remove(i);
+                finished.push(id);
+            } else {
+                i += 1;
+            }
+        }
+
+        // 5. PonB: drain one TSV-blocked DRAM completion per cycle.
+        if self.tsv_free {
+            if let Some(id) = self.ponb_wait.pop_front() {
+                self.tsv_free = false;
+                self.stats.tsv_transfers += 1;
+                finished.push(id);
+            }
+        }
+
+        for id in finished {
+            self.finish(id);
+        }
+
+        // 6. Busy accounting.
+        for pe in &self.pes {
+            if pe.simd.busy() {
+                self.stats.simd_busy += 1;
+            }
+            if pe.alu.busy() {
+                self.stats.int_alu_busy += 1;
+            }
+            if pe.mem.outstanding > 0 || !pe.mem.queue.is_empty() {
+                self.stats.mem_busy += 1;
+            }
+        }
+
+        // 7. Control core issue.
+        self.try_issue(now);
+
+        // 8. Halt detection.
+        if matches!(self.state, CoreState::Running)
+            && self.pc >= self.program.len()
+            && self.issued.is_empty()
+        {
+            self.state = CoreState::Halted;
+            self.halted_at = Some(now);
+        }
+    }
+
+    fn on_mc_completion(&mut self, _pg: usize, c: Completion, now: u64) {
+        let raw = c.id.0;
+        if raw >= REMOTE_SERVE_BASE {
+            // Finished serving a remote read: send the response.
+            let serve_id = raw - REMOTE_SERVE_BASE;
+            if let Some((origin, tag)) = self.serving.remove(&serve_id) {
+                self.outbox.push(OutMsg::ReqResponse { origin, tag });
+            }
+            return;
+        }
+        let pe = (raw >> 40) as usize;
+        let inst_id = raw & ((1 << 40) - 1);
+        self.pes[pe].mem.outstanding -= 1;
+        self.stats.dram_accesses += 1;
+        // Look up the extra latency recorded at dispatch.
+        let extra = self.mem_extra.remove(&raw).unwrap_or(0);
+        match self.config.placement {
+            Placement::BaseDie => self.ponb_wait.push_back(inst_id),
+            Placement::NearBank => {
+                if extra == 0 {
+                    self.finish(inst_id);
+                } else {
+                    self.delayed.push((now + extra, inst_id));
+                }
+            }
+        }
+    }
+
+    /// Marks one PE-side completion of instruction `inst_id`.
+    fn finish(&mut self, inst_id: u64) {
+        let done = if let Some(e) = self.issued.get_mut(&inst_id) {
+            e.pending = e.pending.saturating_sub(1);
+            e.pending == 0
+        } else {
+            false
+        };
+        if done {
+            self.issued.remove(&inst_id);
+        }
+    }
+
+    /// Attempts to issue the instruction at `pc`.
+    fn try_issue(&mut self, now: u64) {
+        match self.state {
+            CoreState::Halted => return,
+            CoreState::AtBarrier(_) => {
+                self.stats.stalls.bump(StallReason::Sync);
+                return;
+            }
+            CoreState::Running => {}
+        }
+        if self.pc >= self.program.len() {
+            return;
+        }
+        if now < self.branch_bubble_until {
+            self.stats.stalls.bump(StallReason::Branch);
+            return;
+        }
+        let inst = self.program.instructions()[self.pc];
+
+        // Structural hazard: issued-inst-queue capacity.
+        if self.issued.len() >= self.config.inst_queue {
+            self.stats.stalls.bump(StallReason::QueueFull);
+            return;
+        }
+        // Data hazards against in-flight instructions (paper Sec. IV-B 2).
+        let reads = inst.reads();
+        let writes = inst.writes();
+        for e in self.issued.values() {
+            let raw = reads.iter().any(|r| e.writes.contains(r));
+            let war = writes.iter().any(|w| e.reads.contains(w));
+            let waw = writes.iter().any(|w| e.writes.contains(w));
+            if raw || war || waw {
+                self.stats.stalls.bump(StallReason::Hazard);
+                return;
+            }
+        }
+        // Conservative VSM interlock: reads of the VSM wait for pending
+        // remote requests (their data lands in the VSM asynchronously).
+        if matches!(inst, Instruction::RdVsm { .. }) && !self.reqs_in_flight.is_empty() {
+            self.stats.stalls.bump(StallReason::VsmInterlock);
+            return;
+        }
+        // `sync` waits for the vault to quiesce, then parks at the barrier.
+        if let Instruction::Sync { phase_id } = inst {
+            if !self.issued.is_empty() || !self.reqs_in_flight.is_empty() {
+                self.stats.stalls.bump(StallReason::Sync);
+                return;
+            }
+            self.state = CoreState::AtBarrier(phase_id);
+            self.pc += 1;
+            self.stats.issued += 1;
+            self.stats.by_category.bump(Category::Synchronization);
+            return;
+        }
+        // Broadcast instructions need this cycle's TSV slot.
+        let needs_tsv = inst.simb_mask().is_some();
+        if needs_tsv && !self.tsv_free {
+            self.stats.stalls.bump(StallReason::Tsv);
+            return;
+        }
+
+        // --- Issue. ---
+        if needs_tsv {
+            self.tsv_free = false;
+            self.stats.tsv_transfers += 1;
+        }
+        self.stats.issued += 1;
+        self.stats.by_category.bump(inst.category());
+        self.account_accesses(&inst);
+
+        let mut next_pc = self.pc + 1;
+        match inst {
+            Instruction::Jump { target } => {
+                next_pc = self.crf_value(target) as usize;
+                self.branch_bubble_until = now + 1 + self.config.latency.branch_penalty;
+            }
+            Instruction::CJump { cond, target } => {
+                if self.ctrl_rf[cond.index()] != 0 {
+                    next_pc = self.crf_value(target) as usize;
+                    self.branch_bubble_until = now + 1 + self.config.latency.branch_penalty;
+                }
+            }
+            Instruction::CalcCrf { op, dst, src1, src2 } => {
+                let b = self.crf_value(src2);
+                let a = self.ctrl_rf[src1.index()];
+                self.ctrl_rf[dst.index()] = op.apply(a, b);
+            }
+            Instruction::SetiCrf { dst, imm } => {
+                self.ctrl_rf[dst.index()] = imm;
+            }
+            Instruction::SetiVsm { vsm_addr, imm } => {
+                self.vsm.write_u32(vsm_addr, imm);
+            }
+            Instruction::Req { target, dram_addr, vsm_addr } => {
+                let tag = self.next_req_tag;
+                self.next_req_tag += 1;
+                let daddr = self.crf_value(dram_addr) as u32;
+                let vaddr = self.crf_value(vsm_addr) as u32;
+                self.reqs_in_flight.insert(tag, vaddr);
+                self.issued.insert(
+                    REQ_TAG_BASE + tag,
+                    InFlightInst { pending: 1, reads: vec![], writes: vec![] },
+                );
+                self.outbox.push(OutMsg::ReqForward {
+                    origin: self.id,
+                    target,
+                    dram_addr: daddr,
+                    tag,
+                });
+                self.stats.remote_reqs += 1;
+                // Functional effect happens when the remote vault serves the
+                // read; the VSM interlock keeps readers ordered behind it.
+                self.pending_req_fills.push((tag, target, daddr, vaddr));
+            }
+            _ => {
+                // SIMB-broadcast instruction: functional execution across
+                // the masked PEs, then timing dispatch.
+                let inst_id = self.next_inst_id;
+                self.next_inst_id += 1;
+                debug_assert!(inst_id < REQ_TAG_BASE);
+                let mask = inst.simb_mask().expect("broadcast instruction");
+                self.execute_functional(&inst, mask);
+                let n = self.dispatch(&inst, mask, inst_id, now);
+                if n > 0 {
+                    self.issued.insert(
+                        inst_id,
+                        InFlightInst { pending: n, reads, writes },
+                    );
+                }
+            }
+        }
+        self.pc = next_pc;
+    }
+
+    fn crf_value(&self, src: CrfSrc) -> i32 {
+        match src {
+            CrfSrc::Imm(v) => v,
+            CrfSrc::Reg(r) => self.ctrl_rf[r.index()],
+        }
+    }
+
+    /// Resolves an address operand on a specific PE.
+    fn resolve(&self, pe: usize, a: AddrOperand) -> u32 {
+        match a {
+            AddrOperand::Imm(v) => v,
+            AddrOperand::Indirect(r) => self.pes[pe].addr_rf[r.index()] as u32,
+        }
+    }
+
+    /// Applies the functional semantics of a broadcast instruction.
+    fn execute_functional(&mut self, inst: &Instruction, mask: SimbMask) {
+        let pes_per_pg = self.config.pes_per_pg;
+        for g in mask.iter() {
+            let pg = g / pes_per_pg;
+            let pe_in_pg = g % pes_per_pg;
+            match *inst {
+                Instruction::Comp { op, dtype, mode, dst, src1, src2, vec_mask, .. } => {
+                    let a = self.pes[g].data_rf[src1.index()];
+                    let b = self.pes[g].data_rf[src2.index()];
+                    let d0 = self.pes[g].data_rf[dst.index()];
+                    let mut d = d0;
+                    for l in 0..4 {
+                        if !vec_mask.lane(l) {
+                            continue;
+                        }
+                        let rhs = match mode {
+                            CompMode::VectorVector => b[l],
+                            CompMode::ScalarVector => b[0],
+                        };
+                        d[l] = apply_comp(op, dtype, a[l], rhs, d0[l]);
+                    }
+                    self.pes[g].data_rf[dst.index()] = d;
+                }
+                Instruction::CalcArf { op, dst, src1, src2, .. } => {
+                    let a = self.pes[g].addr_rf[src1.index()];
+                    let b = match src2 {
+                        ArfSrc::Imm(v) => v,
+                        ArfSrc::Reg(r) => self.pes[g].addr_rf[r.index()],
+                    };
+                    self.pes[g].addr_rf[dst.index()] = op.apply(a, b);
+                }
+                Instruction::Mov { to_arf, arf, drf, lane, .. } => {
+                    if to_arf {
+                        let v = self.pes[g].data_rf[drf.index()][lane as usize & 3];
+                        self.pes[g].addr_rf[arf.index()] = v as i32;
+                    } else {
+                        let v = self.pes[g].addr_rf[arf.index()] as u32;
+                        self.pes[g].data_rf[drf.index()][lane as usize & 3] = v;
+                    }
+                }
+                Instruction::LdRf { dram_addr, drf, .. } => {
+                    let addr = self.resolve(g, dram_addr);
+                    let mut buf = [0u8; 16];
+                    self.mcs[pg].bank(pe_in_pg).array().read(addr, &mut buf);
+                    self.pes[g].data_rf[drf.index()] = bytes_to_vector(&buf);
+                }
+                Instruction::StRf { dram_addr, drf, .. } => {
+                    let addr = self.resolve(g, dram_addr);
+                    let buf = vector_to_bytes(&self.pes[g].data_rf[drf.index()]);
+                    self.mcs[pg].bank_mut(pe_in_pg).array_mut().write(addr, &buf);
+                }
+                Instruction::LdPgsm { dram_addr, pgsm_addr, .. } => {
+                    let da = self.resolve(g, dram_addr);
+                    let pa = self.resolve(g, pgsm_addr);
+                    let mut buf = [0u8; 16];
+                    self.mcs[pg].bank(pe_in_pg).array().read(da, &mut buf);
+                    self.pgsms[pg].write(pa, &buf);
+                }
+                Instruction::StPgsm { dram_addr, pgsm_addr, .. } => {
+                    let da = self.resolve(g, dram_addr);
+                    let pa = self.resolve(g, pgsm_addr);
+                    let mut buf = [0u8; 16];
+                    self.pgsms[pg].read(pa, &mut buf);
+                    self.mcs[pg].bank_mut(pe_in_pg).array_mut().write(da, &buf);
+                }
+                Instruction::RdPgsm { pgsm_addr, drf, .. } => {
+                    let pa = self.resolve(g, pgsm_addr);
+                    let mut buf = [0u8; 16];
+                    self.pgsms[pg].read(pa, &mut buf);
+                    self.pes[g].data_rf[drf.index()] = bytes_to_vector(&buf);
+                }
+                Instruction::WrPgsm { pgsm_addr, drf, .. } => {
+                    let pa = self.resolve(g, pgsm_addr);
+                    let buf = vector_to_bytes(&self.pes[g].data_rf[drf.index()]);
+                    self.pgsms[pg].write(pa, &buf);
+                }
+                Instruction::RdVsm { vsm_addr, drf, .. } => {
+                    let va = self.resolve(g, vsm_addr);
+                    let mut buf = [0u8; 16];
+                    self.vsm.read(va, &mut buf);
+                    self.pes[g].data_rf[drf.index()] = bytes_to_vector(&buf);
+                }
+                Instruction::WrVsm { vsm_addr, drf, .. } => {
+                    let va = self.resolve(g, vsm_addr);
+                    let buf = vector_to_bytes(&self.pes[g].data_rf[drf.index()]);
+                    self.vsm.write(va, &buf);
+                }
+                Instruction::Reset { drf, .. } => {
+                    self.pes[g].data_rf[drf.index()] = [0; 4];
+                }
+                Instruction::SetiDrf { drf, imm, vec_mask, .. } => {
+                    let mut d = self.pes[g].data_rf[drf.index()];
+                    for l in 0..4 {
+                        if vec_mask.lane(l) {
+                            d[l] = imm;
+                        }
+                    }
+                    self.pes[g].data_rf[drf.index()] = d;
+                }
+                _ => unreachable!("non-broadcast instruction in execute_functional"),
+            }
+        }
+    }
+
+    /// Queues the timing work of a broadcast instruction on each masked PE;
+    /// returns the number of PE-side completions to wait for.
+    fn dispatch(&mut self, inst: &Instruction, mask: SimbMask, inst_id: u64, _now: u64) -> u32 {
+        let lat = &self.config.latency;
+        let (unit, latency, mem_kind): (DispatchUnit, u64, Option<(AccessKind, u64)>) = match inst
+        {
+            Instruction::Comp { op, .. } => {
+                let l = match op {
+                    CompOp::Add | CompOp::Sub => lat.add,
+                    CompOp::Mul => lat.mul,
+                    CompOp::Mac => lat.mac,
+                    CompOp::Div => lat.div,
+                    _ => lat.logic,
+                };
+                (DispatchUnit::Simd, l + lat.rf, None)
+            }
+            Instruction::CalcArf { .. } | Instruction::Mov { .. } => {
+                (DispatchUnit::Alu, lat.logic + lat.rf, None)
+            }
+            Instruction::Reset { .. } | Instruction::SetiDrf { .. } => {
+                (DispatchUnit::Simd, lat.rf, None)
+            }
+            Instruction::LdRf { .. } => {
+                (DispatchUnit::Mem, 0, Some((AccessKind::Read, lat.pe_bus)))
+            }
+            Instruction::StRf { .. } => {
+                (DispatchUnit::Mem, 0, Some((AccessKind::Write, 0)))
+            }
+            Instruction::LdPgsm { .. } => {
+                (DispatchUnit::Mem, 0, Some((AccessKind::Read, lat.pe_bus + lat.pgsm)))
+            }
+            Instruction::StPgsm { .. } => {
+                (DispatchUnit::Mem, lat.pgsm, Some((AccessKind::Write, 0)))
+            }
+            Instruction::RdPgsm { .. } | Instruction::WrPgsm { .. } => {
+                (DispatchUnit::PgsmPort, lat.pgsm + lat.pe_bus, None)
+            }
+            Instruction::RdVsm { .. } | Instruction::WrVsm { .. } => {
+                (DispatchUnit::VsmPort, lat.tsv + lat.vsm + lat.pe_bus, None)
+            }
+            _ => unreachable!("non-broadcast instruction in dispatch"),
+        };
+
+        let mut n = 0;
+        for g in mask.iter() {
+            n += 1;
+            match unit {
+                DispatchUnit::Simd => self.pes[g].simd.queue.push_back((inst_id, latency)),
+                DispatchUnit::Alu => self.pes[g].alu.queue.push_back((inst_id, latency)),
+                DispatchUnit::PgsmPort => {
+                    self.pes[g].pgsm_port.queue.push_back((inst_id, latency))
+                }
+                DispatchUnit::VsmPort => self.pes[g].vsm_port.queue.push_back((inst_id, latency)),
+                DispatchUnit::Mem => {
+                    let (kind, extra) = mem_kind.expect("mem op");
+                    let addr = match *inst {
+                        Instruction::LdRf { dram_addr, .. }
+                        | Instruction::StRf { dram_addr, .. }
+                        | Instruction::LdPgsm { dram_addr, .. }
+                        | Instruction::StPgsm { dram_addr, .. } => self.resolve(g, dram_addr),
+                        _ => unreachable!(),
+                    };
+                    // Writes carry the real bytes: the functional write has
+                    // already happened at issue, and the MC replays it in
+                    // same-address order, so the replay is idempotent.
+                    let data = match *inst {
+                        Instruction::StRf { drf, .. } => {
+                            vector_to_bytes(&self.pes[g].data_rf[drf.index()])
+                        }
+                        Instruction::StPgsm { pgsm_addr, .. } => {
+                            let pa = self.resolve(g, pgsm_addr);
+                            let mut buf = [0u8; ACCESS_BYTES];
+                            let pg = g / self.config.pes_per_pg;
+                            self.pgsms[pg].read(pa, &mut buf);
+                            buf
+                        }
+                        _ => [0; ACCESS_BYTES],
+                    };
+                    let rid = RequestId(((g as u64) << 40) | inst_id);
+                    self.mem_extra.insert(rid.0, extra);
+                    self.pes[g].mem.queue.push_back(MemOp {
+                        req: Request {
+                            id: rid,
+                            bank: g % self.config.pes_per_pg,
+                            addr: addr & !(ACCESS_BYTES as u32 - 1),
+                            kind,
+                            data,
+                        },
+                    });
+                }
+            }
+        }
+        n
+    }
+
+    /// Updates register-file / scratchpad access counters for energy.
+    fn account_accesses(&mut self, inst: &Instruction) {
+        let n = inst.simb_mask().map_or(0, |m| m.count() as u64);
+        match inst {
+            Instruction::Comp { .. } => {
+                self.stats.simd_ops += n;
+                self.stats.data_rf_accesses += 3 * n;
+            }
+            Instruction::CalcArf { .. } => {
+                self.stats.int_alu_ops += n;
+                self.stats.addr_rf_accesses += 3 * n;
+            }
+            Instruction::Mov { .. } => {
+                self.stats.int_alu_ops += n;
+                self.stats.addr_rf_accesses += n;
+                self.stats.data_rf_accesses += n;
+            }
+            Instruction::LdRf { dram_addr, .. } | Instruction::StRf { dram_addr, .. } => {
+                self.stats.data_rf_accesses += n;
+                if dram_addr.addr_reg().is_some() {
+                    self.stats.addr_rf_accesses += n;
+                }
+            }
+            Instruction::LdPgsm { dram_addr, pgsm_addr, .. }
+            | Instruction::StPgsm { dram_addr, pgsm_addr, .. } => {
+                self.stats.pgsm_accesses += n;
+                let indirect = [dram_addr, pgsm_addr]
+                    .iter()
+                    .filter(|a| a.addr_reg().is_some())
+                    .count() as u64;
+                self.stats.addr_rf_accesses += indirect * n;
+            }
+            Instruction::RdPgsm { pgsm_addr, drf: _, .. }
+            | Instruction::WrPgsm { pgsm_addr, drf: _, .. } => {
+                self.stats.pgsm_accesses += n;
+                self.stats.data_rf_accesses += n;
+                if pgsm_addr.addr_reg().is_some() {
+                    self.stats.addr_rf_accesses += n;
+                }
+            }
+            Instruction::RdVsm { vsm_addr, .. } | Instruction::WrVsm { vsm_addr, .. } => {
+                self.stats.vsm_accesses += n;
+                self.stats.data_rf_accesses += n;
+                if vsm_addr.addr_reg().is_some() {
+                    self.stats.addr_rf_accesses += n;
+                }
+            }
+            Instruction::Reset { .. } | Instruction::SetiDrf { .. } => {
+                self.stats.data_rf_accesses += n;
+            }
+            Instruction::SetiVsm { .. } => {
+                self.stats.vsm_accesses += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// Completes the functional effect of a served remote request: called by
+    /// the machine when it routes the `ReqForward` (the remote read value is
+    /// snapshotted at service time; see module docs).
+    pub(crate) fn take_pending_req_fills(&mut self) -> Vec<(u64, RemoteTarget, u32, u32)> {
+        std::mem::take(&mut self.pending_req_fills)
+    }
+
+    /// Host/machine helper: write 16 bytes into this vault's VSM (remote
+    /// response data landing).
+    pub(crate) fn fill_vsm(&mut self, addr: u32, data: [u8; 16]) {
+        self.vsm.write(addr, &data);
+    }
+
+    /// Reads 16 bytes from a bank (machine-level remote service).
+    pub(crate) fn read_bank16(&self, pg: usize, pe: usize, addr: u32) -> [u8; 16] {
+        let mut buf = [0u8; 16];
+        self.mcs[pg].bank(pe).array().read(addr, &mut buf);
+        buf
+    }
+}
+
+/// Base of the inflight-id space reserved for `req` instructions.
+const REQ_TAG_BASE: u64 = 1 << 39;
+/// Base of the MC request-id space reserved for remote serves.
+const REMOTE_SERVE_BASE: u64 = 1 << 62;
+
+fn bytes_to_vector(b: &[u8; 16]) -> Vector {
+    let mut v = [0u32; 4];
+    for (i, lane) in v.iter_mut().enumerate() {
+        *lane = u32::from_le_bytes(b[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+    v
+}
+
+fn vector_to_bytes(v: &Vector) -> [u8; 16] {
+    let mut b = [0u8; 16];
+    for (i, lane) in v.iter().enumerate() {
+        b[i * 4..i * 4 + 4].copy_from_slice(&lane.to_le_bytes());
+    }
+    b
+}
+
+/// Lane semantics of the SIMD `comp` operations.
+fn apply_comp(op: CompOp, dtype: DataType, a: u32, b: u32, d: u32) -> u32 {
+    use CompOp::*;
+    match dtype {
+        DataType::F32 => {
+            let (fa, fb, fd) = (f32::from_bits(a), f32::from_bits(b), f32::from_bits(d));
+            match op {
+                Add => (fa + fb).to_bits(),
+                Sub => (fa - fb).to_bits(),
+                Mul => (fa * fb).to_bits(),
+                Mac => (fd + fa * fb).to_bits(),
+                Div => (fa / fb).to_bits(),
+                Min => fa.min(fb).to_bits(),
+                Max => fa.max(fb).to_bits(),
+                CmpLt => ((fa < fb) as u32 as f32).to_bits(),
+                CmpLe => ((fa <= fb) as u32 as f32).to_bits(),
+                CmpEq => ((fa == fb) as u32 as f32).to_bits(),
+                CvtI2F => (a as i32 as f32).to_bits(),
+                CvtF2I => (fa as i32) as u32,
+                Shl => a.wrapping_shl(b & 31),
+                Shr => a.wrapping_shr(b & 31),
+                And => a & b,
+                Or => a | b,
+                Xor => a ^ b,
+                CropLsb => a & 0xFFFF,
+                CropMsb => a >> 16,
+            }
+        }
+        DataType::I32 => {
+            let (ia, ib, id) = (a as i32, b as i32, d as i32);
+            match op {
+                Add => ia.wrapping_add(ib) as u32,
+                Sub => ia.wrapping_sub(ib) as u32,
+                Mul => ia.wrapping_mul(ib) as u32,
+                Mac => id.wrapping_add(ia.wrapping_mul(ib)) as u32,
+                Div => {
+                    if ib == 0 {
+                        0
+                    } else {
+                        ia.wrapping_div(ib) as u32
+                    }
+                }
+                Min => ia.min(ib) as u32,
+                Max => ia.max(ib) as u32,
+                CmpLt => (ia < ib) as u32,
+                CmpLe => (ia <= ib) as u32,
+                CmpEq => (ia == ib) as u32,
+                CvtI2F => (ia as f32).to_bits(),
+                CvtF2I => (f32::from_bits(a) as i32) as u32,
+                Shl => a.wrapping_shl(b & 31),
+                Shr => (ia.wrapping_shr(b & 31)) as u32,
+                And => a & b,
+                Or => a | b,
+                Xor => a ^ b,
+                CropLsb => a & 0xFFFF,
+                CropMsb => a >> 16,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vault() -> Vault {
+        Vault::new(VaultId { cube: 0, vault: 0 }, &MachineConfig::vault_slice(1))
+    }
+
+    #[test]
+    fn identity_registers_initialized() {
+        let v = vault();
+        // PE 13 = PG 3, PE-in-PG 1.
+        assert_eq!(v.addr_rf(13)[ARF_PE_ID.index()], 1);
+        assert_eq!(v.addr_rf(13)[ARF_PG_ID.index()], 3);
+        assert_eq!(v.addr_rf(13)[ARF_VAULT_ID.index()], 0);
+        assert_eq!(v.addr_rf(13)[ARF_CHIP_ID.index()], 0);
+    }
+
+    #[test]
+    fn fresh_vault_is_halted() {
+        let v = vault();
+        assert!(v.is_halted());
+        assert_eq!(v.at_barrier(), None);
+    }
+
+    #[test]
+    fn vector_byte_round_trip() {
+        let v: Vector = [1, 0xDEAD_BEEF, u32::MAX, 42];
+        assert_eq!(bytes_to_vector(&vector_to_bytes(&v)), v);
+    }
+
+    #[test]
+    fn comp_semantics_float_and_int() {
+        let two = 2.0f32.to_bits();
+        let three = 3.0f32.to_bits();
+        assert_eq!(
+            f32::from_bits(apply_comp(CompOp::Add, DataType::F32, two, three, 0)),
+            5.0
+        );
+        assert_eq!(
+            f32::from_bits(apply_comp(CompOp::Mac, DataType::F32, two, three, 1.0f32.to_bits())),
+            7.0
+        );
+        assert_eq!(
+            apply_comp(CompOp::Mul, DataType::I32, 7u32, (-3i32) as u32, 0) as i32,
+            -21
+        );
+        assert_eq!(apply_comp(CompOp::Div, DataType::I32, 7, 0, 0), 0);
+        assert_eq!(
+            apply_comp(CompOp::CmpLt, DataType::I32, (-1i32) as u32, 1, 0),
+            1
+        );
+        assert_eq!(
+            f32::from_bits(apply_comp(CompOp::CvtI2F, DataType::F32, 5, 0, 0)),
+            5.0
+        );
+        assert_eq!(
+            apply_comp(CompOp::CvtF2I, DataType::I32, 5.9f32.to_bits(), 0, 0),
+            5
+        );
+        assert_eq!(apply_comp(CompOp::CropLsb, DataType::I32, 0xABCD_1234, 0, 0), 0x1234);
+        assert_eq!(apply_comp(CompOp::CropMsb, DataType::I32, 0xABCD_1234, 0, 0), 0xABCD);
+    }
+
+    #[test]
+    fn unit_pipelines_one_start_per_cycle() {
+        let mut u = Unit::default();
+        u.queue.push_back((1, 4));
+        u.queue.push_back((2, 4));
+        u.start(10);
+        u.start(10); // same cycle: second start refused
+        assert_eq!(u.in_flight.len(), 1);
+        u.start(11);
+        assert_eq!(u.in_flight.len(), 2);
+        let mut done = Vec::new();
+        u.complete(13, &mut done);
+        assert!(done.is_empty());
+        u.complete(14, &mut done);
+        assert_eq!(done, vec![1]);
+        u.complete(15, &mut done);
+        assert_eq!(done, vec![1, 2]);
+        assert!(!u.busy());
+    }
+}

@@ -1,0 +1,38 @@
+//! The process-on-base-die (PonB) baseline configuration (Sec. VII-C1).
+
+use ipim_arch::{MachineConfig, Placement};
+
+/// Derives the PonB configuration from an iPIM configuration: identical in
+/// every respect except that all compute logic sits on the base logic die,
+/// so every bank access crosses the vault's shared TSVs — "the only
+/// difference of PonB with iPIM" per the paper, which serializes the bank
+/// traffic on the TSV bundle and caps bandwidth at ~1/10th.
+pub fn ponb_config(ipim: &MachineConfig) -> MachineConfig {
+    MachineConfig { placement: Placement::BaseDie, ..ipim.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_placement_differs() {
+        let ipim = MachineConfig::vault_slice(2);
+        let ponb = ponb_config(&ipim);
+        assert_eq!(ponb.placement, Placement::BaseDie);
+        assert_eq!(
+            MachineConfig { placement: ipim.placement, ..ponb.clone() },
+            ipim
+        );
+    }
+
+    #[test]
+    fn bandwidth_ratio_is_32x_raw() {
+        let ipim = MachineConfig::default();
+        let ponb = ponb_config(&ipim);
+        assert_eq!(
+            ipim.peak_bank_bytes_per_cycle() / ponb.peak_bank_bytes_per_cycle(),
+            32
+        );
+    }
+}

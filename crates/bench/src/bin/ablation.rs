@@ -1,0 +1,59 @@
+//! Ablation studies over the architectural design choices DESIGN.md calls
+//! out (beyond the paper's own Fig. 8/10/12 comparisons): row-buffer
+//! policy, DRAM scheduling policy, refresh overhead, and multi-vault
+//! scaling of the simulated slice.
+
+use ipim_bench::{banner, config_from_env, f, row};
+use ipim_core::dram::{PagePolicy, SchedPolicy};
+use ipim_core::{workload_by_name, MachineConfig, Session};
+
+fn run(cfg: MachineConfig, name: &str, scale: ipim_core::WorkloadScale) -> u64 {
+    let w = workload_by_name(name, scale).expect("workload");
+    Session::new(cfg)
+        .run_workload(&w, 8_000_000_000)
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
+        .report
+        .cycles
+}
+
+fn main() {
+    let cfg = config_from_env();
+    let scale = cfg.scale;
+    banner(
+        "Ablations — row policy, scheduler, refresh, slice width",
+        "DESIGN.md §5/§7 design choices",
+    );
+
+    for bench in ["Brighten", "Blur"] {
+        println!("\n[{bench}]");
+        let base = run(cfg.slice.clone(), bench, scale);
+        row("baseline (open, FR-FCFS, refresh)", &[(base.to_string(), 12), ("1.000x".into(), 8)]);
+        let cases: Vec<(&str, MachineConfig)> = vec![
+            (
+                "close-page policy",
+                MachineConfig { page_policy: PagePolicy::Close, ..cfg.slice.clone() },
+            ),
+            (
+                "FCFS scheduling",
+                MachineConfig { sched_policy: SchedPolicy::Fcfs, ..cfg.slice.clone() },
+            ),
+            ("refresh disabled", MachineConfig { refresh: false, ..cfg.slice.clone() }),
+            (
+                "2-vault slice",
+                MachineConfig { vaults_per_cube: 2, ..cfg.slice.clone() },
+            ),
+        ];
+        for (label, machine) in cases {
+            let cycles = run(machine, bench, scale);
+            row(
+                label,
+                &[
+                    (cycles.to_string(), 12),
+                    (format!("{}x", f(cycles as f64 / base as f64, 3)), 8),
+                ],
+            );
+        }
+    }
+    println!("\n(2-vault slice halves per-vault work: expect ~0.5x cycles;");
+    println!(" close-page / FCFS degrade row locality; refresh costs a few %)");
+}

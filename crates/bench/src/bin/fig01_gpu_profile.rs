@@ -1,0 +1,41 @@
+//! Fig. 1: GPU profiling of the Table II benchmarks — DRAM bandwidth /
+//! utilization vs ALU utilization (a), and the index-calculation share of
+//! ALU work (b).
+
+use ipim_bench::{banner, f, pct, row};
+use ipim_core::experiments::fig1;
+
+fn main() {
+    banner(
+        "Fig. 1 — GPU profiling (calibrated V100 model)",
+        "Sec. III: 57.55% mean DRAM util, 3.43% mean ALU util, 58.71% index share",
+    );
+    row(
+        "benchmark",
+        &[
+            ("BW GB/s".into(), 9),
+            ("DRAM util".into(), 10),
+            ("ALU util".into(), 9),
+            ("index shr".into(), 10),
+        ],
+    );
+    let rows = fig1();
+    let n = rows.len() as f64;
+    let (mut md, mut ma, mut mi) = (0.0, 0.0, 0.0);
+    for r in &rows {
+        md += r.dram_util / n;
+        ma += r.alu_util / n;
+        mi += r.index_fraction / n;
+        row(
+            r.name,
+            &[
+                (f(r.dram_bw_gbs, 0), 9),
+                (pct(r.dram_util), 10),
+                (pct(r.alu_util), 9),
+                (pct(r.index_fraction), 10),
+            ],
+        );
+    }
+    row("MEAN", &[(String::new(), 9), (pct(md), 10), (pct(ma), 9), (pct(mi), 10)]);
+    println!("\npaper: mean DRAM util 57.55% (518 GB/s), mean ALU util 3.43%, index 58.71%");
+}

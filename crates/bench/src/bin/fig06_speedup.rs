@@ -1,0 +1,35 @@
+//! Fig. 6: throughput and speedup of iPIM over the V100 GPU
+//! (paper: 11.02× average; Brighten 21.09×, Histogram 43.78×, Blur 4.32×,
+//! Stencil Chain 4.30×).
+
+use ipim_bench::{banner, config_from_env, f, row};
+use ipim_core::experiments::{geomean, gpu_comparison, run_suite};
+
+fn main() {
+    let cfg = config_from_env();
+    banner(
+        "Fig. 6 — iPIM vs GPU throughput/speedup (cycle-accurate slice, scaled out)",
+        "Sec. VII-B: 11.02x average speedup",
+    );
+    let suite = run_suite(&cfg).expect("suite");
+    let rows = gpu_comparison(&cfg, &suite);
+    row(
+        "benchmark",
+        &[
+            ("iPIM Gpix/s".into(), 12),
+            ("GPU Gpix/s".into(), 11),
+            ("speedup".into(), 8),
+        ],
+    );
+    for r in &rows {
+        row(
+            r.name,
+            &[
+                (f(r.ipim_gpix_s, 1), 12),
+                (f(r.gpu_gpix_s, 2), 11),
+                (format!("{:.2}x", r.speedup), 8),
+            ],
+        );
+    }
+    println!("\ngeomean speedup: {:.2}x  (paper: 11.02x average)", geomean(rows.iter().map(|r| r.speedup)));
+}

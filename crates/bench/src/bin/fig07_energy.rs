@@ -1,0 +1,47 @@
+//! Fig. 7: energy comparison between iPIM and the GPU
+//! (paper: 79.49% average saving; 89.26% single-stage, 66.81% multi-stage).
+
+use ipim_bench::{banner, config_from_env, f, pct, row};
+use ipim_core::experiments::{gpu_comparison, run_suite};
+
+fn main() {
+    let cfg = config_from_env();
+    banner(
+        "Fig. 7 — iPIM vs GPU energy",
+        "Sec. VII-B: 79.49% average energy saving",
+    );
+    let suite = run_suite(&cfg).expect("suite");
+    let rows = gpu_comparison(&cfg, &suite);
+    row(
+        "benchmark",
+        &[
+            ("iPIM nJ/px".into(), 11),
+            ("GPU nJ/px".into(), 10),
+            ("saving".into(), 8),
+        ],
+    );
+    let mut single = (0.0, 0);
+    let mut multi = (0.0, 0);
+    for (r, run) in rows.iter().zip(&suite) {
+        if run.workload.multi_stage {
+            multi = (multi.0 + r.energy_saving, multi.1 + 1);
+        } else {
+            single = (single.0 + r.energy_saving, single.1 + 1);
+        }
+        row(
+            r.name,
+            &[
+                (f(r.ipim_nj_per_pixel, 3), 11),
+                (f(r.gpu_nj_per_pixel, 3), 10),
+                (pct(r.energy_saving), 8),
+            ],
+        );
+    }
+    let mean: f64 = rows.iter().map(|r| r.energy_saving).sum::<f64>() / rows.len() as f64;
+    println!("\nmean saving: {} (paper 79.49%)", pct(mean));
+    println!(
+        "single-stage: {}  multi-stage: {}  (paper 89.26% / 66.81%)",
+        pct(single.0 / single.1 as f64),
+        pct(multi.0 / multi.1 as f64)
+    );
+}

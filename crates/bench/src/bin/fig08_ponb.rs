@@ -1,0 +1,27 @@
+//! Fig. 8: near-bank iPIM vs the process-on-base-die (PonB) baseline
+//! (paper: 3.61× speedup and 56.71% energy saving on average).
+
+use ipim_bench::{banner, config_from_env, pct, row};
+use ipim_core::experiments::{fig8, geomean};
+
+fn main() {
+    let cfg = config_from_env();
+    banner(
+        "Fig. 8 — near-bank vs process-on-base-die",
+        "Sec. VII-C1: 3.61x speedup, 56.71% energy saving",
+    );
+    let rows = fig8(&cfg).expect("fig8");
+    row("benchmark", &[("speedup".into(), 8), ("energy saving".into(), 14)]);
+    for r in &rows {
+        row(
+            r.name,
+            &[(format!("{:.2}x", r.speedup), 8), (pct(r.energy_saving), 14)],
+        );
+    }
+    let mean_save: f64 = rows.iter().map(|r| r.energy_saving).sum::<f64>() / rows.len() as f64;
+    println!(
+        "\ngeomean speedup {:.2}x (paper 3.61x), mean saving {} (paper 56.71%)",
+        geomean(rows.iter().map(|r| r.speedup)),
+        pct(mean_save)
+    );
+}

@@ -1,0 +1,46 @@
+//! Fig. 9: energy breakdown of iPIM programs
+//! (paper: 89.17% of energy on the PIM dies, 10.83% data movement + core).
+
+use ipim_bench::{banner, config_from_env, pct, row};
+use ipim_core::experiments::{fig9, run_suite};
+
+fn main() {
+    let cfg = config_from_env();
+    banner(
+        "Fig. 9 — energy breakdown",
+        "Sec. VII-C2: 89.17% PIM-die energy",
+    );
+    let suite = run_suite(&cfg).expect("suite");
+    row(
+        "benchmark",
+        &[
+            ("DRAM".into(), 7),
+            ("SIMD".into(), 7),
+            ("IntALU".into(), 7),
+            ("AddrRF".into(), 7),
+            ("DataRF".into(), 7),
+            ("PGSM".into(), 7),
+            ("others".into(), 7),
+            ("PIMdie".into(), 7),
+        ],
+    );
+    let rows = fig9(&suite);
+    let mut pim = 0.0;
+    for r in &rows {
+        pim += r.pim_die_fraction / rows.len() as f64;
+        row(
+            r.name,
+            &[
+                (pct(r.dram), 7),
+                (pct(r.simd), 7),
+                (pct(r.int_alu), 7),
+                (pct(r.addr_rf), 7),
+                (pct(r.data_rf), 7),
+                (pct(r.pgsm), 7),
+                (pct(r.others), 7),
+                (pct(r.pim_die_fraction), 7),
+            ],
+        );
+    }
+    println!("\nmean PIM-die fraction: {} (paper 89.17%)", pct(pim));
+}

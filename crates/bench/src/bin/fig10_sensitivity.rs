@@ -1,0 +1,30 @@
+//! Fig. 10: sensitivity of execution time to (a) DataRF entries and
+//! (b) PGSM size (paper: RF=16/32/64 are 46.8%/26.8%/9.5% slower than
+//! RF=128; PGSM=2K/4K are 58.9%/39.0% slower than 8K).
+
+use ipim_bench::{banner, config_from_env, f, row};
+use ipim_core::experiments::{fig10_pgsm, fig10_rf};
+
+fn main() {
+    let mut cfg = config_from_env();
+    // The sweep runs 3 benchmarks × 7 machine configurations; halve the
+    // image so the full sweep stays tractable (sensitivity is relative).
+    cfg.scale.width = (cfg.scale.width / 2).max(128);
+    cfg.scale.height = (cfg.scale.height / 2).max(128);
+    banner(
+        "Fig. 10 — sensitivity to RF entries and PGSM size",
+        "Sec. VII-C3",
+    );
+    println!("(a) DataRF entries (normalized mean execution time; paper: 1.47/1.27/1.10/1.00)");
+    let rf = fig10_rf(&cfg, &[16, 32, 64, 128]).expect("rf sweep");
+    row("RF entries", &[("norm. time".into(), 11)]);
+    for p in &rf {
+        row(&p.value.to_string(), &[(f(p.normalized_time, 3), 11)]);
+    }
+    println!("\n(b) PGSM bytes (paper: 1.59/1.39/1.00)");
+    let pg = fig10_pgsm(&cfg, &[2048, 4096, 8192]).expect("pgsm sweep");
+    row("PGSM bytes", &[("norm. time".into(), 11)]);
+    for p in &pg {
+        row(&p.value.to_string(), &[(f(p.normalized_time, 3), 11)]);
+    }
+}

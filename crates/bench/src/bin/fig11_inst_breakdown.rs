@@ -1,0 +1,49 @@
+//! Fig. 11: dynamic instruction breakdown of iPIM programs
+//! (paper: index calculation 23.25% on average, >28% for five benchmarks;
+//! inter-vault movement only 1.44%).
+
+use ipim_bench::{banner, config_from_env, pct, row};
+use ipim_core::experiments::{fig11, run_suite};
+
+fn main() {
+    let cfg = config_from_env();
+    banner(
+        "Fig. 11 — instruction breakdown",
+        "Sec. VII-D: index calc 23.25% avg, inter-vault 1.44%",
+    );
+    let suite = run_suite(&cfg).expect("suite");
+    row(
+        "benchmark",
+        &[
+            ("comp".into(), 7),
+            ("index".into(), 7),
+            ("intra-mem".into(), 10),
+            ("inter".into(), 7),
+            ("ctrl".into(), 7),
+            ("sync".into(), 7),
+        ],
+    );
+    let rows = fig11(&suite);
+    let n = rows.len() as f64;
+    let (mut idx, mut inter) = (0.0, 0.0);
+    for r in &rows {
+        idx += r.index_calc / n;
+        inter += r.inter_vault / n;
+        row(
+            r.name,
+            &[
+                (pct(r.computation), 7),
+                (pct(r.index_calc), 7),
+                (pct(r.intra_vault), 10),
+                (pct(r.inter_vault), 7),
+                (pct(r.control_flow), 7),
+                (pct(r.synchronization), 7),
+            ],
+        );
+    }
+    println!(
+        "\nmean index share {} (paper 23.25%), mean inter-vault {} (paper 1.44%)",
+        pct(idx),
+        pct(inter)
+    );
+}

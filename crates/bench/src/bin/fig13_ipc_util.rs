@@ -1,0 +1,36 @@
+//! Fig. 13: control-core IPC and key component utilization
+//! (paper: average IPC 0.63; address-RF utilization >40% for the
+//! index-calculation-heavy benchmarks).
+
+use ipim_bench::{banner, config_from_env, f, pct, row};
+use ipim_core::experiments::{fig13, run_suite};
+
+fn main() {
+    let cfg = config_from_env();
+    banner("Fig. 13 — IPC and utilization", "Sec. VII-E2: avg IPC 0.63");
+    let suite = run_suite(&cfg).expect("suite");
+    let rows = fig13(&cfg, &suite);
+    row(
+        "benchmark",
+        &[
+            ("IPC".into(), 6),
+            ("SIMD util".into(), 10),
+            ("IntALU util".into(), 12),
+            ("mem util".into(), 9),
+        ],
+    );
+    let mut ipc = 0.0;
+    for r in &rows {
+        ipc += r.ipc / rows.len() as f64;
+        row(
+            r.name,
+            &[
+                (f(r.ipc, 3), 6),
+                (pct(r.simd_util), 10),
+                (pct(r.int_alu_util), 12),
+                (pct(r.mem_util), 9),
+            ],
+        );
+    }
+    println!("\nmean IPC: {:.3} (paper 0.63)", ipc);
+}

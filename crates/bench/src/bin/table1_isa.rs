@@ -1,0 +1,141 @@
+//! Table I: the SIMB instruction set architecture, rendered from the live
+//! ISA definitions (and exercising the binary encoder on each sample).
+
+use ipim_bench::banner;
+use ipim_core::isa::{
+    encode, AddrOperand, AddrReg, ArfOp, ArfSrc, CompMode, CompOp, CrfOp, CrfSrc, CtrlReg,
+    DataReg, DataType, Instruction, RemoteTarget, SimbMask, VecMask,
+};
+
+fn main() {
+    banner("Table I — SIMB instruction set architecture", "Sec. IV-C");
+    let mask = SimbMask::all(32);
+    let samples: Vec<(&str, &str, Instruction)> = vec![
+        (
+            "computation",
+            "comp — SIMD computation (vv/sv modes, FP/INT + logical ops)",
+            Instruction::Comp {
+                op: CompOp::Mac,
+                dtype: DataType::F32,
+                mode: CompMode::VectorVector,
+                dst: DataReg::new(4),
+                src1: DataReg::new(1),
+                src2: DataReg::new(2),
+                vec_mask: VecMask::ALL,
+                simb_mask: mask,
+            },
+        ),
+        (
+            "index calculation",
+            "calc arf — per-PE memory address calculation (INT only)",
+            Instruction::CalcArf {
+                op: ArfOp::Mul,
+                dst: AddrReg::new(8),
+                src1: AddrReg::new(0),
+                src2: ArfSrc::Imm(16),
+                simb_mask: mask,
+            },
+        ),
+        (
+            "intra-vault",
+            "st/ld rf — store(/load) bank data from(/to) the DataRF",
+            Instruction::LdRf {
+                dram_addr: AddrOperand::Indirect(AddrReg::new(8)),
+                drf: DataReg::new(1),
+                simb_mask: mask,
+            },
+        ),
+        (
+            "intra-vault",
+            "st/ld pgsm — move data between the bank and the PGSM",
+            Instruction::LdPgsm {
+                dram_addr: AddrOperand::Indirect(AddrReg::new(8)),
+                pgsm_addr: AddrOperand::Imm(64),
+                simb_mask: mask,
+            },
+        ),
+        (
+            "intra-vault",
+            "rd/wr pgsm — move data between the PGSM and the DataRF",
+            Instruction::RdPgsm {
+                pgsm_addr: AddrOperand::Imm(64),
+                drf: DataReg::new(2),
+                simb_mask: mask,
+            },
+        ),
+        (
+            "intra-vault",
+            "rd/wr vsm — move data between the VSM and the DataRF",
+            Instruction::WrVsm {
+                vsm_addr: AddrOperand::Imm(256),
+                drf: DataReg::new(3),
+                simb_mask: mask,
+            },
+        ),
+        (
+            "intra-vault",
+            "mov drf/arf — DataRF ↔ AddrRF (data-dependent indexing)",
+            Instruction::Mov {
+                to_arf: true,
+                arf: AddrReg::new(9),
+                drf: DataReg::new(3),
+                lane: 1,
+                simb_mask: mask,
+            },
+        ),
+        (
+            "intra-vault",
+            "seti vsm — set an immediate at a VSM location",
+            Instruction::SetiVsm { vsm_addr: 0x100, imm: 42 },
+        ),
+        (
+            "intra-vault",
+            "reset — clear a DataRF entry",
+            Instruction::Reset { drf: DataReg::new(0), simb_mask: mask },
+        ),
+        (
+            "inter-vault",
+            "req — asynchronously fetch remote bank data into the local VSM",
+            Instruction::Req {
+                target: RemoteTarget { chip: 0, vault: 3, pg: 1, pe: 2 },
+                dram_addr: CrfSrc::Imm(0x400),
+                vsm_addr: CrfSrc::Imm(0x80),
+            },
+        ),
+        (
+            "control flow",
+            "jump/cjump — (conditional) jump via the CtrlRF",
+            Instruction::CJump { cond: CtrlReg::new(1), target: CrfSrc::Imm(7) },
+        ),
+        (
+            "control flow",
+            "calc crf — control-flow calculation (INT only)",
+            Instruction::CalcCrf {
+                op: CrfOp::Lt,
+                dst: CtrlReg::new(2),
+                src1: CtrlReg::new(0),
+                src2: CrfSrc::Imm(100),
+            },
+        ),
+        (
+            "control flow",
+            "seti crf — set an immediate CtrlRF value",
+            Instruction::SetiCrf { dst: CtrlReg::new(0), imm: 0 },
+        ),
+        (
+            "synchronization",
+            "sync — inter-vault barrier on a phase id",
+            Instruction::Sync { phase_id: 1 },
+        ),
+    ];
+    for (cat, desc, inst) in samples {
+        let word = encode(&inst);
+        println!("[{cat:<15}] {desc}");
+        println!("    asm:    {inst}");
+        println!("    binary: {}", hex(&word));
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect::<Vec<_>>().join("")
+}

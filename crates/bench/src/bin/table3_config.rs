@@ -1,0 +1,60 @@
+//! Table III: the iPIM hardware configuration, rendered from the live
+//! machine-configuration and energy-model defaults.
+
+use ipim_bench::banner;
+use ipim_core::{EnergyParams, MachineConfig};
+
+fn main() {
+    banner("Table III — iPIM hardware configuration", "Sec. VII-A");
+    let c = MachineConfig::default();
+    let e = EnergyParams::default();
+    println!(
+        "cubes/vaults/PGs/PEs/InstQueue/DRAMReqQueue : {}/{}/{}/{}/{}/{}",
+        c.cubes, c.vaults_per_cube, c.pgs_per_vault, c.pes_per_pg, c.inst_queue, c.dram_req_queue
+    );
+    println!("SIMD len / CAS width                         : 4 / 128b");
+    println!(
+        "Bank / AddrRF / DataRF / PGSM / VSM          : {}M / {}B / {}B / {}K / {}K",
+        c.bank.bank_bytes >> 20,
+        c.addr_rf_entries * 4,
+        c.data_rf_entries * 16,
+        c.pgsm_bytes >> 10,
+        c.vsm_bytes >> 10
+    );
+    let t = c.timing;
+    println!(
+        "tCK/tRCD/tCCD/tRTP/tRP/tRAS (ns)             : 1/{}/{}/{}/{}/{}",
+        t.t_rcd, t.t_ccd, t.t_rtp, t.t_rp, t.t_ras
+    );
+    println!(
+        "tRRDS/tRRDL/tFAW (ns)                        : {}/{}/{}",
+        t.t_rrd_s, t.t_rrd_l, t.t_faw
+    );
+    let l = c.latency;
+    println!(
+        "tADD/tMUL/tMAC/tLOGIC (ns)                   : {}/{}/{}/{}",
+        l.add, l.mul, l.mac, l.logic
+    );
+    println!(
+        "tRF/tPGSM/tVSM/tPEbus/tTSV/tNoC (ns)         : {}/{}/{}/{}/{}/{}",
+        l.rf, l.pgsm, l.vsm, l.pe_bus, l.tsv, l.noc_hop
+    );
+    println!(
+        "RD,WR / PRE,ACT energy                       : {:.2}n / {:.2}n J/access",
+        e.dram.rd_wr_pj / 1000.0,
+        e.dram.act_pre_pj / 1000.0
+    );
+    println!(
+        "AddrRF / DataRF energy                       : {:.2}p / {:.2}p J/access",
+        e.addr_rf_pj, e.data_rf_pj
+    );
+    println!(
+        "SIMD / IntALU energy                         : {:.2}p / {:.2}p J/op",
+        e.simd_pj, e.int_alu_pj
+    );
+    println!(
+        "PEbus / TSV / SERDES energy                  : {:.3}p / {:.2}p / {:.2}p J/bit",
+        e.pe_bus_pj_per_bit, e.tsv_pj_per_bit, e.serdes_pj_per_bit
+    );
+    println!("rowbuffer policy / schedule                  : {:?} / {:?}", c.page_policy, c.sched_policy);
+}

@@ -1,0 +1,26 @@
+//! Sec. VII-B thermal analysis: peak power per cube and cooling headroom
+//! (paper: 63 W/cube, 593 mW/mm², fits commodity active cooling at
+//! 706 mW/mm² and high-end cooling at 1214 mW/mm²).
+
+use ipim_bench::banner;
+use ipim_core::power::{
+    peak_power_per_cube, COMMODITY_COOLING_MW_PER_MM2, CUBE_MM2, HIGH_END_COOLING_MW_PER_MM2,
+};
+use ipim_core::{EnergyParams, MachineConfig};
+
+fn main() {
+    banner("Thermal — peak power per cube", "Sec. VII-B: 63 W, 593 mW/mm2");
+    let p = peak_power_per_cube(&MachineConfig::default(), &EnergyParams::default());
+    println!("cube footprint            : {CUBE_MM2:.1} mm2");
+    println!("peak power                : {:.1} W   (paper 63 W)", p.total_w);
+    println!("power density             : {:.0} mW/mm2 (paper 593 mW/mm2)", p.density_mw_per_mm2);
+    println!("DRAM-bank-induced share   : {:.1}%  (paper attributes 78.5% to ACT/PRE)", p.dram_fraction * 100.0);
+    println!(
+        "commodity cooling (706)   : {}",
+        if p.fits_cooling(COMMODITY_COOLING_MW_PER_MM2) { "OK" } else { "EXCEEDED" }
+    );
+    println!(
+        "high-end cooling (1214)   : {}",
+        if p.fits_cooling(HIGH_END_COOLING_MW_PER_MM2) { "OK" } else { "EXCEEDED" }
+    );
+}

@@ -1,0 +1,79 @@
+//! Shared helpers for the figure/table regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper's
+//! evaluation (see DESIGN.md §4 for the index). Binaries honor two
+//! environment variables:
+//!
+//! * `IPIM_SCALE`  — simulated image edge in pixels (default 256; the
+//!   paper-shaped runs in EXPERIMENTS.md use 512),
+//! * `IPIM_VAULTS` — vaults in the simulated slice (default 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ipim_core::experiments::ExperimentConfig;
+use ipim_core::{MachineConfig, WorkloadScale};
+
+/// Builds the experiment configuration from the environment.
+pub fn config_from_env() -> ExperimentConfig {
+    let edge: u32 = std::env::var("IPIM_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
+    let vaults: usize = std::env::var("IPIM_VAULTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    ExperimentConfig {
+        scale: WorkloadScale { width: edge, height: edge },
+        slice: MachineConfig::vault_slice(vaults),
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Prints a header banner for one experiment.
+pub fn banner(id: &str, paper: &str) {
+    println!("==============================================================");
+    println!("{id}");
+    println!("paper reference: {paper}");
+    println!("==============================================================");
+}
+
+/// Prints one formatted row of label + columns.
+pub fn row(label: &str, cols: &[(String, usize)]) {
+    print!("{label:<16}");
+    for (text, width) in cols {
+        print!(" {text:>w$}", w = width);
+    }
+    println!();
+}
+
+/// Formats a float with the given precision.
+pub fn f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// Formats a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        std::env::remove_var("IPIM_SCALE");
+        std::env::remove_var("IPIM_VAULTS");
+        let cfg = config_from_env();
+        assert_eq!(cfg.scale.width, 256);
+        assert_eq!(cfg.slice.total_vaults(), 1);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(pct(0.7949), "79.5%");
+    }
+}

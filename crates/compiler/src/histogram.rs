@@ -1,0 +1,541 @@
+//! Histogram-reduction codegen: "a reduction of parallel reduced partial
+//! histogram results" (paper Sec. VII-B).
+//!
+//! Phases, separated by `sync` barriers where cross-vault ordering matters:
+//!
+//! 1. **Zero** — every PE clears its partial histogram (16 B/bin in its own
+//!    bank).
+//! 2. **Accumulate** — every PE walks its tiles of the source (staged
+//!    through the PGSM), bins each pixel with SIMD arithmetic, and
+//!    increments its partial with a data-dependent read-modify-write
+//!    (`mov drf→arf` indexing, the paper's flexible-indexing path).
+//! 3. **PG reduce** — partials move bank→PGSM (`ld pgsm`), then PE 0 of
+//!    each PG sums its group's four partials and posts the PG partial to
+//!    the VSM.
+//! 4. **Vault reduce** — PE 0 of PG 0 sums the eight PG partials from the
+//!    VSM and packs the vault partial (4 bins/vector) into its bank.
+//! 5. **All-gather** — after a `sync`, every vault `req`s every vault's
+//!    packed partial into its VSM (static target addresses, so the SPMD
+//!    program needs no vault-dependent control flow).
+//! 6. **Finalize** — PE 0 sums the gathered partials and stores the final
+//!    histogram in the replicated 16-byte-per-bin layout of the output
+//!    buffer (host readback uses vault 0's first bank).
+
+use ipim_frontend::SourceId;
+use ipim_isa::{
+    AddrOperand, ArfOp, ArfSrc, CompMode, CompOp, CrfSrc, DataType, Instruction, RemoteTarget,
+    SimbMask, VecMask,
+};
+
+use crate::codegen::{StageCtx, D_ONE, D_ZERO};
+use crate::kb::MemTag;
+use crate::layout::BufferLayout;
+use crate::CompileError;
+
+/// VSM byte offset where PG partials are posted (16 B/bin per PG).
+const VSM_PG_PARTIALS: u32 = 0x1000;
+/// VSM byte offset where remote vault partials are gathered (packed).
+const VSM_GATHER: u32 = 0x10000;
+
+/// Scratch DRAM the histogram needs per bank, given `bins` (per-PE
+/// partials live in the PGSM; only the packed vault partial — the `req`
+/// target — needs a bank home).
+pub fn scratch_bytes(bins: u32) -> u32 {
+    bins * 4
+}
+
+/// Emits a histogram stage.
+///
+/// `scratch_base` is the per-bank DRAM address of this stage's scratch
+/// (see [`scratch_bytes`]); `machine_vaults` is cubes × vaults-per-cube.
+#[allow(clippy::too_many_arguments)]
+pub fn emit_histogram_stage(
+    ctx: &mut StageCtx<'_>,
+    out: SourceId,
+    source: SourceId,
+    bins: u32,
+    min: f32,
+    max: f32,
+    scratch_base: u32,
+    machine_vaults: u32,
+    sync_phase: &mut u32,
+) -> Result<(), CompileError> {
+    if bins % 4 != 0 || bins == 0 {
+        return Err(CompileError::Unsupported {
+            what: format!("histogram bins ({bins}) must be a positive multiple of 4"),
+        });
+    }
+    let pes_per_pg = ctx.facts.pes_per_pg;
+    let pes_per_vault = ctx.facts.pes_per_vault;
+    let pgs = pes_per_vault / pes_per_pg;
+    let width = pes_per_vault as usize;
+    let mask_all = SimbMask::all(width);
+    let mut mask_pg_leads = SimbMask::none(width);
+    for pg in 0..pgs {
+        mask_pg_leads.set((pg * pes_per_pg) as usize).expect("in range");
+    }
+    let mask_lead = SimbMask::single(width, 0).expect("in range");
+
+    let packed_base = scratch_base;
+
+    let BufferLayout::Distributed {
+        tile: (tw, th),
+        halo: (shx, shy),
+        stored_w,
+        stored_h,
+        slot_bytes,
+        base: src_base,
+    } = *ctx.map.layout(source)
+    else {
+        return Err(CompileError::Unsupported {
+            what: "histogram source must be a distributed buffer".into(),
+        });
+    };
+    let BufferLayout::Replicated { base: out_base, .. } = *ctx.map.layout(out) else {
+        return Err(CompileError::Unsupported {
+            what: "histogram output must be replicated".into(),
+        });
+    };
+
+    // PGSM budget: the staged source tile plus the per-PE partial
+    // histogram (16 B/bin, kept in the scratchpad so the per-pixel
+    // read-modify-write costs scratchpad, not DRAM, latency — the paper's
+    // "reduction of parallel reduced partial histograms").
+    let share = ctx.facts.pgsm_bytes / pes_per_pg;
+    let staged_bytes = stored_w * stored_h * 4;
+    let partial_off = share - bins * 16;
+    if staged_bytes + bins * 16 > share {
+        return Err(CompileError::Unsupported {
+            what: format!(
+                "histogram tile + partials ({} B) exceed the PGSM share ({share} B)",
+                staged_bytes + bins * 16
+            ),
+        });
+    }
+    // This PE's partial-histogram base in the PGSM.
+    let a_part = ctx.claim_areg("hist partial base")?;
+
+    // ---- Phase 1: zero partials (all PEs, in the PGSM). ----
+    ctx.kb.begin_straight();
+    ctx.kb.push(Instruction::CalcArf {
+        op: ArfOp::Mul,
+        dst: ipim_isa::AddrReg::new(a_part),
+        src1: ipim_isa::ARF_PE_ID,
+        src2: ArfSrc::Imm(share as i32),
+        simb_mask: mask_all,
+    });
+    ctx.calc(ArfOp::Add, a_part, a_part, ArfSrc::Imm(partial_off as i32));
+    for c in 0..bins {
+        let a_t = ctx.arf_temp()?;
+        ctx.calc(ArfOp::Add, a_t, a_part, ArfSrc::Imm((c * 16) as i32));
+        ctx.kb.push_mem(
+            Instruction::WrPgsm {
+                pgsm_addr: AddrOperand::Indirect(ipim_isa::AddrReg::new(a_t)),
+                drf: ipim_isa::DataReg::new(D_ZERO),
+                simb_mask: mask_all,
+            },
+            MemTag::Pgsm(out),
+        );
+    }
+    ctx.kb.end_straight();
+
+    // ---- Phase 2: accumulate over this PE's tiles. ----
+    let grid = ctx.map.grid;
+    let slots = grid.slots_per_pe();
+    let scale = bins as f32 / (max - min);
+    let c_slot = ipim_isa::CtrlReg::new(4);
+    let c_row = ipim_isa::CtrlReg::new(5);
+    let c_col = ipim_isa::CtrlReg::new(6);
+    let c_tmp = ipim_isa::CtrlReg::new(7);
+    let a_slotbase = ctx.claim_areg("hist src slot base")?;
+    let a_pgsm = ctx.claim_areg("hist pgsm base")?;
+    let a_row = ctx.claim_areg("hist row ptr")?;
+    let a_col = ctx.claim_areg("hist col ptr")?;
+
+    let a_slotidx = ctx.claim_areg("hist slot idx")?;
+    ctx.kb.push(Instruction::SetiCrf { dst: c_slot, imm: 0 });
+    ctx.kb.begin_straight();
+    ctx.arf_seti(a_slotidx, 0);
+    ctx.kb.end_straight();
+    let slot_top = ctx.kb.label();
+    ctx.kb.bind(slot_top);
+    // Slot base from the slot-index mirror, plus PGSM staging.
+    ctx.kb.begin_straight();
+    ctx.calc(ArfOp::Mul, a_slotbase, a_slotidx, ArfSrc::Imm(slot_bytes as i32));
+    ctx.calc(ArfOp::Add, a_slotbase, a_slotbase, ArfSrc::Imm(src_base as i32));
+    ctx.kb.push(Instruction::CalcArf {
+        op: ArfOp::Mul,
+        dst: ipim_isa::AddrReg::new(a_pgsm),
+        src1: ipim_isa::ARF_PE_ID,
+        src2: ArfSrc::Imm(share as i32),
+        simb_mask: mask_all,
+    });
+    // Stage the stored tile.
+    for v in 0..(stored_w / 4) * stored_h {
+        let off = (v * 16) as i32;
+        let a_b = ctx.arf_temp()?;
+        let a_p = ctx.arf_temp()?;
+        ctx.calc(ArfOp::Add, a_b, a_slotbase, ArfSrc::Imm(off));
+        ctx.calc(ArfOp::Add, a_p, a_pgsm, ArfSrc::Imm(off));
+        ctx.kb.push_mem(
+            Instruction::LdPgsm {
+                dram_addr: AddrOperand::Indirect(ipim_isa::AddrReg::new(a_b)),
+                pgsm_addr: AddrOperand::Indirect(ipim_isa::AddrReg::new(a_p)),
+                simb_mask: mask_all,
+            },
+            MemTag::PgsmStage(source),
+        );
+    }
+    ctx.kb.end_straight();
+
+    // Row loop over the *core* tile region.
+    ctx.kb.push(Instruction::SetiCrf { dst: c_row, imm: 0 });
+    ctx.kb.begin_straight();
+    // a_row = pgsm + (row + shy) * stored_w*4 + shx*4, maintained
+    // incrementally: initialize here.
+    ctx.calc(ArfOp::Mul, a_row, a_row, ArfSrc::Imm(0));
+    ctx.calc(ArfOp::Add, a_row, a_row, ArfSrc::Imm((shy * stored_w * 4 + shx * 4) as i32));
+    ctx.calc(ArfOp::Add, a_row, a_row, ArfSrc::Reg(ipim_isa::AddrReg::new(a_pgsm)));
+    ctx.kb.end_straight();
+    let row_top = ctx.kb.label();
+    ctx.kb.bind(row_top);
+
+    // Column loop.
+    ctx.kb.push(Instruction::SetiCrf { dst: c_col, imm: 0 });
+    ctx.kb.begin_straight();
+    ctx.calc(ArfOp::Mul, a_col, a_col, ArfSrc::Imm(0));
+    ctx.calc(ArfOp::Add, a_col, a_col, ArfSrc::Reg(ipim_isa::AddrReg::new(a_row)));
+    ctx.kb.end_straight();
+    let col_top = ctx.kb.label();
+    ctx.kb.bind(col_top);
+
+    ctx.kb.begin_straight();
+    ctx.reset_vregs();
+    // Load 4 pixels, compute bins = clamp(i32((v - min) * scale), 0, B-1).
+    let v_px = ctx.vreg()?;
+    ctx.kb.push_mem(
+        Instruction::RdPgsm {
+            pgsm_addr: AddrOperand::Indirect(ipim_isa::AddrReg::new(a_col)),
+            drf: ipim_isa::DataReg::new(v_px),
+            simb_mask: mask_all,
+        },
+        MemTag::Pgsm(source),
+    );
+    let v_min = ctx.const_reg(min)?;
+    let v_scale = ctx.const_reg(scale)?;
+    let v_t = ctx.vreg()?;
+    ctx.comp(CompOp::Sub, DataType::F32, CompMode::VectorVector, v_t, v_px, v_min);
+    let v_s = ctx.vreg()?;
+    ctx.comp(CompOp::Mul, DataType::F32, CompMode::VectorVector, v_s, v_t, v_scale);
+    let v_b = ctx.vreg()?;
+    ctx.comp(CompOp::CvtF2I, DataType::I32, CompMode::VectorVector, v_b, v_s, v_s);
+    // Clamp with integer min/max against pinned int constants.
+    let v_zero_i = ctx.vreg()?;
+    ctx.kb.push(Instruction::SetiDrf {
+        drf: ipim_isa::DataReg::new(v_zero_i),
+        imm: 0,
+        vec_mask: VecMask::ALL,
+        simb_mask: mask_all,
+    });
+    let v_maxb = ctx.vreg()?;
+    ctx.kb.push(Instruction::SetiDrf {
+        drf: ipim_isa::DataReg::new(v_maxb),
+        imm: bins - 1,
+        vec_mask: VecMask::ALL,
+        simb_mask: mask_all,
+    });
+    let v_cl = ctx.vreg()?;
+    ctx.comp(CompOp::Max, DataType::I32, CompMode::VectorVector, v_cl, v_b, v_zero_i);
+    let v_bin = ctx.vreg()?;
+    ctx.comp(CompOp::Min, DataType::I32, CompMode::VectorVector, v_bin, v_cl, v_maxb);
+    // Per-lane read-modify-write increment of the partial histogram.
+    for l in 0..4u8 {
+        let a = ctx.arf_temp()?;
+        ctx.kb.push(Instruction::Mov {
+            to_arf: true,
+            arf: ipim_isa::AddrReg::new(a),
+            drf: ipim_isa::DataReg::new(v_bin),
+            lane: l,
+            simb_mask: mask_all,
+        });
+        ctx.calc(ArfOp::Mul, a, a, ArfSrc::Imm(16));
+        ctx.calc(ArfOp::Add, a, a, ArfSrc::Reg(ipim_isa::AddrReg::new(a_part)));
+        let v_h = ctx.vreg()?;
+        ctx.kb.push_mem(
+            Instruction::RdPgsm {
+                pgsm_addr: AddrOperand::Indirect(ipim_isa::AddrReg::new(a)),
+                drf: ipim_isa::DataReg::new(v_h),
+                simb_mask: mask_all,
+            },
+            MemTag::Pgsm(out),
+        );
+        ctx.kb.push(Instruction::Comp {
+            op: CompOp::Add,
+            dtype: DataType::F32,
+            mode: CompMode::VectorVector,
+            dst: ipim_isa::DataReg::new(v_h),
+            src1: ipim_isa::DataReg::new(v_h),
+            src2: ipim_isa::DataReg::new(D_ONE),
+            vec_mask: VecMask::from_bits(0b0001),
+            simb_mask: mask_all,
+        });
+        ctx.kb.push_mem(
+            Instruction::WrPgsm {
+                pgsm_addr: AddrOperand::Indirect(ipim_isa::AddrReg::new(a)),
+                drf: ipim_isa::DataReg::new(v_h),
+                simb_mask: mask_all,
+            },
+            MemTag::Pgsm(out),
+        );
+    }
+    ctx.calc(ArfOp::Add, a_col, a_col, ArfSrc::Imm(16));
+    ctx.kb.end_straight();
+    // Column back-edge.
+    ctx.kb.push(Instruction::CalcCrf {
+        op: ipim_isa::CrfOp::Add,
+        dst: c_col,
+        src1: c_col,
+        src2: CrfSrc::Imm(4),
+    });
+    ctx.kb.push(Instruction::CalcCrf {
+        op: ipim_isa::CrfOp::Lt,
+        dst: c_tmp,
+        src1: c_col,
+        src2: CrfSrc::Imm(tw as i32),
+    });
+    ctx.kb.cjump_to(c_tmp, col_top);
+    // Row back-edge.
+    ctx.kb.begin_straight();
+    ctx.calc(ArfOp::Add, a_row, a_row, ArfSrc::Imm((stored_w * 4) as i32));
+    ctx.kb.end_straight();
+    ctx.kb.push(Instruction::CalcCrf {
+        op: ipim_isa::CrfOp::Add,
+        dst: c_row,
+        src1: c_row,
+        src2: CrfSrc::Imm(1),
+    });
+    ctx.kb.push(Instruction::CalcCrf {
+        op: ipim_isa::CrfOp::Lt,
+        dst: c_tmp,
+        src1: c_row,
+        src2: CrfSrc::Imm(th as i32),
+    });
+    ctx.kb.cjump_to(c_tmp, row_top);
+    // Slot back-edge.
+    ctx.kb.begin_straight();
+    ctx.calc(ArfOp::Add, a_slotidx, a_slotidx, ArfSrc::Imm(1));
+    ctx.kb.end_straight();
+    ctx.kb.push(Instruction::CalcCrf {
+        op: ipim_isa::CrfOp::Add,
+        dst: c_slot,
+        src1: c_slot,
+        src2: CrfSrc::Imm(1),
+    });
+    ctx.kb.push(Instruction::CalcCrf {
+        op: ipim_isa::CrfOp::Lt,
+        dst: c_tmp,
+        src1: c_slot,
+        src2: CrfSrc::Imm(slots as i32),
+    });
+    ctx.kb.cjump_to(c_tmp, slot_top);
+
+    // ---- Phase 3: PG reduce (partials are already in the PGSM). ----
+    // PG leads sum the four partials and post to the VSM.
+    ctx.kb.begin_straight();
+    for c in 0..bins {
+        ctx.reset_vregs();
+        let acc = ctx.vreg()?;
+        ctx.kb.push(Instruction::Reset {
+            drf: ipim_isa::DataReg::new(acc),
+            simb_mask: mask_pg_leads,
+        });
+        for p in 0..pes_per_pg {
+            let t = ctx.vreg()?;
+            ctx.kb.push_mem(
+                Instruction::RdPgsm {
+                    pgsm_addr: AddrOperand::Imm(p * share + partial_off + c * 16),
+                    drf: ipim_isa::DataReg::new(t),
+                    simb_mask: mask_pg_leads,
+                },
+                MemTag::Pgsm(out),
+            );
+            ctx.kb.push(Instruction::Comp {
+                op: CompOp::Add,
+                dtype: DataType::F32,
+                mode: CompMode::VectorVector,
+                dst: ipim_isa::DataReg::new(acc),
+                src1: ipim_isa::DataReg::new(acc),
+                src2: ipim_isa::DataReg::new(t),
+                vec_mask: VecMask::ALL,
+                simb_mask: mask_pg_leads,
+            });
+        }
+        // VSM address depends on pgID: a = pg * bins*16 + c*16 + base.
+        let a = ctx.arf_temp()?;
+        ctx.kb.push(Instruction::CalcArf {
+            op: ArfOp::Mul,
+            dst: ipim_isa::AddrReg::new(a),
+            src1: ipim_isa::ARF_PG_ID,
+            src2: ArfSrc::Imm((bins * 16) as i32),
+            simb_mask: mask_pg_leads,
+        });
+        ctx.calc_masked(ArfOp::Add, a, a, ArfSrc::Imm((VSM_PG_PARTIALS + c * 16) as i32), mask_pg_leads);
+        ctx.kb.push_mem(
+            Instruction::WrVsm {
+                vsm_addr: AddrOperand::Indirect(ipim_isa::AddrReg::new(a)),
+                drf: ipim_isa::DataReg::new(acc),
+                simb_mask: mask_pg_leads,
+            },
+            MemTag::Vsm,
+        );
+    }
+    ctx.kb.end_straight();
+
+    // ---- Phase 4: vault reduce + pack (vault lead PE only). ----
+    ctx.kb.begin_straight();
+    for k in 0..bins / 4 {
+        ctx.reset_vregs();
+        let packed = ctx.vreg()?;
+        ctx.kb.push(Instruction::Reset {
+            drf: ipim_isa::DataReg::new(packed),
+            simb_mask: mask_lead,
+        });
+        for l in 0..4u32 {
+            let c = k * 4 + l;
+            let acc = ctx.vreg()?;
+            ctx.kb.push(Instruction::Reset {
+                drf: ipim_isa::DataReg::new(acc),
+                simb_mask: mask_lead,
+            });
+            for pg in 0..pgs {
+                let t = ctx.vreg()?;
+                ctx.kb.push_mem(
+                    Instruction::RdVsm {
+                        vsm_addr: AddrOperand::Imm(VSM_PG_PARTIALS + pg * bins * 16 + c * 16),
+                        drf: ipim_isa::DataReg::new(t),
+                        simb_mask: mask_lead,
+                    },
+                    MemTag::Vsm,
+                );
+                ctx.kb.push(Instruction::Comp {
+                    op: CompOp::Add,
+                    dtype: DataType::F32,
+                    mode: CompMode::VectorVector,
+                    dst: ipim_isa::DataReg::new(acc),
+                    src1: ipim_isa::DataReg::new(acc),
+                    src2: ipim_isa::DataReg::new(t),
+                    vec_mask: VecMask::from_bits(0b0001),
+                    simb_mask: mask_lead,
+                });
+            }
+            // Blend acc.lane0 into packed.lane l.
+            ctx.kb.push(Instruction::Comp {
+                op: CompOp::Add,
+                dtype: DataType::F32,
+                mode: CompMode::ScalarVector,
+                dst: ipim_isa::DataReg::new(packed),
+                src1: ipim_isa::DataReg::new(D_ZERO),
+                src2: ipim_isa::DataReg::new(acc),
+                vec_mask: VecMask::from_bits(1 << l),
+                simb_mask: mask_lead,
+            });
+        }
+        ctx.kb.push_mem(
+            Instruction::StRf {
+                dram_addr: AddrOperand::Imm(packed_base + k * 16),
+                drf: ipim_isa::DataReg::new(packed),
+                simb_mask: mask_lead,
+            },
+            MemTag::DramRmw(out),
+        );
+    }
+    ctx.kb.end_straight();
+
+    // ---- Phase 5: barrier, then all-gather vault partials. ----
+    ctx.kb.push(Instruction::Sync { phase_id: *sync_phase });
+    *sync_phase += 1;
+    let vpc = ctx.facts.vaults_per_cube;
+    for v in 0..machine_vaults {
+        for k in 0..bins / 4 {
+            ctx.kb.push_mem(
+                Instruction::Req {
+                    target: RemoteTarget {
+                        chip: (v / vpc) as u8,
+                        vault: (v % vpc) as u8,
+                        pg: 0,
+                        pe: 0,
+                    },
+                    dram_addr: CrfSrc::Imm((packed_base + k * 16) as i32),
+                    vsm_addr: CrfSrc::Imm((VSM_GATHER + (v * (bins / 4) + k) * 16) as i32),
+                },
+                MemTag::Vsm,
+            );
+        }
+    }
+
+    // ---- Phase 6: finalize on the vault lead; store replicated layout. ----
+    ctx.kb.begin_straight();
+    for k in 0..bins / 4 {
+        ctx.reset_vregs();
+        let acc = ctx.vreg()?;
+        ctx.kb.push(Instruction::Reset {
+            drf: ipim_isa::DataReg::new(acc),
+            simb_mask: mask_lead,
+        });
+        for v in 0..machine_vaults {
+            let t = ctx.vreg()?;
+            ctx.kb.push_mem(
+                Instruction::RdVsm {
+                    vsm_addr: AddrOperand::Imm(VSM_GATHER + (v * (bins / 4) + k) * 16),
+                    drf: ipim_isa::DataReg::new(t),
+                    simb_mask: mask_lead,
+                },
+                MemTag::Vsm,
+            );
+            ctx.kb.push(Instruction::Comp {
+                op: CompOp::Add,
+                dtype: DataType::F32,
+                mode: CompMode::VectorVector,
+                dst: ipim_isa::DataReg::new(acc),
+                src1: ipim_isa::DataReg::new(acc),
+                src2: ipim_isa::DataReg::new(t),
+                vec_mask: VecMask::ALL,
+                simb_mask: mask_lead,
+            });
+        }
+        // Expand each packed lane into the 16-byte-per-bin output layout.
+        for l in 0..4u8 {
+            let a = ctx.arf_temp()?;
+            ctx.kb.push(Instruction::Mov {
+                to_arf: true,
+                arf: ipim_isa::AddrReg::new(a),
+                drf: ipim_isa::DataReg::new(acc),
+                lane: l,
+                simb_mask: mask_lead,
+            });
+            let rep = ctx.vreg()?;
+            for tl in 0..4u8 {
+                ctx.kb.push(Instruction::Mov {
+                    to_arf: false,
+                    arf: ipim_isa::AddrReg::new(a),
+                    drf: ipim_isa::DataReg::new(rep),
+                    lane: tl,
+                    simb_mask: mask_lead,
+                });
+            }
+            let bin = k * 4 + l as u32;
+            ctx.kb.push_mem(
+                Instruction::StRf {
+                    dram_addr: AddrOperand::Imm(out_base + bin * 16),
+                    drf: ipim_isa::DataReg::new(rep),
+                    simb_mask: mask_lead,
+                },
+                MemTag::DramBuffer(out),
+            );
+        }
+    }
+    ctx.kb.end_straight();
+    ctx.kb.push(Instruction::Sync { phase_id: *sync_phase });
+    *sync_phase += 1;
+    Ok(())
+}

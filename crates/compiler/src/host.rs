@@ -1,0 +1,285 @@
+//! Host-side data movement: uploading input images into the banks per the
+//! planned layout, and reading results back.
+//!
+//! iPIM is a standalone accelerator with its own address space (paper
+//! Sec. VI); the host DMAs inputs in before launch and reads outputs after.
+//! Distributed buffers are uploaded *with their halo duplicated* (clamped at
+//! image borders), which is the overlapping-tile DMA described in DESIGN.md.
+
+use ipim_arch::Machine;
+use ipim_frontend::{Image, SourceId};
+
+use crate::layout::{BufferLayout, MemoryMap, TileGrid};
+
+/// Location of a PE in the machine hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeLoc {
+    /// Cube index.
+    pub cube: usize,
+    /// Vault index within the cube.
+    pub vault: usize,
+    /// Process group within the vault.
+    pub pg: usize,
+    /// PE within the process group.
+    pub pe: usize,
+}
+
+/// Decomposes a linear PE id into its hierarchy coordinates.
+pub fn pe_loc(machine: &Machine, linear: u32) -> PeLoc {
+    let c = machine.config();
+    let per_vault = c.pes_per_vault() as u32;
+    let vault_global = linear / per_vault;
+    let within = linear % per_vault;
+    PeLoc {
+        cube: (vault_global / c.vaults_per_cube as u32) as usize,
+        vault: (vault_global % c.vaults_per_cube as u32) as usize,
+        pg: (within / c.pes_per_pg as u32) as usize,
+        pe: (within % c.pes_per_pg as u32) as usize,
+    }
+}
+
+/// Uploads `image` into the banks as buffer `source` per the memory map.
+///
+/// # Panics
+///
+/// Panics if the image extent does not match the layout, or `source` has no
+/// layout.
+pub fn upload(machine: &mut Machine, map: &MemoryMap, source: SourceId, image: &Image) {
+    match map.layout(source) {
+        BufferLayout::Distributed { base, tile, halo, stored_w, stored_h, slot_bytes } => {
+            upload_distributed(
+                machine,
+                &map.grid,
+                image,
+                *base,
+                *tile,
+                *halo,
+                *stored_w,
+                *stored_h,
+                *slot_bytes,
+            );
+        }
+        BufferLayout::Replicated { base, extent } => {
+            assert_eq!(
+                (image.width(), image.height()),
+                *extent,
+                "replicated image extent mismatch"
+            );
+            upload_replicated(machine, image, *base);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn upload_distributed(
+    machine: &mut Machine,
+    grid: &TileGrid,
+    image: &Image,
+    base: u32,
+    tile: (u32, u32),
+    halo: (u32, u32),
+    stored_w: u32,
+    stored_h: u32,
+    slot_bytes: u32,
+) {
+    assert_eq!(image.width(), tile.0 * grid.tiles_x, "image width mismatch");
+    assert_eq!(image.height(), tile.1 * grid.tiles_y, "image height mismatch");
+    let mut row = vec![0u8; stored_w as usize * 4];
+    for t in 0..grid.tiles() {
+        let (owner, slot) = grid.owner(t);
+        let loc = pe_loc(machine, owner);
+        let tx = t % grid.tiles_x;
+        let ty = t / grid.tiles_x;
+        let ox = (tx * tile.0) as i64;
+        let oy = (ty * tile.1) as i64;
+        for sy in 0..stored_h {
+            let gy = oy + sy as i64 - halo.1 as i64;
+            for sx in 0..stored_w {
+                let gx = ox + sx as i64 - halo.0 as i64;
+                let v = image.get_clamped(gx, gy);
+                row[sx as usize * 4..sx as usize * 4 + 4].copy_from_slice(&v.to_bits().to_le_bytes());
+            }
+            let addr = base + slot * slot_bytes + sy * stored_w * 4;
+            machine
+                .vault_mut(loc.cube, loc.vault)
+                .bank_array_mut(loc.pg, loc.pe)
+                .write(addr, &row);
+        }
+    }
+}
+
+fn upload_replicated(machine: &mut Machine, image: &Image, base: u32) {
+    let c = machine.config().clone();
+    let mut bytes = Vec::with_capacity(image.pixels() as usize * 16);
+    for y in 0..image.height() {
+        for x in 0..image.width() {
+            let b = image.get(x, y).to_bits().to_le_bytes();
+            for _ in 0..4 {
+                bytes.extend_from_slice(&b);
+            }
+        }
+    }
+    for cube in 0..c.cubes {
+        for vault in 0..c.vaults_per_cube {
+            for pg in 0..c.pgs_per_vault {
+                for pe in 0..c.pes_per_pg {
+                    machine.vault_mut(cube, vault).bank_array_mut(pg, pe).write(base, &bytes);
+                }
+            }
+        }
+    }
+}
+
+/// Reads buffer `source` back from the banks into an [`Image`].
+///
+/// Distributed buffers read each tile's core region from its owner;
+/// replicated buffers read lane 0 of each 16-byte pixel from the machine's
+/// first bank.
+///
+/// # Panics
+///
+/// Panics if `source` has no layout.
+pub fn read_back(machine: &Machine, map: &MemoryMap, source: SourceId) -> Image {
+    match map.layout(source) {
+        BufferLayout::Distributed { base, tile, halo, stored_w, slot_bytes, .. } => {
+            let grid = &map.grid;
+            let mut img = Image::new(tile.0 * grid.tiles_x, tile.1 * grid.tiles_y);
+            let mut row = vec![0u8; tile.0 as usize * 4];
+            for t in 0..grid.tiles() {
+                let (owner, slot) = grid.owner(t);
+                let loc = pe_loc(machine, owner);
+                let tx = t % grid.tiles_x;
+                let ty = t / grid.tiles_x;
+                for ly in 0..tile.1 {
+                    let addr = base
+                        + slot * slot_bytes
+                        + (ly + halo.1) * stored_w * 4
+                        + halo.0 * 4;
+                    machine
+                        .vault(loc.cube, loc.vault)
+                        .bank_array(loc.pg, loc.pe)
+                        .read(addr, &mut row);
+                    for lx in 0..tile.0 {
+                        let bits = u32::from_le_bytes(
+                            row[lx as usize * 4..lx as usize * 4 + 4].try_into().expect("4"),
+                        );
+                        img.set(tx * tile.0 + lx, ty * tile.1 + ly, f32::from_bits(bits));
+                    }
+                }
+            }
+            img
+        }
+        BufferLayout::Replicated { base, extent } => {
+            let mut img = Image::new(extent.0, extent.1);
+            let arr = machine.vault(0, 0).bank_array(0, 0);
+            for y in 0..extent.1 {
+                for x in 0..extent.0 {
+                    let addr = base + (y * extent.0 + x) * 16;
+                    img.set(x, y, arr.read_f32(addr));
+                }
+            }
+            img
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipim_arch::MachineConfig;
+    use ipim_frontend::{x, y, PipelineBuilder};
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::vault_slice(1))
+    }
+
+    #[test]
+    fn pe_loc_decomposition() {
+        let m = machine();
+        assert_eq!(pe_loc(&m, 0), PeLoc { cube: 0, vault: 0, pg: 0, pe: 0 });
+        assert_eq!(pe_loc(&m, 5), PeLoc { cube: 0, vault: 0, pg: 1, pe: 1 });
+        assert_eq!(pe_loc(&m, 31), PeLoc { cube: 0, vault: 0, pg: 7, pe: 3 });
+    }
+
+    #[test]
+    fn distributed_upload_read_round_trip() {
+        let mut p = PipelineBuilder::new();
+        let input = p.input("in", 32, 32);
+        let out = p.func("out", 32, 32);
+        p.define(
+            out,
+            (input.at(x() - 1, y()) + input.at(x() + 1, y())) / 2.0,
+        );
+        p.schedule(out).compute_root().ipim_tile(4, 4);
+        let pipe = p.build(out).unwrap();
+        let map = MemoryMap::plan(&pipe, 32, 1 << 20).unwrap();
+
+        let img = Image::gradient(32, 32);
+        let mut m = machine();
+        upload(&mut m, &map, input.id(), &img);
+        let back = read_back(&m, &map, input.id());
+        assert_eq!(back.max_abs_diff(&img), 0.0);
+    }
+
+    #[test]
+    fn halo_contains_clamped_neighbors() {
+        let mut p = PipelineBuilder::new();
+        let input = p.input("in", 32, 32);
+        let out = p.func("out", 32, 32);
+        p.define(out, input.at(x() - 1, y()) + input.at(x() + 1, y()));
+        p.schedule(out).compute_root().ipim_tile(4, 4);
+        let pipe = p.build(out).unwrap();
+        let map = MemoryMap::plan(&pipe, 32, 1 << 20).unwrap();
+        let BufferLayout::Distributed { base, halo, stored_w, .. } =
+            *map.layout(input.id())
+        else {
+            panic!("expected distributed");
+        };
+        assert_eq!(halo.0, 1);
+
+        let mut img = Image::new(32, 32);
+        for yy in 0..32 {
+            for xx in 0..32 {
+                img.set(xx, yy, (yy * 32 + xx) as f32);
+            }
+        }
+        let mut m = machine();
+        upload(&mut m, &map, input.id(), &img);
+        // Tile 1 is (tx=1, ty=0), owned by PE 1 (pg 0, pe 1), slot 0; its
+        // left halo pixel at stored (0, 0) must equal image (3, 0).
+        let arr = m.vault(0, 0).bank_array(0, 1);
+        let v = arr.read_f32(base);
+        assert_eq!(v, img.get(3, 0));
+        // Its first core pixel at stored (1, 0) is image (4, 0).
+        assert_eq!(arr.read_f32(base + 4), img.get(4, 0));
+        let _ = stored_w;
+    }
+
+    #[test]
+    fn replicated_upload_lands_in_every_bank() {
+        let mut p = PipelineBuilder::new();
+        let input = p.input("in", 16, 16);
+        let lut = p.input("lut", 8, 1);
+        let out = p.func("out", 16, 16);
+        p.define(out, lut.at(input.at(x(), y()).cast_i32(), 0));
+        p.schedule(out).compute_root().ipim_tile(4, 4);
+        let pipe = p.build(out).unwrap();
+        let map = MemoryMap::plan(&pipe, 32, 1 << 20).unwrap();
+
+        let lut_img = Image::from_vec(8, 1, (0..8).map(|i| i as f32 * 10.0).collect());
+        let mut m = machine();
+        upload(&mut m, &map, lut.id(), &lut_img);
+        let BufferLayout::Replicated { base, .. } = *map.layout(lut.id()) else {
+            panic!("expected replicated");
+        };
+        // Every lane of pixel 3 is 30.0, in multiple banks.
+        for (pg, pe) in [(0, 0), (3, 2), (7, 3)] {
+            let arr = m.vault(0, 0).bank_array(pg, pe);
+            for lane in 0..4 {
+                assert_eq!(arr.read_f32(base + 3 * 16 + lane * 4), 30.0);
+            }
+        }
+        let back = read_back(&m, &map, lut.id());
+        assert_eq!(back.max_abs_diff(&lut_img), 0.0);
+    }
+}

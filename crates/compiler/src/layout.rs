@@ -1,0 +1,514 @@
+//! Data layout: how image buffers are tiled and distributed over the PE
+//! hierarchy (paper Fig. 3(a)), and where each buffer lives in the banks.
+//!
+//! Every buffer of a pipeline shares one *tile grid*: the output stage's
+//! `ipim_tile` schedule fixes `tiles_x × tiles_y`, and each buffer's tile
+//! size is its own extent divided by that grid. Tile `(tx, ty)` of *every*
+//! buffer lives on the same PE, so resampling stages (whose extents differ
+//! by the same ratio as their tile sizes) read locally.
+//!
+//! Stencil halos use *overlapped tiles*: each PE stores its tile extended by
+//! the halo its consumers need, and producers recompute the overlap (the
+//! standard distributed-stencil trade of redundant compute for
+//! communication). Host-uploaded inputs get their halo duplicated at DMA
+//! time (see `ipim-core`'s upload path); device-produced buffers recompute
+//! it. Dynamically-indexed buffers are instead *replicated* into every bank
+//! with a 16-byte-per-pixel layout so a gathered pixel always lands in SIMD
+//! lane 0.
+
+use std::collections::HashMap;
+
+use ipim_frontend::{footprints, FuncBody, Pipeline, SourceId};
+
+/// The machine-wide tile grid shared by all buffers of a compiled pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileGrid {
+    /// Tiles horizontally.
+    pub tiles_x: u32,
+    /// Tiles vertically.
+    pub tiles_y: u32,
+    /// Total PEs participating (tiles are dealt round-robin by linear id).
+    pub total_pes: u32,
+}
+
+impl TileGrid {
+    /// Total number of tiles.
+    pub fn tiles(&self) -> u32 {
+        self.tiles_x * self.tiles_y
+    }
+
+    /// Number of tile slots each PE must reserve (ceiling of tiles/PEs).
+    pub fn slots_per_pe(&self) -> u32 {
+        self.tiles().div_ceil(self.total_pes)
+    }
+
+    /// The PE (linear id) owning tile `t` and the slot it occupies there.
+    pub fn owner(&self, t: u32) -> (u32, u32) {
+        (t % self.total_pes, t / self.total_pes)
+    }
+}
+
+/// Where and how one buffer is stored in the banks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BufferLayout {
+    /// Tiled across PEs with a stored halo (f32 pixels, row-major per tile,
+    /// rows padded to 16-byte vectors).
+    Distributed {
+        /// Byte address of slot 0 in each owning bank.
+        base: u32,
+        /// Tile size (excluding halo).
+        tile: (u32, u32),
+        /// Stored halo in pixels on each side (x, y).
+        halo: (u32, u32),
+        /// Stored row width in *elements* (tile + 2·halo, padded to 4).
+        stored_w: u32,
+        /// Stored rows (tile + 2·halo).
+        stored_h: u32,
+        /// Bytes per slot.
+        slot_bytes: u32,
+    },
+    /// Full copy in every bank, 16 bytes per pixel (pixel value broadcast
+    /// into all four lanes), row-major.
+    Replicated {
+        /// Byte address in every bank.
+        base: u32,
+        /// Buffer extent.
+        extent: (u32, u32),
+    },
+}
+
+impl BufferLayout {
+    /// Byte address of pixel `(lx, ly)` relative to a tile's origin in a
+    /// distributed slot (`lx`/`ly` may be negative within the halo).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a replicated layout or out-of-halo coordinates.
+    pub fn tile_pixel_offset(&self, slot: u32, lx: i64, ly: i64) -> u32 {
+        match *self {
+            BufferLayout::Distributed { base, halo, stored_w, stored_h, slot_bytes, .. } => {
+                let sx = lx + halo.0 as i64;
+                let sy = ly + halo.1 as i64;
+                assert!(
+                    sx >= 0 && (sx as u32) < stored_w && sy >= 0 && (sy as u32) < stored_h,
+                    "pixel ({lx},{ly}) outside stored tile"
+                );
+                base + slot * slot_bytes + (sy as u32 * stored_w + sx as u32) * 4
+            }
+            BufferLayout::Replicated { .. } => {
+                panic!("tile_pixel_offset on replicated layout")
+            }
+        }
+    }
+
+    /// Byte address of pixel `(x, y)` in a replicated buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a distributed layout.
+    pub fn replicated_pixel_offset(&self, x: u32, y: u32) -> u32 {
+        match *self {
+            BufferLayout::Replicated { base, extent } => {
+                assert!(x < extent.0 && y < extent.1, "pixel out of extent");
+                base + (y * extent.0 + x) * 16
+            }
+            BufferLayout::Distributed { .. } => {
+                panic!("replicated_pixel_offset on distributed layout")
+            }
+        }
+    }
+
+    /// Bytes this buffer occupies in each bank.
+    pub fn bank_bytes(&self, grid: &TileGrid) -> u32 {
+        match *self {
+            BufferLayout::Distributed { slot_bytes, .. } => grid.slots_per_pe() * slot_bytes,
+            BufferLayout::Replicated { extent, .. } => extent.0 * extent.1 * 16,
+        }
+    }
+}
+
+/// Error produced while planning the memory map.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayoutError {
+    /// Extent not divisible by the tile grid.
+    Indivisible {
+        /// Buffer name.
+        name: String,
+        /// Its extent.
+        extent: (u32, u32),
+        /// The grid it must divide into.
+        grid: (u32, u32),
+    },
+    /// Tile width must be a multiple of the SIMD width.
+    TileNotVectorizable {
+        /// Buffer name.
+        name: String,
+        /// Its tile width.
+        tile_w: u32,
+    },
+    /// Buffers exceed the bank capacity.
+    BankOverflow {
+        /// Bytes required.
+        needed: u32,
+        /// Bank capacity.
+        capacity: u32,
+    },
+    /// A dynamically indexed source is not 1-D.
+    DynamicSourceNot1d {
+        /// Source buffer name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::Indivisible { name, extent, grid } => write!(
+                f,
+                "buffer `{name}` extent {extent:?} is not divisible by the {grid:?} tile grid"
+            ),
+            LayoutError::TileNotVectorizable { name, tile_w } => {
+                write!(f, "buffer `{name}` tile width {tile_w} is not a multiple of 4")
+            }
+            LayoutError::BankOverflow { needed, capacity } => {
+                write!(f, "buffers need {needed} bytes per bank, capacity is {capacity}")
+            }
+            LayoutError::DynamicSourceNot1d { name } => write!(
+                f,
+                "dynamically indexed source `{name}` must have extent (n, 1) to be replicated"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// The planned memory map of a pipeline: one layout per source.
+#[derive(Debug, Clone)]
+pub struct MemoryMap {
+    /// The shared tile grid.
+    pub grid: TileGrid,
+    /// Layout of every source (inputs and root-stage outputs).
+    pub buffers: HashMap<SourceId, BufferLayout>,
+    /// First free byte in each bank (spill space starts here).
+    pub free_base: u32,
+    /// Names for error reporting and debugging.
+    pub names: HashMap<SourceId, String>,
+}
+
+impl MemoryMap {
+    /// Layout of `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` has no layout (not a root source).
+    pub fn layout(&self, s: SourceId) -> &BufferLayout {
+        &self.buffers[&s]
+    }
+
+    /// Plans the memory map for a pipeline on a machine with `total_pes`
+    /// PEs and `bank_bytes` per bank.
+    ///
+    /// The grid derives from the *output* stage's tile schedule; halos are
+    /// propagated backwards through the root stages; dynamically indexed
+    /// sources are replicated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] on indivisible extents, unvectorizable
+    /// tiles, non-1-D gathered sources, or bank overflow.
+    pub fn plan(
+        pipeline: &Pipeline,
+        total_pes: u32,
+        bank_bytes: u32,
+    ) -> Result<Self, LayoutError> {
+        let out = pipeline.output();
+        // The grid derives from the output stage's tile schedule; a
+        // histogram output is a 1-D reduction, so its *source* extent
+        // defines the spatial grid instead.
+        let (ow, oh) = match out.body.as_ref() {
+            Some(FuncBody::Histogram { source, .. }) => pipeline.extent(*source),
+            _ => out.extent,
+        };
+        let (tw, th) = out.schedule.tile;
+        if ow % tw != 0 || oh % th != 0 {
+            return Err(LayoutError::Indivisible {
+                name: out.name.clone(),
+                extent: (ow, oh),
+                grid: (ow.div_ceil(tw), oh.div_ceil(th)),
+            });
+        }
+        let grid = TileGrid { tiles_x: ow / tw, tiles_y: oh / th, total_pes };
+
+        let roots = pipeline.root_stages();
+
+        // Classify which sources are dynamically indexed or histogram
+        // results (→ replicated).
+        let mut replicated: Vec<SourceId> = Vec::new();
+        for stage in &roots {
+            match &stage.body {
+                Some(FuncBody::Pure(e)) => {
+                    for fp in footprints(e) {
+                        if fp.dynamic && !replicated.contains(&fp.source) {
+                            replicated.push(fp.source);
+                        }
+                    }
+                }
+                Some(FuncBody::Histogram { .. }) => {
+                    if !replicated.contains(&stage.source) {
+                        replicated.push(stage.source);
+                    }
+                }
+                None => {}
+            }
+        }
+
+        // Halo propagation, in reverse stage order. halo[s] = pixels of s
+        // needed beyond each tile edge by any consumer.
+        let mut halo: HashMap<SourceId, (u32, u32)> = HashMap::new();
+        for stage in roots.iter().rev() {
+            let (hx_out, hy_out) = *halo.get(&stage.source).unwrap_or(&(0, 0));
+            let Some(FuncBody::Pure(e)) = &stage.body else { continue };
+            // This stage computes its tile extended by its own stored halo.
+            let (sw, sh) = stage_tile(pipeline, &grid, stage.source);
+            for fp in footprints(e) {
+                if replicated.contains(&fp.source) || fp.dynamic {
+                    continue;
+                }
+                let (in_tw, in_th) = stage_tile(pipeline, &grid, fp.source);
+                // Output x range [-hx_out, sw + hx_out), inclusive hi.
+                let (xlo, xhi) =
+                    fp.window_x(-(hx_out as i64), (sw + hx_out) as i64 - 1);
+                let (ylo, yhi) =
+                    fp.window_y(-(hy_out as i64), (sh + hy_out) as i64 - 1);
+                let need_x = (-xlo).max(xhi - (in_tw as i64 - 1)).max(0) as u32;
+                let need_y = (-ylo).max(yhi - (in_th as i64 - 1)).max(0) as u32;
+                let e = halo.entry(fp.source).or_insert((0, 0));
+                e.0 = e.0.max(need_x);
+                e.1 = e.1.max(need_y);
+            }
+            // Histogram reads its source tile-local with no halo.
+        }
+
+        // Allocate.
+        let mut buffers = HashMap::new();
+        let mut names = HashMap::new();
+        let mut cursor: u32 = 0;
+        let mut all_sources: Vec<(SourceId, String, (u32, u32))> = pipeline
+            .inputs()
+            .iter()
+            .map(|i| (i.source, i.name.clone(), i.extent))
+            .collect();
+        for stage in &roots {
+            all_sources.push((stage.source, stage.name.clone(), stage.extent));
+        }
+        for (source, name, extent) in all_sources {
+            names.insert(source, name.clone());
+            let layout = if replicated.contains(&source) {
+                if extent.1 != 1 {
+                    return Err(LayoutError::DynamicSourceNot1d { name });
+                }
+                let l = BufferLayout::Replicated { base: cursor, extent };
+                cursor += l.bank_bytes(&grid);
+                l
+            } else {
+                if extent.0 % grid.tiles_x != 0 || extent.1 % grid.tiles_y != 0 {
+                    return Err(LayoutError::Indivisible {
+                        name,
+                        extent,
+                        grid: (grid.tiles_x, grid.tiles_y),
+                    });
+                }
+                let tile = (extent.0 / grid.tiles_x, extent.1 / grid.tiles_y);
+                // Vector *stores* require 4-wide tiles; only funcs are
+                // stage outputs — inputs read per-lane tolerate any width.
+                let is_func = pipeline.func_by_source(source).is_some();
+                if is_func && tile.0 % 4 != 0 {
+                    return Err(LayoutError::TileNotVectorizable { name, tile_w: tile.0 });
+                }
+                let h = *halo.get(&source).unwrap_or(&(0, 0));
+                let stored_w = (tile.0 + 2 * h.0).div_ceil(4) * 4;
+                let stored_h = tile.1 + 2 * h.1;
+                let slot_bytes = stored_w * stored_h * 4;
+                let l = BufferLayout::Distributed {
+                    base: cursor,
+                    tile,
+                    halo: h,
+                    stored_w,
+                    stored_h,
+                    slot_bytes,
+                };
+                cursor += l.bank_bytes(&grid);
+                l
+            };
+            buffers.insert(source, layout);
+        }
+        if cursor > bank_bytes {
+            return Err(LayoutError::BankOverflow { needed: cursor, capacity: bank_bytes });
+        }
+        Ok(Self { grid, buffers, free_base: cursor, names })
+    }
+}
+
+/// Tile size of `source` under the shared grid.
+fn stage_tile(pipeline: &Pipeline, grid: &TileGrid, source: SourceId) -> (u32, u32) {
+    let (w, h) = pipeline.extent(source);
+    (w / grid.tiles_x, h / grid.tiles_y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipim_frontend::{x, y, PipelineBuilder};
+
+    #[test]
+    fn grid_and_ownership() {
+        let g = TileGrid { tiles_x: 8, tiles_y: 8, total_pes: 32 };
+        assert_eq!(g.tiles(), 64);
+        assert_eq!(g.slots_per_pe(), 2);
+        assert_eq!(g.owner(0), (0, 0));
+        assert_eq!(g.owner(33), (1, 1));
+    }
+
+    #[test]
+    fn blur_gets_one_pixel_halo() {
+        let mut p = PipelineBuilder::new();
+        let input = p.input("in", 64, 64);
+        let out = p.func("out", 64, 64);
+        p.define(
+            out,
+            (input.at(x() - 1, y()) + input.at(x(), y()) + input.at(x() + 1, y())) / 3.0,
+        );
+        p.schedule(out).compute_root().ipim_tile(8, 8);
+        let pipe = p.build(out).unwrap();
+        let map = MemoryMap::plan(&pipe, 32, 1 << 20).unwrap();
+        assert_eq!(map.grid.tiles_x, 8);
+        match map.layout(input.id()) {
+            BufferLayout::Distributed { halo, stored_w, stored_h, .. } => {
+                assert_eq!(*halo, (1, 0));
+                assert_eq!(*stored_w, 12); // 8 + 2 halo, padded to 4
+                assert_eq!(*stored_h, 8);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match map.layout(out.id()) {
+            BufferLayout::Distributed { halo: (0, 0), .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn halo_accumulates_across_root_stages() {
+        let mut p = PipelineBuilder::new();
+        let input = p.input("in", 64, 64);
+        let a = p.func("a", 64, 64);
+        p.define(a, (input.at(x() - 1, y()) + input.at(x() + 1, y())) / 2.0);
+        p.schedule(a).compute_root().ipim_tile(8, 8);
+        let b = p.func("b", 64, 64);
+        p.define(b, (a.at(x() - 2, y()) + a.at(x() + 2, y())) / 2.0);
+        p.schedule(b).compute_root().ipim_tile(8, 8);
+        let pipe = p.build(b).unwrap();
+        let map = MemoryMap::plan(&pipe, 32, 1 << 20).unwrap();
+        // `a` must store a 2-pixel halo for `b`; `in` needs 2+1 = 3.
+        match map.layout(a.id()) {
+            BufferLayout::Distributed { halo, .. } => assert_eq!(*halo, (2, 0)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match map.layout(input.id()) {
+            BufferLayout::Distributed { halo, .. } => assert_eq!(*halo, (3, 0)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn downsample_shares_the_grid() {
+        let mut p = PipelineBuilder::new();
+        let input = p.input("in", 64, 64);
+        let out = p.func("out", 32, 32);
+        p.define(out, (input.at(2 * x(), y() * 2) + input.at(2 * x() + 1, y() * 2)) / 2.0);
+        p.schedule(out).compute_root().ipim_tile(4, 4);
+        let pipe = p.build(out).unwrap();
+        let map = MemoryMap::plan(&pipe, 32, 1 << 20).unwrap();
+        assert_eq!((map.grid.tiles_x, map.grid.tiles_y), (8, 8));
+        match map.layout(input.id()) {
+            BufferLayout::Distributed { tile, .. } => assert_eq!(*tile, (8, 8)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dynamic_gather_source_replicated() {
+        let mut p = PipelineBuilder::new();
+        let input = p.input("in", 16, 16);
+        let lut = p.input("lut", 64, 1);
+        let out = p.func("out", 16, 16);
+        p.define(out, lut.at(input.at(x(), y()).cast_i32(), 0));
+        p.schedule(out).compute_root().ipim_tile(4, 4);
+        let pipe = p.build(out).unwrap();
+        let map = MemoryMap::plan(&pipe, 32, 1 << 20).unwrap();
+        match map.layout(lut.id()) {
+            BufferLayout::Replicated { extent, .. } => assert_eq!(*extent, (64, 1)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dynamic_2d_source_rejected() {
+        let mut p = PipelineBuilder::new();
+        let input = p.input("in", 16, 16);
+        let tbl = p.input("tbl", 16, 16);
+        let out = p.func("out", 16, 16);
+        p.define(out, tbl.at(input.at(x(), y()).cast_i32(), y()));
+        p.schedule(out).compute_root().ipim_tile(4, 4);
+        let pipe = p.build(out).unwrap();
+        assert!(matches!(
+            MemoryMap::plan(&pipe, 32, 1 << 20),
+            Err(LayoutError::DynamicSourceNot1d { .. })
+        ));
+    }
+
+    #[test]
+    fn indivisible_extent_rejected() {
+        let mut p = PipelineBuilder::new();
+        let input = p.input("in", 60, 64);
+        let out = p.func("out", 60, 64);
+        p.define(out, input.at(x(), y()));
+        p.schedule(out).compute_root().ipim_tile(8, 8);
+        let pipe = p.build(out).unwrap();
+        assert!(matches!(
+            MemoryMap::plan(&pipe, 32, 1 << 20),
+            Err(LayoutError::Indivisible { .. })
+        ));
+    }
+
+    #[test]
+    fn bank_overflow_detected() {
+        let mut p = PipelineBuilder::new();
+        let input = p.input("in", 64, 64);
+        let out = p.func("out", 64, 64);
+        p.define(out, input.at(x(), y()));
+        p.schedule(out).compute_root().ipim_tile(8, 8);
+        let pipe = p.build(out).unwrap();
+        assert!(matches!(
+            MemoryMap::plan(&pipe, 32, 100),
+            Err(LayoutError::BankOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn pixel_offsets_within_slot() {
+        let l = BufferLayout::Distributed {
+            base: 1024,
+            tile: (8, 8),
+            halo: (1, 1),
+            stored_w: 12,
+            stored_h: 10,
+            slot_bytes: 480,
+        };
+        assert_eq!(l.tile_pixel_offset(0, -1, -1), 1024);
+        assert_eq!(l.tile_pixel_offset(0, 0, 0), 1024 + (12 + 1) * 4);
+        assert_eq!(l.tile_pixel_offset(1, -1, -1), 1024 + 480);
+        let r = BufferLayout::Replicated { base: 0, extent: (64, 1) };
+        assert_eq!(r.replicated_pixel_offset(3, 0), 48);
+    }
+}

@@ -1,0 +1,606 @@
+//! Register allocation (paper Sec. V-C, "Register Allocation").
+//!
+//! Codegen emits *virtual* data registers: indices `>= pinned` within each
+//! straight-line region, in SSA-like ascending order. This pass maps them to
+//! the physical DataRF under one of two policies:
+//!
+//! * [`RegAllocPolicy::Min`] — reuse the lowest-numbered free register, the
+//!   textbook minimize-register-count allocation. On iPIM's in-order core
+//!   this creates WAR/WAW dependences against long-latency in-flight
+//!   instructions and stalls issue (the paper's `baseline2`).
+//! * [`RegAllocPolicy::Max`] — scatter allocations round-robin over the
+//!   whole file so a freed register is reused as late as possible,
+//!   eliminating output- and anti-dependences (the paper's `opt`, 2.59×
+//!   faster).
+//!
+//! When a region needs more registers than the file provides, the longest
+//! live ranges are *demoted* to DRAM spill slots (`st rf`/`ld rf` to
+//! reserved bank addresses), which is how the paper's RF-size sensitivity
+//! (Fig. 10(a)) loses performance at 16–32 registers.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use ipim_isa::{AddrOperand, DataReg, Instruction, RegRef};
+
+use crate::kb::{straight_regions, Item, MemTag};
+
+/// Allocation policy (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RegAllocPolicy {
+    /// Minimize register count (maximal immediate reuse).
+    Min,
+    /// Maximize reuse distance (the paper's optimization).
+    #[default]
+    Max,
+}
+
+/// Error produced by register allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegAllocError {
+    /// A virtual register is used before being defined in its region.
+    UseBeforeDef {
+        /// The virtual register index.
+        vreg: u8,
+    },
+    /// Even after spilling, the region cannot fit the register file.
+    TooFewRegisters {
+        /// Registers available for temporaries.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for RegAllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegAllocError::UseBeforeDef { vreg } => {
+                write!(f, "virtual register v{vreg} used before definition")
+            }
+            RegAllocError::TooFewRegisters { available } => {
+                write!(f, "register file too small: only {available} temporaries available")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegAllocError {}
+
+/// Runs register allocation over every straight region of `items`.
+///
+/// `pinned` low registers are identity-mapped (long-lived constants and
+/// accumulators managed by codegen); `rf_size` is the DataRF entry count;
+/// `spill_base` is the bank byte address where spill slots may be placed
+/// (16 bytes each).
+///
+/// Returns the number of spill slots used.
+///
+/// # Errors
+///
+/// Returns [`RegAllocError`] on malformed virtual code or an impossibly
+/// small register file.
+pub fn allocate(
+    items: &mut Vec<Item>,
+    pinned: u8,
+    rf_size: usize,
+    spill_base: u32,
+    policy: RegAllocPolicy,
+) -> Result<u32, RegAllocError> {
+    let mut spill_slots = 0u32;
+    // Regions shift as spill code is inserted; process by scanning anew
+    // after each region (regions never nest and markers are preserved).
+    let mut region_idx = 0;
+    loop {
+        let regions = straight_regions(items);
+        let Some(range) = regions.get(region_idx).cloned() else { break };
+        let used = allocate_region(
+            items,
+            range,
+            pinned,
+            rf_size,
+            spill_base,
+            &mut spill_slots,
+            policy,
+        )?;
+        let _ = used;
+        region_idx += 1;
+    }
+    Ok(spill_slots)
+}
+
+/// Virtual data registers read/written by an instruction (index >= pinned).
+fn vregs_of(inst: &Instruction, pinned: u8) -> (Vec<u8>, Vec<u8>) {
+    let reads = inst
+        .reads()
+        .into_iter()
+        .filter_map(|r| match r {
+            RegRef::Data(d) if d.index() >= pinned as usize => Some(d.index() as u8),
+            _ => None,
+        })
+        .collect();
+    let writes = inst
+        .writes()
+        .into_iter()
+        .filter_map(|r| match r {
+            RegRef::Data(d) if d.index() >= pinned as usize => Some(d.index() as u8),
+            _ => None,
+        })
+        .collect();
+    (reads, writes)
+}
+
+/// Rewrites the virtual data-register fields of an instruction.
+fn map_regs(inst: &mut Instruction, pinned: u8, map: &HashMap<u8, u8>) {
+    let f = |r: &mut DataReg| {
+        if r.index() >= pinned as usize {
+            let v = r.index() as u8;
+            let p = map.get(&v).copied().unwrap_or(v);
+            *r = DataReg::new(p);
+        }
+    };
+    match inst {
+        Instruction::Comp { dst, src1, src2, .. } => {
+            f(dst);
+            f(src1);
+            f(src2);
+        }
+        Instruction::StRf { drf, .. }
+        | Instruction::LdRf { drf, .. }
+        | Instruction::RdPgsm { drf, .. }
+        | Instruction::WrPgsm { drf, .. }
+        | Instruction::RdVsm { drf, .. }
+        | Instruction::WrVsm { drf, .. }
+        | Instruction::Mov { drf, .. }
+        | Instruction::Reset { drf, .. }
+        | Instruction::SetiDrf { drf, .. } => f(drf),
+        _ => {}
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn allocate_region(
+    items: &mut Vec<Item>,
+    range: std::ops::Range<usize>,
+    pinned: u8,
+    rf_size: usize,
+    spill_base: u32,
+    spill_slots: &mut u32,
+    policy: RegAllocPolicy,
+) -> Result<usize, RegAllocError> {
+    let available = rf_size.saturating_sub(pinned as usize);
+    if available == 0 {
+        return Err(RegAllocError::TooFewRegisters { available });
+    }
+
+    // 1. Spill pre-pass: demote long live ranges until max pressure fits.
+    loop {
+        let pressure = max_pressure(items, range.clone(), pinned)?;
+        if pressure <= available {
+            break;
+        }
+        if !demote_one(items, range.clone(), pinned, spill_base, spill_slots) {
+            return Err(RegAllocError::TooFewRegisters { available });
+        }
+        // Region range is stale after insertion: recompute.
+        return allocate_region(
+            items,
+            current_region(items, range.start),
+            pinned,
+            rf_size,
+            spill_base,
+            spill_slots,
+            policy,
+        );
+    }
+
+    // 2. Liveness (last use per vreg).
+    let mut last_use: HashMap<u8, usize> = HashMap::new();
+    for i in range.clone() {
+        if let Item::Inst(inst, _) = &items[i] {
+            let (reads, writes) = vregs_of(inst, pinned);
+            for v in reads.iter().chain(writes.iter()) {
+                last_use.insert(*v, i);
+            }
+        }
+    }
+
+    // 3. Linear scan.
+    let mut free_min: BTreeSet<u8> = (pinned..rf_size as u8).collect();
+    let mut free_max: VecDeque<u8> = (pinned..rf_size as u8).collect();
+    let mut map: HashMap<u8, u8> = HashMap::new();
+    for i in range.clone() {
+        let Item::Inst(inst, _) = &mut items[i] else { continue };
+        let (reads, writes) = vregs_of(inst, pinned);
+        for v in &reads {
+            if !map.contains_key(v) {
+                return Err(RegAllocError::UseBeforeDef { vreg: *v });
+            }
+        }
+        // Release registers of reads dying at this instruction *before*
+        // allocating the destination: under the Min policy the destination
+        // then reuses a just-dead source (maximal reuse); under Max the
+        // freed register goes to the back of the rotation.
+        let mut released: Vec<u8> = Vec::new();
+        for v in &reads {
+            if last_use.get(v) == Some(&i) && !writes.contains(v) && !released.contains(v) {
+                released.push(*v);
+                if let Some(p) = map.get(v).copied() {
+                    free_min.insert(p);
+                    free_max.push_back(p);
+                }
+            }
+        }
+        for v in &writes {
+            if !map.contains_key(v) {
+                let phys = match policy {
+                    RegAllocPolicy::Min => {
+                        let p = *free_min.iter().next().expect("pressure checked");
+                        free_min.remove(&p);
+                        p
+                    }
+                    RegAllocPolicy::Max => free_max.pop_front().expect("pressure checked"),
+                };
+                // Keep both structures consistent.
+                match policy {
+                    RegAllocPolicy::Min => {
+                        free_max.retain(|&r| r != phys);
+                    }
+                    RegAllocPolicy::Max => {
+                        free_min.remove(&phys);
+                    }
+                }
+                map.insert(*v, phys);
+            }
+        }
+        map_regs(inst, pinned, &map);
+        // Release written registers whose last use is here (dead stores and
+        // read+write operands not already released above).
+        for v in &writes {
+            if last_use.get(v) == Some(&i) && !released.contains(v) {
+                released.push(*v);
+                if let Some(p) = map.get(v).copied() {
+                    free_min.insert(p);
+                    free_max.push_back(p);
+                }
+            }
+        }
+    }
+    Ok(map.len())
+}
+
+/// Maximum simultaneous live virtual registers in the region.
+fn max_pressure(
+    items: &[Item],
+    range: std::ops::Range<usize>,
+    pinned: u8,
+) -> Result<usize, RegAllocError> {
+    let mut last_use: HashMap<u8, usize> = HashMap::new();
+    for i in range.clone() {
+        if let Item::Inst(inst, _) = &items[i] {
+            let (reads, writes) = vregs_of(inst, pinned);
+            for v in reads.iter().chain(writes.iter()) {
+                last_use.insert(*v, i);
+            }
+        }
+    }
+    let mut live = 0usize;
+    let mut max = 0usize;
+    let mut defined: HashMap<u8, bool> = HashMap::new();
+    for i in range {
+        if let Item::Inst(inst, _) = &items[i] {
+            let (reads, writes) = vregs_of(inst, pinned);
+            for v in &reads {
+                if !defined.contains_key(v) {
+                    return Err(RegAllocError::UseBeforeDef { vreg: *v });
+                }
+            }
+            for v in &writes {
+                if defined.insert(*v, true).is_none() {
+                    live += 1;
+                    max = max.max(live);
+                }
+            }
+            for v in reads.iter().chain(writes.iter()) {
+                if last_use.get(v) == Some(&i) && defined.remove(v).is_some() {
+                    live -= 1;
+                }
+            }
+        }
+    }
+    Ok(max)
+}
+
+/// Rewrites *read* occurrences of virtual data register `from` to `to`.
+fn rename_reads(inst: &mut Instruction, from: u8, to: u8) {
+    let f = |r: &mut DataReg| {
+        if r.index() == from as usize {
+            *r = DataReg::new(to);
+        }
+    };
+    match inst {
+        Instruction::Comp { op, dst, src1, src2, .. } => {
+            f(src1);
+            f(src2);
+            if op.reads_dst() {
+                f(dst);
+            }
+        }
+        Instruction::StRf { drf, .. }
+        | Instruction::WrPgsm { drf, .. }
+        | Instruction::WrVsm { drf, .. } => f(drf),
+        Instruction::Mov { to_arf: true, drf, .. } => f(drf),
+        _ => {}
+    }
+}
+
+/// Demotes the single-def virtual register with the longest live range to a
+/// spill slot; returns false when nothing can be demoted.
+///
+/// Each use site reloads into a *fresh* virtual id, so the victim's long
+/// live range is replaced by short def→store and reload→use segments.
+fn demote_one(
+    items: &mut Vec<Item>,
+    range: std::ops::Range<usize>,
+    pinned: u8,
+    spill_base: u32,
+    spill_slots: &mut u32,
+) -> bool {
+    let mut def: HashMap<u8, usize> = HashMap::new();
+    let mut multi_def: Vec<u8> = Vec::new();
+    let mut last: HashMap<u8, usize> = HashMap::new();
+    let mut uses: HashMap<u8, Vec<usize>> = HashMap::new();
+    let mut max_vreg = pinned;
+    for i in range.clone() {
+        if let Item::Inst(inst, _) = &items[i] {
+            let (reads, writes) = vregs_of(inst, pinned);
+            for v in writes {
+                max_vreg = max_vreg.max(v);
+                if def.insert(v, i).is_some() {
+                    multi_def.push(v);
+                }
+            }
+            for v in reads {
+                max_vreg = max_vreg.max(v);
+                uses.entry(v).or_default().push(i);
+                last.insert(v, i);
+            }
+        }
+    }
+    // Longest single-def range with a use beyond def+1 (otherwise demotion
+    // gains nothing). Multi-def vregs (MAC accumulators) stay in registers.
+    let Some(victim) = def
+        .iter()
+        .filter(|(v, _)| !multi_def.contains(v))
+        .filter_map(|(v, d)| {
+            let l = *last.get(v)?;
+            (l > d + 1).then_some((*v, l - d))
+        })
+        .max_by_key(|&(_, span)| span)
+        .map(|(v, _)| v)
+    else {
+        return false;
+    };
+    let d = def[&victim];
+    let use_sites: Vec<usize> = uses.get(&victim).cloned().unwrap_or_default();
+    if use_sites.is_empty() {
+        return false;
+    }
+    if max_vreg as usize + use_sites.len() >= 255 {
+        return false; // virtual id space exhausted
+    }
+    let slot = *spill_slots;
+    *spill_slots += 1;
+    let addr = spill_base + slot * 16;
+    // Mask for the spill traffic: copy the def instruction's mask.
+    let mask = match &items[d] {
+        Item::Inst(inst, _) => inst.simb_mask().expect("virtual defs are SIMB ops"),
+        _ => unreachable!(),
+    };
+
+    // Rename each use to a fresh vreg and plan a reload before it. Process
+    // insertions back-to-front so indices stay valid.
+    let mut insertions: Vec<(usize, Item)> = Vec::new();
+    let mut fresh = max_vreg + 1;
+    for &u in use_sites.iter().rev() {
+        if let Item::Inst(inst, _) = &mut items[u] {
+            rename_reads(inst, victim, fresh);
+        }
+        insertions.push((
+            u,
+            Item::Inst(
+                Instruction::LdRf {
+                    dram_addr: AddrOperand::Imm(addr),
+                    drf: DataReg::new(fresh),
+                    simb_mask: mask,
+                },
+                Some(MemTag::DramSpill(slot)),
+            ),
+        ));
+        fresh += 1;
+    }
+    insertions.push((
+        d + 1,
+        Item::Inst(
+            Instruction::StRf {
+                dram_addr: AddrOperand::Imm(addr),
+                drf: DataReg::new(victim),
+                simb_mask: mask,
+            },
+            Some(MemTag::DramSpill(slot)),
+        ),
+    ));
+    insertions.sort_by_key(|(i, _)| std::cmp::Reverse(*i));
+    for (i, item) in insertions {
+        items.insert(i, item);
+    }
+    true
+}
+
+/// Returns the straight region containing or following `hint` after items
+/// shifted.
+fn current_region(items: &[Item], hint: usize) -> std::ops::Range<usize> {
+    straight_regions(items)
+        .into_iter()
+        .find(|r| r.end >= hint)
+        .expect("region still exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::KernelBuilder;
+    use ipim_isa::{CompMode, CompOp, DataType, SimbMask, VecMask};
+
+    const PINNED: u8 = 4;
+
+    fn comp(dst: u8, a: u8, b: u8) -> Instruction {
+        Instruction::Comp {
+            op: CompOp::Add,
+            dtype: DataType::F32,
+            mode: CompMode::VectorVector,
+            dst: DataReg::new(dst),
+            src1: DataReg::new(a),
+            src2: DataReg::new(b),
+            vec_mask: VecMask::ALL,
+            simb_mask: SimbMask::all(32),
+        }
+    }
+
+    fn seti(dst: u8) -> Instruction {
+        Instruction::SetiDrf {
+            drf: DataReg::new(dst),
+            imm: 0,
+            vec_mask: VecMask::ALL,
+            simb_mask: SimbMask::all(32),
+        }
+    }
+
+    fn region(insts: Vec<Instruction>) -> Vec<Item> {
+        let mut kb = KernelBuilder::new();
+        kb.begin_straight();
+        for i in insts {
+            kb.push(i);
+        }
+        kb.end_straight();
+        kb.finish()
+    }
+
+    fn insts(items: &[Item]) -> Vec<Instruction> {
+        items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Inst(inst, _) => Some(*inst),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn min_policy_reuses_lowest_register() {
+        // v4 = ..., v5 = ..., v6 = v4 + v5 ; v4,v5 die, v6 is the result.
+        let mut items = region(vec![seti(4), seti(5), comp(6, 4, 5)]);
+        allocate(&mut items, PINNED, 64, 0x1000, RegAllocPolicy::Min).unwrap();
+        let out = insts(&items);
+        // v4 -> p4, v5 -> p5, v6 -> p4 (reused immediately after v4 dies).
+        match out[2] {
+            Instruction::Comp { dst, .. } => assert_eq!(dst.index(), 4),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn max_policy_scatters_registers() {
+        let mut items = region(vec![seti(4), seti(5), comp(6, 4, 5)]);
+        allocate(&mut items, PINNED, 64, 0x1000, RegAllocPolicy::Max).unwrap();
+        let out = insts(&items);
+        match out[2] {
+            Instruction::Comp { dst, .. } => {
+                assert_eq!(dst.index(), 6, "round-robin should not reuse p4 yet")
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pinned_registers_untouched() {
+        // Reads pinned p0 and p1.
+        let mut items = region(vec![comp(4, 0, 1)]);
+        allocate(&mut items, PINNED, 64, 0x1000, RegAllocPolicy::Max).unwrap();
+        match insts(&items)[0] {
+            Instruction::Comp { src1, src2, .. } => {
+                assert_eq!(src1.index(), 0);
+                assert_eq!(src2.index(), 1);
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn use_before_def_rejected() {
+        let mut items = region(vec![comp(5, 4, 4)]);
+        assert!(matches!(
+            allocate(&mut items, PINNED, 64, 0x1000, RegAllocPolicy::Max),
+            Err(RegAllocError::UseBeforeDef { vreg: 4 })
+        ));
+    }
+
+    #[test]
+    fn spills_when_pressure_exceeds_file() {
+        // 8 temporaries alive at once in a 4+4 register file.
+        let mut prog = Vec::new();
+        for v in 4..12 {
+            prog.push(seti(v));
+        }
+        // Use them all afterwards so they're simultaneously live.
+        for v in 4..12 {
+            prog.push(comp(12 + (v - 4), v, v));
+        }
+        let mut items = region(prog);
+        let spills =
+            allocate(&mut items, PINNED, 8, 0x1000, RegAllocPolicy::Max).unwrap();
+        assert!(spills > 0, "must spill");
+        let out = insts(&items);
+        assert!(out.iter().any(|i| matches!(i, Instruction::StRf { .. })));
+        assert!(out.iter().any(|i| matches!(i, Instruction::LdRf { .. })));
+        // All register indices now fit the file.
+        for inst in &out {
+            for r in inst.reads().iter().chain(inst.writes().iter()) {
+                if let RegRef::Data(d) = r {
+                    assert!(d.index() < 8, "register {d:?} exceeds file");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_pressure_errors() {
+        // Two registers needed at once with zero temporaries available.
+        let mut items = region(vec![seti(4), comp(5, 4, 4), comp(6, 4, 5)]);
+        assert!(matches!(
+            allocate(&mut items, 64, 64, 0x1000, RegAllocPolicy::Max),
+            Err(RegAllocError::TooFewRegisters { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_regions_allocated_independently() {
+        let mut kb = KernelBuilder::new();
+        kb.begin_straight();
+        kb.push(seti(4));
+        kb.push(comp(5, 4, 4));
+        kb.end_straight();
+        kb.push(Instruction::Sync { phase_id: 0 });
+        kb.begin_straight();
+        kb.push(seti(4));
+        kb.push(comp(5, 4, 4));
+        kb.end_straight();
+        let mut items = kb.finish();
+        allocate(&mut items, PINNED, 64, 0x1000, RegAllocPolicy::Min).unwrap();
+        let out = insts(&items);
+        // Both regions use the same low registers under Min.
+        match (out[0], out[3]) {
+            (Instruction::SetiDrf { drf: a, .. }, Instruction::SetiDrf { drf: b, .. }) => {
+                assert_eq!(a, b);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Instruction reordering (paper Algorithm 1) and memory-order enforcement
+//! (paper Sec. V-C, Fig. 5).
+//!
+//! Both passes operate on the straight-line regions of the kernel IR after
+//! register allocation:
+//!
+//! 1. A *dependency graph* is built from true/anti/output register
+//!    dependences plus conservative memory dependences between same-tagged
+//!    aliasing accesses (these are correctness edges and always present).
+//! 2. *Memory-order enforcement* optionally adds ordering edges chaining
+//!    every DRAM access in program order — deferring bursts of consecutive
+//!    memory instructions (which would clog the 16-entry DRAM request
+//!    queue) and preserving the input program's row-buffer-friendly access
+//!    order.
+//! 3. *Reordering* list-schedules the graph: each node carries a
+//!    ready-time estimate `T(v)`; ready loads whose `T` has passed are
+//!    preferred, otherwise the smallest `T` wins — exposing ILP to the
+//!    in-order core exactly as the paper's Algorithm 1 does, in
+//!    `O(|V| log |V| + |E|)`.
+
+use ipim_isa::Instruction;
+
+use crate::kb::{straight_regions, Item, MemTag};
+
+/// Latency estimates used for `T(v)` (cycles; Table III values with a
+/// row-hit estimate for DRAM).
+fn latency_estimate(inst: &Instruction) -> u64 {
+    use ipim_isa::CompOp;
+    match inst {
+        Instruction::Comp { op, .. } => match op {
+            CompOp::Add | CompOp::Sub => 5,
+            CompOp::Mul => 6,
+            CompOp::Mac => 9,
+            CompOp::Div => 11,
+            _ => 2,
+        },
+        Instruction::CalcArf { .. } | Instruction::Mov { .. } => 2,
+        Instruction::LdRf { .. } | Instruction::StRf { .. } => 17, // row hit + bus
+        Instruction::LdPgsm { .. } | Instruction::StPgsm { .. } => 18,
+        Instruction::RdPgsm { .. } | Instruction::WrPgsm { .. } => 2,
+        Instruction::RdVsm { .. } | Instruction::WrVsm { .. } => 3,
+        _ => 1,
+    }
+}
+
+fn is_dram(inst: &Instruction) -> bool {
+    inst.accesses_dram()
+}
+
+fn is_load(inst: &Instruction) -> bool {
+    matches!(inst, Instruction::LdRf { .. } | Instruction::LdPgsm { .. })
+}
+
+/// The dependency graph of one straight region.
+///
+/// Edges carry a latency weight: data dependences propagate the producer's
+/// estimated latency into the consumer's ready time `T(v)`, while pure
+/// *ordering* edges (memory-order enforcement) only force schedule order
+/// (weight 1) — they must not spread the memory stream apart.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    /// `succ[i]` = (follower, latency weight) pairs.
+    pub succ: Vec<Vec<(usize, u64)>>,
+    /// Number of predecessors per node.
+    pub indegree: Vec<usize>,
+    /// Edge count (for complexity assertions in tests).
+    pub edges: usize,
+}
+
+/// Builds the dependency graph of `block`; when `enforce_memory_order` is
+/// set, DRAM accesses are additionally chained in program order.
+pub fn build_dep_graph(block: &[(Instruction, Option<MemTag>)], enforce_memory_order: bool) -> DepGraph {
+    let n = block.len();
+    let mut succ: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+    let mut indegree = vec![0usize; n];
+    let mut edges = 0usize;
+    let add_edge = |succ: &mut Vec<Vec<(usize, u64)>>, indegree: &mut Vec<usize>,
+                    edges: &mut usize, a: usize, b: usize, w: u64| {
+        if let Some(e) = succ[a].iter_mut().find(|(t, _)| *t == b) {
+            e.1 = e.1.max(w);
+            return;
+        }
+        succ[a].push((b, w));
+        indegree[b] += 1;
+        *edges += 1;
+    };
+
+    for j in 0..n {
+        let (bj, tj) = &block[j];
+        let rj = bj.reads();
+        let wj = bj.writes();
+        for i in 0..j {
+            let (bi, ti) = &block[i];
+            let ri = bi.reads();
+            let wi = bi.writes();
+            // Register dependences: RAW, WAR, WAW.
+            let raw = wi.iter().any(|w| rj.contains(w));
+            let war = ri.iter().any(|r| wj.contains(r));
+            let waw = wi.iter().any(|w| wj.contains(w));
+            // Conservative memory dependences: same tag, self-conflicting,
+            // at least one write to that memory.
+            let mem = match (ti, tj) {
+                (Some(a), Some(b)) if a == b && a.self_conflicts() => {
+                    mem_writes(bi) || mem_writes(bj)
+                }
+                _ => false,
+            };
+            if raw {
+                add_edge(&mut succ, &mut indegree, &mut edges, i, j, latency_estimate(bi));
+            } else if war || waw || mem {
+                // Anti/output/memory dependences constrain order, not data
+                // readiness.
+                add_edge(&mut succ, &mut indegree, &mut edges, i, j, 1);
+            }
+        }
+    }
+
+    if enforce_memory_order {
+        // Chain DRAM accesses of the same kind in program order (Fig. 5's
+        // added edges): the load stream and the store stream each keep the
+        // input program's row-buffer-friendly order, while the write buffer
+        // decouples the two streams from each other.
+        let mut prev_load: Option<usize> = None;
+        let mut prev_store: Option<usize> = None;
+        for (j, (inst, _)) in block.iter().enumerate() {
+            if !is_dram(inst) {
+                continue;
+            }
+            let prev = if is_load(inst) { &mut prev_load } else { &mut prev_store };
+            if let Some(p) = *prev {
+                add_edge(&mut succ, &mut indegree, &mut edges, p, j, 1);
+            }
+            *prev = Some(j);
+        }
+    }
+
+    DepGraph { succ, indegree, edges }
+}
+
+/// Whether the instruction writes the memory named by its tag.
+fn mem_writes(inst: &Instruction) -> bool {
+    matches!(
+        inst,
+        Instruction::StRf { .. }
+            | Instruction::StPgsm { .. }
+            | Instruction::LdPgsm { .. } // writes the PGSM
+            | Instruction::WrPgsm { .. }
+            | Instruction::WrVsm { .. }
+            | Instruction::SetiVsm { .. }
+    )
+}
+
+/// Paper Algorithm 1: list-schedules `block` against its dependency graph,
+/// returning the new order as indices into the original block.
+pub fn schedule_order(
+    block: &[(Instruction, Option<MemTag>)],
+    graph: &DepGraph,
+) -> Vec<usize> {
+    let n = block.len();
+    let mut t = vec![0u64; n];
+    let mut indegree = graph.indegree.clone();
+    let mut ready: Vec<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    for step in 1..=n as u64 {
+        // Priority: a ready load whose T has passed, else smallest T
+        // (original position breaks ties for determinism).
+        let pick = ready
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| is_load(&block[v].0) && t[v] <= step)
+            .min_by_key(|(_, &v)| (t[v], v))
+            .map(|(i, _)| i)
+            .unwrap_or_else(|| {
+                ready
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &v)| (t[v], v))
+                    .map(|(i, _)| i)
+                    .expect("graph is acyclic so ready is non-empty")
+            });
+        let v = ready.swap_remove(pick);
+        t[v] = t[v].max(step);
+        order.push(v);
+        for &(u, w) in &graph.succ[v] {
+            t[u] = t[u].max(t[v] + w);
+            indegree[u] -= 1;
+            if indegree[u] == 0 {
+                ready.push(u);
+            }
+        }
+    }
+    order
+}
+
+/// Applies memory-order enforcement + reordering to every straight region.
+pub fn reorder(items: &mut [Item], enforce_memory_order: bool) {
+    for range in straight_regions(items) {
+        let block: Vec<(Instruction, Option<MemTag>)> = items[range.clone()]
+            .iter()
+            .map(|it| match it {
+                Item::Inst(i, t) => (*i, *t),
+                _ => unreachable!("straight regions contain only instructions"),
+            })
+            .collect();
+        if block.len() < 2 {
+            continue;
+        }
+        let graph = build_dep_graph(&block, enforce_memory_order);
+        let order = schedule_order(&block, &graph);
+        for (slot, &src) in range.clone().zip(order.iter()) {
+            items[slot] = Item::Inst(block[src].0, block[src].1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::KernelBuilder;
+    use ipim_isa::{
+        AddrOperand, CompMode, CompOp, DataReg, DataType, Instruction, SimbMask, VecMask,
+    };
+    use ipim_frontend::SourceId;
+
+    fn mask() -> SimbMask {
+        SimbMask::all(32)
+    }
+
+    fn comp(dst: u8, a: u8, b: u8) -> Instruction {
+        Instruction::Comp {
+            op: CompOp::Add,
+            dtype: DataType::F32,
+            mode: CompMode::VectorVector,
+            dst: DataReg::new(dst),
+            src1: DataReg::new(a),
+            src2: DataReg::new(b),
+            vec_mask: VecMask::ALL,
+            simb_mask: mask(),
+        }
+    }
+
+    fn ld(addr: u32, drf: u8) -> Instruction {
+        Instruction::LdRf {
+            dram_addr: AddrOperand::Imm(addr),
+            drf: DataReg::new(drf),
+            simb_mask: mask(),
+        }
+    }
+
+    fn st(addr: u32, drf: u8) -> Instruction {
+        Instruction::StRf {
+            dram_addr: AddrOperand::Imm(addr),
+            drf: DataReg::new(drf),
+            simb_mask: mask(),
+        }
+    }
+
+    fn tag(s: u32) -> Option<MemTag> {
+        Some(MemTag::DramBuffer(SourceId(s)))
+    }
+
+    #[test]
+    fn raw_dependences_preserved() {
+        let block = vec![(ld(0, 1), tag(0)), (comp(2, 1, 1), None), (st(16, 2), tag(1))];
+        let graph = build_dep_graph(&block, false);
+        let order = schedule_order(&block, &graph);
+        let pos = |i: usize| order.iter().position(|&v| v == i).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(1) < pos(2));
+    }
+
+    #[test]
+    fn independent_load_hoisted_above_compute() {
+        // c = a+a ; d = b+b ; ld x — the load is independent and should
+        // move before at least one compute (Algorithm 1 prefers ready
+        // loads).
+        let block = vec![
+            (comp(2, 1, 1), None),
+            (comp(3, 2, 2), None),
+            (comp(4, 3, 3), None),
+            (ld(0, 5), tag(0)),
+        ];
+        let graph = build_dep_graph(&block, false);
+        let order = schedule_order(&block, &graph);
+        let load_pos = order.iter().position(|&v| v == 3).unwrap();
+        assert!(load_pos < 3, "load should be hoisted: {order:?}");
+    }
+
+    #[test]
+    fn war_and_waw_block_reordering() {
+        // st reads r2; the comp after writes r2 (WAR) — order must hold.
+        let block = vec![(st(0, 2), tag(0)), (comp(2, 1, 1), None)];
+        let graph = build_dep_graph(&block, false);
+        assert!(graph.succ[0].iter().any(|(t, _)| *t == 1));
+        // WAW:
+        let block = vec![(comp(2, 1, 1), None), (comp(2, 3, 3), None)];
+        let graph = build_dep_graph(&block, false);
+        assert!(graph.succ[0].iter().any(|(t, _)| *t == 1));
+    }
+
+    #[test]
+    fn rmw_memory_conflicts_are_ordered() {
+        let t = Some(MemTag::DramRmw(SourceId(7)));
+        let block = vec![(ld(0, 1), t), (st(0, 1), t), (ld(0, 2), t)];
+        let graph = build_dep_graph(&block, false);
+        // ld→st (reg RAW + mem), st→ld (mem).
+        assert!(graph.succ[1].iter().any(|(t, _)| *t == 2));
+    }
+
+    #[test]
+    fn disjoint_buffer_accesses_not_ordered() {
+        let block = vec![(st(0, 1), tag(0)), (st(16, 2), tag(0))];
+        let graph = build_dep_graph(&block, false);
+        assert!(graph.succ[0].is_empty(), "disjoint stores may reorder");
+    }
+
+    #[test]
+    fn memory_order_chains_dram_accesses() {
+        let block = vec![(ld(0, 1), tag(0)), (comp(3, 1, 1), None), (ld(16, 2), tag(0))];
+        let without = build_dep_graph(&block, false);
+        assert!(!without.succ[0].iter().any(|(t, _)| *t == 2));
+        let with = build_dep_graph(&block, true);
+        assert!(with.succ[0].iter().any(|(t, _)| *t == 2), "loads chained in program order");
+    }
+
+    #[test]
+    fn reorder_is_a_permutation() {
+        let mut kb = KernelBuilder::new();
+        kb.begin_straight();
+        kb.push_mem(ld(0, 1), MemTag::DramBuffer(SourceId(0)));
+        kb.push_mem(ld(16, 2), MemTag::DramBuffer(SourceId(0)));
+        kb.push(comp(3, 1, 2));
+        kb.push_mem(st(32, 3), MemTag::DramBuffer(SourceId(1)));
+        kb.end_straight();
+        let mut items = kb.finish();
+        let before: Vec<_> = items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Inst(inst, _) => Some(*inst),
+                _ => None,
+            })
+            .collect();
+        reorder(&mut items, true);
+        let mut after: Vec<_> = items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Inst(inst, _) => Some(*inst),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(after.len(), before.len());
+        // Same multiset of instructions.
+        let key = |i: &Instruction| format!("{i}");
+        let mut b: Vec<_> = before.iter().map(key).collect();
+        let mut a: Vec<_> = after.iter().map(key).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // And the store still comes last (it depends on everything).
+        after.retain(|i| matches!(i, Instruction::StRf { .. }));
+        assert_eq!(after.len(), 1);
+    }
+
+    #[test]
+    fn schedule_handles_empty_and_single() {
+        let block: Vec<(Instruction, Option<MemTag>)> = vec![];
+        let graph = build_dep_graph(&block, true);
+        assert!(schedule_order(&block, &graph).is_empty());
+    }
+}

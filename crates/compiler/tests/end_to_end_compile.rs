@@ -1,0 +1,358 @@
+//! End-to-end compiler tests: every kernel class is compiled, executed on
+//! the cycle-accurate machine, and compared pixel-exactly against the
+//! frontend's reference interpreter.
+
+use ipim_arch::{Machine, MachineConfig};
+use ipim_compiler::{compile, host, CompileOptions};
+use ipim_frontend::{interpret, x, y, Image, Pipeline, PipelineBuilder, SourceRef};
+
+fn run_and_compare(
+    pipeline: &Pipeline,
+    inputs: &[(SourceRef, Image)],
+    options: &CompileOptions,
+    max_cycles: u64,
+) -> (Image, ipim_arch::ExecutionReport) {
+    let config = MachineConfig::vault_slice(1);
+    let compiled = compile(pipeline, &config, options).expect("compile");
+    let mut machine = Machine::new(config);
+    for (src, img) in inputs {
+        host::upload(&mut machine, &compiled.map, src.id(), img);
+    }
+    machine.load_program_all(&compiled.program);
+    let report = machine.run(max_cycles).expect("quiesce");
+
+    let images: Vec<Image> = inputs.iter().map(|(_, img)| img.clone()).collect();
+    let expected = interpret(pipeline, &images).expect("reference");
+    let actual = host::read_back(&machine, &compiled.map, pipeline.output().source);
+    let diff = expected.max_abs_diff(&actual);
+    assert!(
+        diff <= 1e-4,
+        "compiled output diverges from reference by {diff} (pipeline `{}`)",
+        pipeline.output().name
+    );
+    (actual, report)
+}
+
+#[test]
+fn brighten_elementwise() {
+    let mut p = PipelineBuilder::new();
+    let input = p.input("in", 32, 32);
+    let out = p.func("out", 32, 32);
+    p.define(out, input.at(x(), y()) * 1.5);
+    p.schedule(out).compute_root().ipim_tile(4, 4);
+    let pipe = p.build(out).unwrap();
+    let img = Image::gradient(32, 32);
+    let (_, report) = run_and_compare(&pipe, &[(input, img)], &CompileOptions::opt(), 2_000_000);
+    assert!(report.stats.issued > 0);
+    assert!(report.stats.by_category.computation > 0);
+    assert!(report.stats.by_category.index_calc > 0);
+}
+
+#[test]
+fn blur_stencil_with_pgsm() {
+    let mut p = PipelineBuilder::new();
+    let input = p.input("in", 32, 32);
+    let out = p.func("out", 32, 32);
+    p.define(
+        out,
+        (input.at(x() - 1, y()) + input.at(x(), y()) + input.at(x() + 1, y())) / 3.0,
+    );
+    p.schedule(out).compute_root().ipim_tile(4, 4).load_pgsm();
+    let pipe = p.build(out).unwrap();
+    let img = Image::gradient(32, 32);
+    let (_, report) = run_and_compare(&pipe, &[(input, img)], &CompileOptions::opt(), 4_000_000);
+    assert!(report.stats.pgsm_accesses > 0, "stencil must stage through PGSM");
+}
+
+#[test]
+fn blur_two_stage_separable() {
+    let mut p = PipelineBuilder::new();
+    let input = p.input("in", 32, 32);
+    let bx = p.func("blurx", 32, 32);
+    p.define(
+        bx,
+        (input.at(x() - 1, y()) + input.at(x(), y()) + input.at(x() + 1, y())) / 3.0,
+    );
+    p.schedule(bx).compute_root().ipim_tile(4, 4).load_pgsm();
+    let out = p.func("out", 32, 32);
+    p.define(
+        out,
+        (bx.at(x(), y() - 1) + bx.at(x(), y()) + bx.at(x(), y() + 1)) / 3.0,
+    );
+    p.schedule(out).compute_root().ipim_tile(4, 4).load_pgsm();
+    let pipe = p.build(out).unwrap();
+    let img = Image::gradient(32, 32);
+    run_and_compare(&pipe, &[(input, img)], &CompileOptions::opt(), 8_000_000);
+}
+
+#[test]
+fn shift_offsets() {
+    let mut p = PipelineBuilder::new();
+    let input = p.input("in", 32, 32);
+    let out = p.func("out", 32, 32);
+    p.define(out, input.at(x() - 4, y() - 4));
+    p.schedule(out).compute_root().ipim_tile(4, 4);
+    let pipe = p.build(out).unwrap();
+    let mut img = Image::new(32, 32);
+    for yy in 0..32 {
+        for xx in 0..32 {
+            img.set(xx, yy, (yy * 32 + xx) as f32);
+        }
+    }
+    run_and_compare(&pipe, &[(input, img)], &CompileOptions::opt(), 4_000_000);
+}
+
+#[test]
+fn downsample_resampling() {
+    let mut p = PipelineBuilder::new();
+    let input = p.input("in", 64, 64);
+    let out = p.func("out", 32, 32);
+    p.define(
+        out,
+        (input.at(2 * x(), 2 * y())
+            + input.at(2 * x() + 1, 2 * y())
+            + input.at(2 * x(), 2 * y() + 1)
+            + input.at(2 * x() + 1, 2 * y() + 1))
+            / 4.0,
+    );
+    p.schedule(out).compute_root().ipim_tile(4, 4);
+    let pipe = p.build(out).unwrap();
+    let img = Image::gradient(64, 64);
+    run_and_compare(&pipe, &[(input, img)], &CompileOptions::opt(), 4_000_000);
+}
+
+#[test]
+fn upsample_resampling() {
+    let mut p = PipelineBuilder::new();
+    let input = p.input("in", 16, 16);
+    let out = p.func("out", 32, 32);
+    p.define(out, input.at(x() / 2, y() / 2));
+    p.schedule(out).compute_root().ipim_tile(4, 4);
+    let pipe = p.build(out).unwrap();
+    let img = Image::gradient(16, 16);
+    run_and_compare(&pipe, &[(input, img)], &CompileOptions::opt(), 4_000_000);
+}
+
+#[test]
+fn lut_gather_dynamic_index() {
+    let mut p = PipelineBuilder::new();
+    let input = p.input("in", 32, 32);
+    let lut = p.input("lut", 16, 1);
+    let out = p.func("out", 32, 32);
+    // Index = clamp-free scaled pixel value; compiler clamps in hardware.
+    p.define(out, lut.at((input.at(x(), y()) * 15.9).cast_i32(), 0));
+    p.schedule(out).compute_root().ipim_tile(4, 4);
+    let pipe = p.build(out).unwrap();
+    let img = Image::gradient(32, 32); // values in [0, 1)
+    let lut_img = Image::from_vec(16, 1, (0..16).map(|i| 100.0 + i as f32).collect());
+    run_and_compare(
+        &pipe,
+        &[(input, img), (lut, lut_img)],
+        &CompileOptions::opt(),
+        8_000_000,
+    );
+}
+
+#[test]
+fn select_blend() {
+    let mut p = PipelineBuilder::new();
+    let input = p.input("in", 32, 32);
+    let out = p.func("out", 32, 32);
+    p.define(out, input.at(x(), y()).lt(0.5).select(1.0, -1.0));
+    p.schedule(out).compute_root().ipim_tile(4, 4);
+    let pipe = p.build(out).unwrap();
+    let img = Image::gradient(32, 32);
+    run_and_compare(&pipe, &[(input, img)], &CompileOptions::opt(), 4_000_000);
+}
+
+#[test]
+fn coordinate_dependent_expression() {
+    let mut p = PipelineBuilder::new();
+    let input = p.input("in", 32, 32);
+    let out = p.func("out", 32, 32);
+    // out = in * (x + 2y) — exercises Var lowering.
+    p.define(
+        out,
+        input.at(x(), y()) * (x().cast_f32() + y().cast_f32() * 2.0),
+    );
+    p.schedule(out).compute_root().ipim_tile(4, 4);
+    let pipe = p.build(out).unwrap();
+    let img = Image::splat(32, 32, 1.0);
+    run_and_compare(&pipe, &[(input, img)], &CompileOptions::opt(), 4_000_000);
+}
+
+#[test]
+fn inlined_non_root_stage() {
+    let mut p = PipelineBuilder::new();
+    let input = p.input("in", 32, 32);
+    let a = p.func("a", 32, 32);
+    p.define(a, input.at(x(), y()) * 2.0); // not compute_root → inlined
+    let out = p.func("out", 32, 32);
+    p.define(out, a.at(x() - 1, y()) + a.at(x() + 1, y()));
+    p.schedule(out).compute_root().ipim_tile(4, 4);
+    let pipe = p.build(out).unwrap();
+    let img = Image::gradient(32, 32);
+    run_and_compare(&pipe, &[(input, img)], &CompileOptions::opt(), 4_000_000);
+}
+
+#[test]
+fn histogram_reduction_single_vault() {
+    let mut p = PipelineBuilder::new();
+    let input = p.input("in", 32, 32);
+    let h = p.func("hist", 16, 1);
+    p.define_histogram(h, input, 0.0, 1.0);
+    p.schedule(h).compute_root().ipim_tile(4, 4);
+    let pipe = p.build(h).unwrap();
+    let img = Image::gradient(32, 32);
+    let (out, report) =
+        run_and_compare(&pipe, &[(input, img)], &CompileOptions::opt(), 8_000_000);
+    // All 1024 pixels are counted.
+    assert_eq!(out.data().iter().sum::<f32>(), 1024.0);
+    assert!(report.stats.remote_reqs > 0, "all-gather must issue reqs");
+    assert!(report.stats.by_category.synchronization > 0);
+}
+
+#[test]
+fn all_compiler_baselines_are_correct() {
+    let mut p = PipelineBuilder::new();
+    let input = p.input("in", 32, 32);
+    let out = p.func("out", 32, 32);
+    p.define(
+        out,
+        (input.at(x() - 1, y()) + input.at(x() + 1, y())) * 0.5 + input.at(x(), y()),
+    );
+    p.schedule(out).compute_root().ipim_tile(4, 4).load_pgsm();
+    let pipe = p.build(out).unwrap();
+    let img = Image::gradient(32, 32);
+    for options in [
+        CompileOptions::opt(),
+        CompileOptions::baseline1(),
+        CompileOptions::baseline2(),
+        CompileOptions::baseline3(),
+        CompileOptions::baseline4(),
+    ] {
+        run_and_compare(&pipe, &[(input, img.clone())], &options, 8_000_000);
+    }
+}
+
+#[test]
+fn opt_is_faster_than_baseline1() {
+    let mut p = PipelineBuilder::new();
+    let input = p.input("in", 32, 32);
+    let out = p.func("out", 32, 32);
+    p.define(
+        out,
+        (input.at(x() - 1, y()) + input.at(x(), y()) + input.at(x() + 1, y())
+            + input.at(x(), y() - 1)
+            + input.at(x(), y() + 1))
+            / 5.0,
+    );
+    p.schedule(out).compute_root().ipim_tile(4, 4).load_pgsm();
+    let pipe = p.build(out).unwrap();
+    let img = Image::gradient(32, 32);
+    let (_, opt) = run_and_compare(&pipe, &[(input, img.clone())], &CompileOptions::opt(), 8_000_000);
+    let (_, base) =
+        run_and_compare(&pipe, &[(input, img)], &CompileOptions::baseline1(), 16_000_000);
+    assert!(
+        opt.cycles < base.cycles,
+        "opt ({}) should beat baseline1 ({})",
+        opt.cycles,
+        base.cycles
+    );
+}
+
+#[test]
+fn small_register_file_still_correct_via_spills() {
+    let mut p = PipelineBuilder::new();
+    let input = p.input("in", 32, 32);
+    let out = p.func("out", 32, 32);
+    // Wide expression to create register pressure.
+    let mut e = input.at(x(), y());
+    for k in 1..=6 {
+        e = e + input.at(x() - k, y()) * (k as f32) + input.at(x() + k, y()) * (0.5 / k as f32);
+    }
+    p.define(out, e / 13.0);
+    p.schedule(out).compute_root().ipim_tile(4, 4).load_pgsm();
+    let pipe = p.build(out).unwrap();
+
+    let config = MachineConfig { data_rf_entries: 16, ..MachineConfig::vault_slice(1) };
+    let compiled = compile(&pipe, &config, &CompileOptions::opt()).expect("compile");
+    assert!(compiled.spill_slots > 0, "16-entry RF must force spills");
+    let mut machine = Machine::new(config);
+    let img = Image::gradient(32, 32);
+    host::upload(&mut machine, &compiled.map, input.id(), &img);
+    machine.load_program_all(&compiled.program);
+    machine.run(16_000_000).expect("quiesce");
+    let expected = interpret(&pipe, &[img]).expect("reference");
+    let actual = host::read_back(&machine, &compiled.map, pipe.output().source);
+    assert!(expected.max_abs_diff(&actual) <= 1e-4);
+}
+
+#[test]
+fn row_window_staging_for_large_tiles() {
+    // A 32×32 tile's stored window exceeds the 2 KiB PGSM share, forcing
+    // the line-buffer fallback.
+    let mut p = PipelineBuilder::new();
+    let input = p.input("in", 256, 256);
+    let out = p.func("out", 256, 256);
+    p.define(
+        out,
+        (input.at(x() - 1, y() - 1)
+            + input.at(x() + 1, y() - 1)
+            + input.at(x(), y())
+            + input.at(x() - 1, y() + 1)
+            + input.at(x() + 1, y() + 1))
+            / 5.0,
+    );
+    p.schedule(out).compute_root().ipim_tile(32, 32).load_pgsm();
+    let pipe = p.build(out).unwrap();
+    let img = Image::gradient(256, 256);
+    run_and_compare(&pipe, &[(input, img)], &CompileOptions::opt(), 64_000_000);
+}
+
+/// Maximum difference over the interior (inset from each border).
+fn interior_diff(a: &Image, b: &Image, inset: u32) -> f32 {
+    let mut d = 0.0f32;
+    for yy in inset..a.height() - inset {
+        for xx in inset..a.width() - inset {
+            d = d.max((a.get(xx, yy) - b.get(xx, yy)).abs());
+        }
+    }
+    d
+}
+
+#[test]
+fn deep_stencil_chain_with_growing_halo() {
+    // Six chained 3×3 stencils: halos accumulate backwards; the earliest
+    // buffers must stage through row windows.
+    let mut p = PipelineBuilder::new();
+    let input = p.input("in", 128, 128);
+    let mut prev = input;
+    for k in 0..6 {
+        let f = p.func(&format!("s{k}"), 128, 128);
+        p.define(
+            f,
+            (prev.at(x() - 1, y()) + prev.at(x() + 1, y()) + prev.at(x(), y() - 1)
+                + prev.at(x(), y() + 1)
+                + prev.at(x(), y()))
+                / 5.0,
+        );
+        p.schedule(f).compute_root().ipim_tile(16, 16).load_pgsm();
+        prev = f;
+    }
+    let pipe = p.build(prev).unwrap();
+    let img = Image::gradient(128, 128);
+    // Deep chains differ from the per-stage-clamping reference only inside
+    // the border band (overlapped tiles extend the domain virtually; see
+    // DESIGN.md on boundary semantics). Compare the interior.
+    let config = MachineConfig::vault_slice(1);
+    let compiled = compile(&pipe, &config, &CompileOptions::opt()).expect("compile");
+    let mut machine = Machine::new(config);
+    host::upload(&mut machine, &compiled.map, input.id(), &img);
+    machine.load_program_all(&compiled.program);
+    machine.run(128_000_000).expect("quiesce");
+    let expected = interpret(&pipe, &[img]).expect("reference");
+    let actual = host::read_back(&machine, &compiled.map, pipe.output().source);
+    let diff = interior_diff(&expected, &actual, 6);
+    assert!(diff <= 1e-4, "interior diverges by {diff}");
+}

@@ -1,0 +1,161 @@
+//! The high-level compile-and-run API.
+
+use std::fmt;
+
+use ipim_arch::{ExecutionReport, Machine, MachineConfig, SimTimeout};
+use ipim_compiler::{compile, host, CompileError, CompileOptions, CompiledPipeline};
+use ipim_frontend::{Image, Pipeline, SourceId};
+use ipim_workloads::Workload;
+
+/// Error produced by a session run.
+#[derive(Debug)]
+pub enum SessionError {
+    /// Compilation failed.
+    Compile(CompileError),
+    /// The simulation did not quiesce within the cycle budget.
+    Timeout(SimTimeout),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Compile(e) => write!(f, "compile: {e}"),
+            SessionError::Timeout(e) => write!(f, "simulation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<CompileError> for SessionError {
+    fn from(e: CompileError) -> Self {
+        SessionError::Compile(e)
+    }
+}
+
+impl From<SimTimeout> for SessionError {
+    fn from(e: SimTimeout) -> Self {
+        SessionError::Timeout(e)
+    }
+}
+
+/// Everything a run produces: the output image, the compiled program, and
+/// the cycle-accurate execution report.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The output buffer read back from the banks.
+    pub output: Image,
+    /// Cycle-accurate performance/energy report.
+    pub report: ExecutionReport,
+    /// The compiled program and memory map.
+    pub compiled: CompiledPipeline,
+}
+
+impl RunOutcome {
+    /// Output pixels per second at the simulated machine's 1 GHz clock.
+    pub fn pixels_per_second(&self) -> f64 {
+        let pixels = self.output.pixels() as f64;
+        pixels / self.report.seconds()
+    }
+
+    /// Energy per output pixel in picojoules.
+    pub fn energy_pj_per_pixel(&self) -> f64 {
+        self.report.energy.total_pj() / self.output.pixels() as f64
+    }
+}
+
+/// A compile-and-run session against one machine configuration.
+///
+/// # Example
+///
+/// ```
+/// use ipim_core::{Session, MachineConfig, CompileOptions};
+/// use ipim_core::frontend::{PipelineBuilder, Image, x, y};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut p = PipelineBuilder::new();
+/// let input = p.input("in", 64, 64);
+/// let out = p.func("out", 64, 64);
+/// p.define(out, input.at(x(), y()) * 2.0);
+/// p.schedule(out).compute_root().ipim_tile(8, 8);
+/// let pipeline = p.build(out)?;
+///
+/// let session = Session::new(MachineConfig::vault_slice(1));
+/// let outcome = session.run_pipeline(
+///     &pipeline,
+///     &[(input.id(), Image::gradient(64, 64))],
+///     10_000_000,
+/// )?;
+/// assert_eq!(outcome.output.width(), 64);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Session {
+    config: MachineConfig,
+    options: CompileOptions,
+}
+
+impl Session {
+    /// Creates a session with the fully optimized compiler.
+    pub fn new(config: MachineConfig) -> Self {
+        Self { config, options: CompileOptions::opt() }
+    }
+
+    /// Creates a session with explicit compiler options (the Fig. 12
+    /// baselines).
+    pub fn with_options(config: MachineConfig, options: CompileOptions) -> Self {
+        Self { config, options }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The compiler options.
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
+    }
+
+    /// Compiles a pipeline without running it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the compiler's error on unsupported pipelines.
+    pub fn compile_only(&self, pipeline: &Pipeline) -> Result<CompiledPipeline, SessionError> {
+        Ok(compile(pipeline, &self.config, &self.options)?)
+    }
+
+    /// Compiles `pipeline`, uploads `inputs`, runs to quiescence and reads
+    /// the output back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError`] on compile failure or simulation timeout.
+    pub fn run_pipeline(
+        &self,
+        pipeline: &Pipeline,
+        inputs: &[(SourceId, Image)],
+        max_cycles: u64,
+    ) -> Result<RunOutcome, SessionError> {
+        let compiled = compile(pipeline, &self.config, &self.options)?;
+        let mut machine = Machine::new(self.config.clone());
+        for (src, img) in inputs {
+            host::upload(&mut machine, &compiled.map, *src, img);
+        }
+        machine.load_program_all(&compiled.program);
+        let report = machine.run(max_cycles)?;
+        let output = host::read_back(&machine, &compiled.map, pipeline.output().source);
+        Ok(RunOutcome { output, report, compiled })
+    }
+
+    /// Runs a Table II workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError`] on compile failure or simulation timeout.
+    pub fn run_workload(&self, w: &Workload, max_cycles: u64) -> Result<RunOutcome, SessionError> {
+        self.run_pipeline(&w.pipeline, &w.inputs, max_cycles)
+    }
+}

@@ -1,0 +1,105 @@
+//! Tests of the public `Session` API surface: error paths, metrics and
+//! the compile-only entry point.
+
+use ipim_core::frontend::{x, y, Image, PipelineBuilder};
+use ipim_core::{CompileOptions, MachineConfig, Session, SessionError};
+
+fn simple_pipeline() -> (ipim_core::frontend::Pipeline, ipim_core::frontend::SourceRef) {
+    let mut p = PipelineBuilder::new();
+    let input = p.input("in", 64, 64);
+    let out = p.func("out", 64, 64);
+    p.define(out, input.at(x(), y()) + 1.0);
+    p.schedule(out).compute_root().ipim_tile(8, 8);
+    (p.build(out).unwrap(), input)
+}
+
+#[test]
+fn compile_only_reports_static_size() {
+    let (pipe, _) = simple_pipeline();
+    let session = Session::new(MachineConfig::vault_slice(1));
+    let compiled = session.compile_only(&pipe).expect("compile");
+    assert!(compiled.static_instructions > 10);
+    assert_eq!(compiled.spill_slots, 0, "trivial kernel must not spill");
+    assert_eq!(compiled.program.len(), compiled.static_instructions);
+}
+
+#[test]
+fn run_outcome_metrics_are_consistent() {
+    let (pipe, input) = simple_pipeline();
+    let session = Session::new(MachineConfig::vault_slice(1));
+    let outcome = session
+        .run_pipeline(&pipe, &[(input.id(), Image::gradient(64, 64))], 100_000_000)
+        .expect("run");
+    assert_eq!(outcome.output.pixels(), 64 * 64);
+    let pps = outcome.pixels_per_second();
+    // pixels / (cycles × 1ns) must be self-consistent.
+    let expect = 64.0 * 64.0 / (outcome.report.cycles as f64 * 1e-9);
+    assert!((pps - expect).abs() / expect < 1e-9);
+    assert!(outcome.energy_pj_per_pixel() > 0.0);
+}
+
+#[test]
+fn timeout_is_reported_not_hung() {
+    let (pipe, input) = simple_pipeline();
+    let session = Session::new(MachineConfig::vault_slice(1));
+    let err = session
+        .run_pipeline(&pipe, &[(input.id(), Image::gradient(64, 64))], 10)
+        .expect_err("10 cycles cannot finish");
+    match err {
+        SessionError::Timeout(t) => assert_eq!(t.max_cycles, 10),
+        other => panic!("unexpected error {other}"),
+    }
+}
+
+#[test]
+fn unsupported_pipeline_reports_compile_error() {
+    // Extent not divisible by the tile grid.
+    let mut p = PipelineBuilder::new();
+    let input = p.input("in", 60, 60);
+    let out = p.func("out", 60, 60);
+    p.define(out, input.at(x(), y()));
+    p.schedule(out).compute_root().ipim_tile(8, 8);
+    let pipe = p.build(out).unwrap();
+    let session = Session::new(MachineConfig::vault_slice(1));
+    assert!(matches!(
+        session.compile_only(&pipe),
+        Err(SessionError::Compile(_))
+    ));
+}
+
+#[test]
+fn sessions_with_different_options_share_results() {
+    let (pipe, input) = simple_pipeline();
+    let img = Image::gradient(64, 64);
+    let mut cycle_counts = Vec::new();
+    for options in [CompileOptions::opt(), CompileOptions::baseline1()] {
+        let session = Session::with_options(MachineConfig::vault_slice(1), options);
+        let outcome = session
+            .run_pipeline(&pipe, &[(input.id(), img.clone())], 100_000_000)
+            .expect("run");
+        // Same functional result across compiler configurations.
+        for yy in 0..64 {
+            for xx in 0..64 {
+                assert_eq!(outcome.output.get(xx, yy), img.get(xx, yy) + 1.0);
+            }
+        }
+        cycle_counts.push(outcome.report.cycles);
+    }
+    assert!(cycle_counts[0] <= cycle_counts[1], "opt must not be slower");
+}
+
+#[test]
+fn experiment_config_scale_out_factor() {
+    use ipim_core::experiments::ExperimentConfig;
+    let cfg = ExperimentConfig::quick();
+    // 4096 PEs in the paper machine / 32 in the slice.
+    assert_eq!(cfg.scale_out_factor(), 128.0);
+}
+
+#[test]
+fn geomean_of_known_values() {
+    use ipim_core::experiments::geomean;
+    assert!((geomean([1.0, 4.0]) - 2.0).abs() < 1e-12);
+    assert!((geomean([2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    assert_eq!(geomean(std::iter::empty::<f64>()), 0.0);
+}

@@ -1,0 +1,123 @@
+//! Table III energy model for DRAM activity.
+//!
+//! Energies are tracked in picojoules (`f64`), with per-access constants
+//! taken directly from the paper's Table III. Background and refresh power
+//! are standard HBM2-class values (the paper inherits them from its
+//! ramulator + cacti-3DD flow and folds them into the `DRAM` slice of its
+//! Fig. 9 breakdown).
+
+use crate::bank::BankStats;
+
+/// DRAM energy parameters (picojoules / milliwatts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Energy per 128-bit column read or write (Table III: 0.52 nJ).
+    pub rd_wr_pj: f64,
+    /// Energy per activate + precharge pair (Table III: 0.22 nJ).
+    pub act_pre_pj: f64,
+    /// Energy per per-bank refresh command.
+    pub ref_pj: f64,
+    /// Static background power per bank, in milliwatts.
+    pub background_mw_per_bank: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self {
+            rd_wr_pj: 520.0,
+            act_pre_pj: 220.0,
+            ref_pj: 2600.0,
+            background_mw_per_bank: 0.9,
+        }
+    }
+}
+
+/// Accumulated DRAM energy, split by component (feeds Fig. 9).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DramEnergy {
+    /// Read/write (CAS) energy in pJ.
+    pub cas_pj: f64,
+    /// Activate/precharge (RAS) energy in pJ.
+    pub ras_pj: f64,
+    /// Refresh energy in pJ.
+    pub refresh_pj: f64,
+    /// Background (static) energy in pJ.
+    pub background_pj: f64,
+}
+
+impl DramEnergy {
+    /// Computes energy from bank command counters and elapsed time.
+    ///
+    /// `elapsed_cycles` is in 1 ns cycles; `n_banks` scales background power.
+    pub fn from_stats(
+        stats: &BankStats,
+        params: &EnergyParams,
+        elapsed_cycles: u64,
+        n_banks: usize,
+    ) -> Self {
+        // mW × ns = pJ.
+        let background_pj =
+            params.background_mw_per_bank * n_banks as f64 * elapsed_cycles as f64 * 1e-3;
+        Self {
+            cas_pj: (stats.reads + stats.writes) as f64 * params.rd_wr_pj,
+            // ACT and PRE are paired in the 0.22 nJ figure; count pairs by
+            // activates (every ACT is eventually precharged).
+            ras_pj: stats.acts as f64 * params.act_pre_pj,
+            refresh_pj: stats.refs as f64 * params.ref_pj,
+            background_pj,
+        }
+    }
+
+    /// Total DRAM energy in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.cas_pj + self.ras_pj + self.refresh_pj + self.background_pj
+    }
+}
+
+impl std::ops::Add for DramEnergy {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            cas_pj: self.cas_pj + rhs.cas_pj,
+            ras_pj: self.ras_pj + rhs.ras_pj,
+            refresh_pj: self.refresh_pj + rhs.refresh_pj,
+            background_pj: self.background_pj + rhs.background_pj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cas_energy_scales_with_accesses() {
+        let stats = BankStats { acts: 0, pres: 0, reads: 10, writes: 5, refs: 0 };
+        let e = DramEnergy::from_stats(&stats, &EnergyParams::default(), 0, 1);
+        assert_eq!(e.cas_pj, 15.0 * 520.0);
+        assert_eq!(e.ras_pj, 0.0);
+    }
+
+    #[test]
+    fn ras_energy_counts_act_pre_pairs() {
+        let stats = BankStats { acts: 7, pres: 7, reads: 0, writes: 0, refs: 0 };
+        let e = DramEnergy::from_stats(&stats, &EnergyParams::default(), 0, 1);
+        assert_eq!(e.ras_pj, 7.0 * 220.0);
+    }
+
+    #[test]
+    fn background_scales_with_time_and_banks() {
+        let stats = BankStats::default();
+        let e = DramEnergy::from_stats(&stats, &EnergyParams::default(), 1000, 4);
+        assert!((e.background_pj - 0.9 * 4.0 * 1000.0 * 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_combines_components() {
+        let a = DramEnergy { cas_pj: 1.0, ras_pj: 2.0, refresh_pj: 3.0, background_pj: 4.0 };
+        let b = a;
+        let c = a + b;
+        assert_eq!(c.total_pj(), 20.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! DRAM timing parameters and the bank address map.
+
+/// DRAM timing parameters in cycles of the 1 GHz iPIM clock (Table III).
+///
+/// `tCK` is 1 ns, so cycle counts equal nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramTiming {
+    /// ACT-to-RD/WR delay (row to column command).
+    pub t_rcd: u64,
+    /// Column-to-column command delay.
+    pub t_ccd: u64,
+    /// Read-to-precharge delay.
+    pub t_rtp: u64,
+    /// Precharge-to-activate delay.
+    pub t_rp: u64,
+    /// Activate-to-precharge minimum row-open time.
+    pub t_ras: u64,
+    /// Activate-to-activate delay, different bank groups.
+    pub t_rrd_s: u64,
+    /// Activate-to-activate delay, same bank group.
+    pub t_rrd_l: u64,
+    /// Four-activate window.
+    pub t_faw: u64,
+    /// Write recovery time (last write data to precharge).
+    pub t_wr: u64,
+    /// CAS (read) latency: RD command to data.
+    pub cl: u64,
+    /// CAS write latency: WR command to data.
+    pub cwl: u64,
+    /// Average refresh interval.
+    pub t_refi: u64,
+    /// Refresh cycle time (bank busy per refresh).
+    pub t_rfc: u64,
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        // Table III values; tWR/CL/CWL/tREFI/tRFC are standard HBM2-class
+        // values the paper inherits from ramulator's config.
+        Self {
+            t_rcd: 14,
+            t_ccd: 2,
+            t_rtp: 4,
+            t_rp: 14,
+            t_ras: 33,
+            t_rrd_s: 4,
+            t_rrd_l: 6,
+            t_faw: 16,
+            t_wr: 15,
+            cl: 14,
+            cwl: 10,
+            t_refi: 3900,
+            t_rfc: 350,
+        }
+    }
+}
+
+impl DramTiming {
+    /// Latency of a row-buffer *hit* read: RD command + CAS latency + one
+    /// 128-bit burst beat.
+    pub fn hit_read_latency(&self) -> u64 {
+        self.cl + 1
+    }
+
+    /// Latency of a row-buffer *miss* read on a precharged bank:
+    /// ACT → (tRCD) → RD → (CL + beat).
+    pub fn miss_read_latency(&self) -> u64 {
+        self.t_rcd + self.cl + 1
+    }
+
+    /// Latency of a row-buffer *conflict* read (different row open):
+    /// PRE → (tRP) → ACT → (tRCD) → RD → (CL + beat).
+    pub fn conflict_read_latency(&self) -> u64 {
+        self.t_rp + self.t_rcd + self.cl + 1
+    }
+}
+
+/// Maps a flat bank byte address to (row, column) coordinates.
+///
+/// The default geometry matches a 16 MiB bank with 2 KiB rows: 8192 rows of
+/// 128 columns, 16 bytes per column access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMap {
+    /// Bytes per DRAM row (row-buffer size).
+    pub row_bytes: u32,
+    /// Total bank capacity in bytes.
+    pub bank_bytes: u32,
+}
+
+impl Default for AddressMap {
+    fn default() -> Self {
+        Self { row_bytes: 2048, bank_bytes: 16 * 1024 * 1024 }
+    }
+}
+
+impl AddressMap {
+    /// The DRAM row containing byte address `addr`.
+    pub fn row(&self, addr: u32) -> u32 {
+        addr / self.row_bytes
+    }
+
+    /// The column (16-byte unit) of byte address `addr` within its row.
+    pub fn col(&self, addr: u32) -> u32 {
+        (addr % self.row_bytes) / crate::ACCESS_BYTES as u32
+    }
+
+    /// Number of rows in the bank.
+    pub fn rows(&self) -> u32 {
+        self.bank_bytes / self.row_bytes
+    }
+
+    /// Whether `addr` lies inside the bank.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr < self.bank_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table3() {
+        let t = DramTiming::default();
+        assert_eq!(t.t_rcd, 14);
+        assert_eq!(t.t_ccd, 2);
+        assert_eq!(t.t_rtp, 4);
+        assert_eq!(t.t_rp, 14);
+        assert_eq!(t.t_ras, 33);
+        assert_eq!(t.t_rrd_s, 4);
+        assert_eq!(t.t_rrd_l, 6);
+        assert_eq!(t.t_faw, 16);
+    }
+
+    #[test]
+    fn latency_ordering() {
+        let t = DramTiming::default();
+        assert!(t.hit_read_latency() < t.miss_read_latency());
+        assert!(t.miss_read_latency() < t.conflict_read_latency());
+    }
+
+    #[test]
+    fn address_map_geometry() {
+        let m = AddressMap::default();
+        assert_eq!(m.rows(), 8192);
+        assert_eq!(m.row(0), 0);
+        assert_eq!(m.row(2048), 1);
+        assert_eq!(m.col(0), 0);
+        assert_eq!(m.col(16), 1);
+        assert_eq!(m.col(2048 + 32), 2);
+        assert!(m.contains(16 * 1024 * 1024 - 1));
+        assert!(!m.contains(16 * 1024 * 1024));
+    }
+}

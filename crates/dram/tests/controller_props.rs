@@ -1,0 +1,152 @@
+//! Property tests for the memory controller: arbitrary request streams
+//! complete, reads observe program-order writes, and both schedulers and
+//! page policies preserve the data semantics.
+
+use ipim_dram::{
+    AccessKind, AddressMap, Bank, Completion, DramTiming, MemController, PagePolicy, Request,
+    RequestId, SchedPolicy,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn controller(policy: SchedPolicy, page: PagePolicy) -> MemController {
+    let timing = DramTiming::default();
+    let map = AddressMap::default();
+    let banks = (0..4).map(|_| Bank::new(timing, map)).collect();
+    let mut mc = MemController::new(banks, timing, 16, page, policy);
+    mc.set_refresh_enabled(false);
+    mc
+}
+
+#[derive(Debug, Clone)]
+struct Op {
+    bank: usize,
+    slot: u32, // 16-byte slot within a small region
+    write: bool,
+    value: u8,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0usize..4, 0u32..32, any::<bool>(), any::<u8>()).prop_map(|(bank, slot, write, value)| {
+            Op { bank, slot, write, value }
+        }),
+        1..60,
+    )
+}
+
+fn run_stream(
+    mc: &mut MemController,
+    ops: &[Op],
+) -> (Vec<Completion>, HashMap<(usize, u32), u8>) {
+    // Shadow model of expected memory contents per (bank, slot).
+    let mut shadow: HashMap<(usize, u32), u8> = HashMap::new();
+    let mut expected_read: HashMap<u64, u8> = HashMap::new();
+    let mut pending: std::collections::VecDeque<Request> = Default::default();
+    for (i, op) in ops.iter().enumerate() {
+        let id = RequestId(i as u64);
+        let addr = op.slot * 16;
+        if op.write {
+            shadow.insert((op.bank, op.slot), op.value);
+            pending.push_back(Request {
+                id,
+                bank: op.bank,
+                addr,
+                kind: AccessKind::Write,
+                data: [op.value; 16],
+            });
+        } else {
+            expected_read.insert(i as u64, *shadow.get(&(op.bank, op.slot)).unwrap_or(&0));
+            pending.push_back(Request {
+                id,
+                bank: op.bank,
+                addr,
+                kind: AccessKind::Read,
+                data: [0; 16],
+            });
+        }
+    }
+    let mut now = 0u64;
+    let mut done = Vec::new();
+    while done.len() < ops.len() {
+        while let Some(&req) = pending.front() {
+            if mc.enqueue(req, now) {
+                pending.pop_front();
+            } else {
+                break;
+            }
+        }
+        done.extend(mc.tick(now));
+        now += 1;
+        assert!(now < 2_000_000, "stream did not complete");
+    }
+    // Drain trailing posted writes so the final memory state is visible.
+    while !mc.is_idle() {
+        mc.tick(now);
+        now += 1;
+        assert!(now < 2_100_000, "posted writes failed to drain");
+    }
+    // Verify reads against the shadow at issue time.
+    for c in &done {
+        if c.kind == AccessKind::Read {
+            let want = expected_read[&c.id.0];
+            assert_eq!(c.data, [want; 16], "read {:?} returned wrong data", c.id);
+        }
+    }
+    (done, shadow)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fr_fcfs_open_page_preserves_data(ops in arb_ops()) {
+        let mut mc = controller(SchedPolicy::FrFcfs, PagePolicy::Open);
+        let (done, shadow) = run_stream(&mut mc, &ops);
+        prop_assert_eq!(done.len(), ops.len());
+        // Final memory state matches the shadow model.
+        for ((bank, slot), v) in shadow {
+            let mut buf = [0u8; 16];
+            mc.bank(bank).array().read(slot * 16, &mut buf);
+            prop_assert_eq!(buf, [v; 16]);
+        }
+    }
+
+    #[test]
+    fn fcfs_close_page_preserves_data(ops in arb_ops()) {
+        let mut mc = controller(SchedPolicy::Fcfs, PagePolicy::Close);
+        let (done, _) = run_stream(&mut mc, &ops);
+        prop_assert_eq!(done.len(), ops.len());
+    }
+
+    #[test]
+    fn refresh_does_not_lose_requests(ops in arb_ops()) {
+        let timing = DramTiming::default();
+        let map = AddressMap::default();
+        let banks = (0..4).map(|_| Bank::new(timing, map)).collect();
+        let mut mc =
+            MemController::new(banks, timing, 16, PagePolicy::Open, SchedPolicy::FrFcfs);
+        // refresh enabled
+        let (done, _) = run_stream(&mut mc, &ops);
+        prop_assert_eq!(done.len(), ops.len());
+    }
+
+    #[test]
+    fn locality_counters_account_every_column_access(ops in arb_ops()) {
+        let mut mc = controller(SchedPolicy::FrFcfs, PagePolicy::Open);
+        let (_, _) = run_stream(&mut mc, &ops);
+        // Drain trailing posted writes.
+        let mut now = 2_000_000;
+        while !mc.is_idle() {
+            mc.tick(now);
+            now += 1;
+            prop_assert!(now < 2_100_000, "write drain stuck");
+        }
+        let l = mc.locality;
+        let stats = mc.total_bank_stats();
+        prop_assert_eq!(
+            l.row_hits + l.row_misses + l.row_conflicts,
+            stats.reads + stats.writes
+        );
+    }
+}

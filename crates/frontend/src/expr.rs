@@ -1,0 +1,421 @@
+//! The expression language: pure scalar expressions over image coordinates.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::pipeline::SourceId;
+
+/// The two spatial dimensions of an image function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Var {
+    /// Horizontal coordinate.
+    X,
+    /// Vertical coordinate.
+    Y,
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Var::X => write!(f, "x"),
+            Var::Y => write!(f, "y"),
+        }
+    }
+}
+
+/// The `x` coordinate variable.
+pub fn x() -> Expr {
+    Expr::Var(Var::X)
+}
+
+/// The `y` coordinate variable.
+pub fn y() -> Expr {
+    Expr::Var(Var::Y)
+}
+
+/// Scalar element types (FP32 and INT32, matching the SIMB ISA lanes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarType {
+    /// 32-bit float.
+    F32,
+    /// 32-bit integer.
+    I32,
+}
+
+/// Binary operators of the expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (integer division floors, like Halide).
+    Div,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Less-than comparison producing 1.0 / 0.0.
+    Lt,
+    /// Less-or-equal comparison producing 1.0 / 0.0.
+    Le,
+    /// Equality comparison producing 1.0 / 0.0.
+    Eq,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Eq => "==",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A pure scalar expression over the coordinates `x`, `y`.
+///
+/// Coordinate sub-expressions (the arguments of [`Expr::At`]) are evaluated
+/// with integer semantics (floor division); value expressions with f32
+/// semantics. [`Expr::Cast`] bridges the two, enabling data-dependent
+/// gathers (`in.at(cast_i32(f(x,y)), y)`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A floating-point constant.
+    ConstF(f32),
+    /// An integer constant.
+    ConstI(i32),
+    /// A coordinate variable.
+    Var(Var),
+    /// A read of a source (input image or another `Func`) at computed
+    /// coordinates, clamped to the source's extent.
+    At(SourceId, Box<Expr>, Box<Expr>),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Type conversion.
+    Cast(ScalarType, Box<Expr>),
+    /// `if cond != 0 { a } else { b }`, lane-wise.
+    Select(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Lane-wise minimum.
+    pub fn min(self, other: impl Into<Expr>) -> Expr {
+        Expr::Bin(BinOp::Min, Box::new(self), Box::new(other.into()))
+    }
+
+    /// Lane-wise maximum.
+    pub fn max(self, other: impl Into<Expr>) -> Expr {
+        Expr::Bin(BinOp::Max, Box::new(self), Box::new(other.into()))
+    }
+
+    /// Less-than comparison (1.0 / 0.0).
+    pub fn lt(self, other: impl Into<Expr>) -> Expr {
+        Expr::Bin(BinOp::Lt, Box::new(self), Box::new(other.into()))
+    }
+
+    /// Less-or-equal comparison (1.0 / 0.0).
+    pub fn le(self, other: impl Into<Expr>) -> Expr {
+        Expr::Bin(BinOp::Le, Box::new(self), Box::new(other.into()))
+    }
+
+    /// Equality comparison (1.0 / 0.0).
+    pub fn eq_expr(self, other: impl Into<Expr>) -> Expr {
+        Expr::Bin(BinOp::Eq, Box::new(self), Box::new(other.into()))
+    }
+
+    /// Clamp into `[lo, hi]`.
+    pub fn clamp(self, lo: impl Into<Expr>, hi: impl Into<Expr>) -> Expr {
+        self.max(lo.into()).min(hi.into())
+    }
+
+    /// Absolute value (`max(e, -e)`).
+    pub fn abs(self) -> Expr {
+        self.clone().max(-self)
+    }
+
+    /// Conversion to integer (truncating; used for data-dependent indices).
+    pub fn cast_i32(self) -> Expr {
+        Expr::Cast(ScalarType::I32, Box::new(self))
+    }
+
+    /// Conversion to float.
+    pub fn cast_f32(self) -> Expr {
+        Expr::Cast(ScalarType::F32, Box::new(self))
+    }
+
+    /// Lane-wise select: `if self != 0 { a } else { b }`.
+    pub fn select(self, a: impl Into<Expr>, b: impl Into<Expr>) -> Expr {
+        Expr::Select(Box::new(self), Box::new(a.into()), Box::new(b.into()))
+    }
+
+    /// Number of nodes in the expression tree (compiler cost heuristics).
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::ConstF(_) | Expr::ConstI(_) | Expr::Var(_) => 1,
+            Expr::At(_, cx, cy) => 1 + cx.size() + cy.size(),
+            Expr::Bin(_, a, b) => 1 + a.size() + b.size(),
+            Expr::Cast(_, e) => 1 + e.size(),
+            Expr::Select(c, a, b) => 1 + c.size() + a.size() + b.size(),
+        }
+    }
+
+    /// All sources referenced by this expression, without duplicates.
+    pub fn sources(&self) -> Vec<SourceId> {
+        let mut out = Vec::new();
+        self.visit_sources(&mut out);
+        out
+    }
+
+    fn visit_sources(&self, out: &mut Vec<SourceId>) {
+        match self {
+            Expr::ConstF(_) | Expr::ConstI(_) | Expr::Var(_) => {}
+            Expr::At(s, cx, cy) => {
+                if !out.contains(s) {
+                    out.push(*s);
+                }
+                cx.visit_sources(out);
+                cy.visit_sources(out);
+            }
+            Expr::Bin(_, a, b) => {
+                a.visit_sources(out);
+                b.visit_sources(out);
+            }
+            Expr::Cast(_, e) => e.visit_sources(out),
+            Expr::Select(c, a, b) => {
+                c.visit_sources(out);
+                a.visit_sources(out);
+                b.visit_sources(out);
+            }
+        }
+    }
+
+    /// Substitutes reads of `source` with `body` (with coordinates
+    /// substituted), the mechanism behind stage inlining.
+    pub fn inline(&self, source: SourceId, body: &Expr) -> Expr {
+        match self {
+            Expr::ConstF(_) | Expr::ConstI(_) | Expr::Var(_) => self.clone(),
+            Expr::At(s, cx, cy) => {
+                let cx = cx.inline(source, body);
+                let cy = cy.inline(source, body);
+                if *s == source {
+                    body.substitute_coords(&cx, &cy)
+                } else {
+                    Expr::At(*s, Box::new(cx), Box::new(cy))
+                }
+            }
+            Expr::Bin(op, a, b) => Expr::Bin(
+                *op,
+                Box::new(a.inline(source, body)),
+                Box::new(b.inline(source, body)),
+            ),
+            Expr::Cast(t, e) => Expr::Cast(*t, Box::new(e.inline(source, body))),
+            Expr::Select(c, a, b) => Expr::Select(
+                Box::new(c.inline(source, body)),
+                Box::new(a.inline(source, body)),
+                Box::new(b.inline(source, body)),
+            ),
+        }
+    }
+
+    /// Replaces `x`/`y` with the given coordinate expressions.
+    pub fn substitute_coords(&self, nx: &Expr, ny: &Expr) -> Expr {
+        match self {
+            Expr::ConstF(_) | Expr::ConstI(_) => self.clone(),
+            Expr::Var(Var::X) => nx.clone(),
+            Expr::Var(Var::Y) => ny.clone(),
+            Expr::At(s, cx, cy) => Expr::At(
+                *s,
+                Box::new(cx.substitute_coords(nx, ny)),
+                Box::new(cy.substitute_coords(nx, ny)),
+            ),
+            Expr::Bin(op, a, b) => Expr::Bin(
+                *op,
+                Box::new(a.substitute_coords(nx, ny)),
+                Box::new(b.substitute_coords(nx, ny)),
+            ),
+            Expr::Cast(t, e) => Expr::Cast(*t, Box::new(e.substitute_coords(nx, ny))),
+            Expr::Select(c, a, b) => Expr::Select(
+                Box::new(c.substitute_coords(nx, ny)),
+                Box::new(a.substitute_coords(nx, ny)),
+                Box::new(b.substitute_coords(nx, ny)),
+            ),
+        }
+    }
+}
+
+impl From<f32> for Expr {
+    fn from(v: f32) -> Self {
+        Expr::ConstF(v)
+    }
+}
+
+impl From<i32> for Expr {
+    fn from(v: i32) -> Self {
+        Expr::ConstI(v)
+    }
+}
+
+macro_rules! binop_impl {
+    ($trait:ident, $method:ident, $op:expr) => {
+        impl $trait for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr::Bin($op, Box::new(self), Box::new(rhs))
+            }
+        }
+
+        impl $trait<f32> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: f32) -> Expr {
+                Expr::Bin($op, Box::new(self), Box::new(Expr::ConstF(rhs)))
+            }
+        }
+
+        impl $trait<i32> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: i32) -> Expr {
+                Expr::Bin($op, Box::new(self), Box::new(Expr::ConstI(rhs)))
+            }
+        }
+
+        impl $trait<Expr> for f32 {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr::Bin($op, Box::new(Expr::ConstF(self)), Box::new(rhs))
+            }
+        }
+
+        impl $trait<Expr> for i32 {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr::Bin($op, Box::new(Expr::ConstI(self)), Box::new(rhs))
+            }
+        }
+    };
+}
+
+binop_impl!(Add, add, BinOp::Add);
+binop_impl!(Sub, sub, BinOp::Sub);
+binop_impl!(Mul, mul, BinOp::Mul);
+binop_impl!(Div, div, BinOp::Div);
+
+impl Neg for Expr {
+    type Output = Expr;
+
+    fn neg(self) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(Expr::ConstF(0.0)), Box::new(self))
+    }
+}
+
+/// A handle to a source (input image or `Func`) usable in expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceRef(pub(crate) SourceId);
+
+impl SourceRef {
+    /// Reads the source at the given coordinates (clamped to its extent).
+    pub fn at(self, cx: impl Into<Expr>, cy: impl Into<Expr>) -> Expr {
+        Expr::At(self.0, Box::new(cx.into()), Box::new(cy.into()))
+    }
+
+    /// The underlying source id.
+    pub fn id(self) -> SourceId {
+        self.0
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::ConstF(v) => write!(f, "{v}"),
+            Expr::ConstI(v) => write!(f, "{v}"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::At(s, cx, cy) => write!(f, "{s}({cx}, {cy})"),
+            Expr::Bin(op @ (BinOp::Min | BinOp::Max), a, b) => {
+                write!(f, "{op}({a}, {b})")
+            }
+            Expr::Bin(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::Cast(ScalarType::I32, e) => write!(f, "i32({e})"),
+            Expr::Cast(ScalarType::F32, e) => write!(f, "f32({e})"),
+            Expr::Select(c, a, b) => write!(f, "select({c}, {a}, {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(n: u32) -> SourceRef {
+        SourceRef(SourceId(n))
+    }
+
+    #[test]
+    fn operator_overloads_build_trees() {
+        let e = (x() + 1) * 2.0 - y() / 2;
+        assert_eq!(e.size(), 9);
+        assert!(e.to_string().contains('*'));
+    }
+
+    #[test]
+    fn sources_deduplicated() {
+        let s = src(3);
+        let e = s.at(x(), y()) + s.at(x() + 1, y()) + src(5).at(x(), y());
+        assert_eq!(e.sources(), vec![SourceId(3), SourceId(5)]);
+    }
+
+    #[test]
+    fn substitute_coords_replaces_vars() {
+        let e = x() + y() * 2.0;
+        let sub = e.substitute_coords(&Expr::ConstI(7), &Expr::ConstI(9));
+        match sub {
+            Expr::Bin(BinOp::Add, a, _) => assert_eq!(*a, Expr::ConstI(7)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inline_substitutes_body_with_shifted_coords() {
+        // g(x,y) = f(x+1, y); inline f(x,y) = x * 10 into g.
+        let f = SourceId(0);
+        let g_body = src(0).at(x() + 1, y());
+        let f_body = x() * 10.0;
+        let inlined = g_body.inline(f, &f_body);
+        // Result should be (x+1) * 10 with no At nodes left.
+        assert!(inlined.sources().is_empty());
+        assert_eq!(inlined, (x() + 1) * 10.0);
+    }
+
+    #[test]
+    fn inline_keeps_other_sources() {
+        let e = src(0).at(x(), y()) + src(1).at(x(), y());
+        let out = e.inline(SourceId(0), &Expr::ConstF(1.0));
+        assert_eq!(out.sources(), vec![SourceId(1)]);
+    }
+
+    #[test]
+    fn clamp_abs_select_helpers() {
+        let c = x().clamp(0, 7);
+        assert!(matches!(c, Expr::Bin(BinOp::Min, _, _)));
+        let a = Expr::ConstF(-2.0).abs();
+        assert!(matches!(a, Expr::Bin(BinOp::Max, _, _)));
+        let s = x().lt(3).select(1.0, 2.0);
+        assert!(matches!(s, Expr::Select(_, _, _)));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = src(1).at(x() - 1, y()) / 3.0;
+        let s = e.to_string();
+        assert!(s.contains("src1") || s.contains('('), "{s}");
+    }
+}

@@ -1,0 +1,169 @@
+//! The 2D f32 image container used by the reference interpreter, the host
+//! upload path and the workload generators.
+
+/// A row-major 2D image of `f32` pixels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    width: u32,
+    height: u32,
+    data: Vec<f32>,
+}
+
+impl Image {
+    /// Creates a zero-filled image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        Self { width, height, data: vec![0.0; (width * height) as usize] }
+    }
+
+    /// Creates an image from existing row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height`.
+    pub fn from_vec(width: u32, height: u32, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), (width * height) as usize, "data length mismatch");
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        Self { width, height, data }
+    }
+
+    /// Creates an image filled with `v`.
+    pub fn splat(width: u32, height: u32, v: f32) -> Self {
+        Self { width, height, data: vec![v; (width * height) as usize] }
+    }
+
+    /// A deterministic diagonal gradient test image (values in `[0, 1)`).
+    pub fn gradient(width: u32, height: u32) -> Self {
+        let mut img = Self::new(width, height);
+        let denom = (width + height) as f32;
+        for y in 0..height {
+            for x in 0..width {
+                img.set(x, y, (x + y) as f32 / denom);
+            }
+        }
+        img
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of pixels.
+    pub fn pixels(&self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+
+    /// Pixel value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range; use [`Image::get_clamped`] for boundary
+    /// reads.
+    pub fn get(&self, x: u32, y: u32) -> f32 {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of range");
+        self.data[(y * self.width + x) as usize]
+    }
+
+    /// Pixel value with clamp-to-edge boundary behaviour (signed coords).
+    pub fn get_clamped(&self, x: i64, y: i64) -> f32 {
+        let cx = x.clamp(0, self.width as i64 - 1) as u32;
+        let cy = y.clamp(0, self.height as i64 - 1) as u32;
+        self.get(cx, cy)
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, x: u32, y: u32, v: f32) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of range");
+        self.data[(y * self.width + x) as usize] = v;
+    }
+
+    /// Row-major pixel data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Maximum absolute difference against another image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn max_abs_diff(&self, other: &Image) -> f32 {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "image dimensions differ"
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut img = Image::new(4, 3);
+        assert_eq!(img.pixels(), 12);
+        img.set(3, 2, 5.0);
+        assert_eq!(img.get(3, 2), 5.0);
+        assert_eq!(img.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn clamped_boundary_reads() {
+        let mut img = Image::new(2, 2);
+        img.set(0, 0, 1.0);
+        img.set(1, 1, 4.0);
+        assert_eq!(img.get_clamped(-5, -5), 1.0);
+        assert_eq!(img.get_clamped(10, 10), 4.0);
+        assert_eq!(img.get_clamped(0, 0), 1.0);
+    }
+
+    #[test]
+    fn gradient_is_deterministic_and_bounded() {
+        let a = Image::gradient(16, 8);
+        let b = Image::gradient(16, 8);
+        assert_eq!(a, b);
+        assert!(a.data().iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn max_abs_diff_detects_changes() {
+        let a = Image::splat(4, 4, 1.0);
+        let mut b = a.clone();
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        b.set(2, 2, 1.5);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        Image::new(2, 2).get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_size_rejected() {
+        Image::new(0, 4);
+    }
+}

@@ -1,0 +1,365 @@
+//! Reference CPU interpreter: the golden model for compiler correctness.
+//!
+//! Every func is materialized at its declared extent in definition order
+//! (this has identical semantics to any legal schedule, since funcs are
+//! pure). Source reads clamp coordinates to the source extent; coordinate
+//! expressions evaluate with integer semantics and floor division, value
+//! expressions with f32 semantics — matching both Halide's conventions and
+//! the SIMB lowering.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::expr::{BinOp, Expr, ScalarType, Var};
+use crate::image::Image;
+use crate::pipeline::{FuncBody, Pipeline, SourceId};
+
+/// Error produced by the interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// Number of provided images doesn't match the pipeline's inputs.
+    InputCount {
+        /// Inputs the pipeline declares.
+        expected: usize,
+        /// Images provided.
+        got: usize,
+    },
+    /// An input image's extent doesn't match its declaration.
+    InputExtent {
+        /// Input name.
+        name: String,
+        /// Declared extent.
+        expected: (u32, u32),
+        /// Provided extent.
+        got: (u32, u32),
+    },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::InputCount { expected, got } => {
+                write!(f, "pipeline expects {expected} inputs, got {got}")
+            }
+            InterpError::InputExtent { name, expected, got } => write!(
+                f,
+                "input `{name}` expects extent {expected:?}, got {got:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Evaluates `pipeline` on `inputs`, returning the output image.
+///
+/// # Errors
+///
+/// Returns [`InterpError`] if inputs don't match the pipeline declaration.
+pub fn interpret(pipeline: &Pipeline, inputs: &[Image]) -> Result<Image, InterpError> {
+    let all = interpret_named(pipeline, inputs)?;
+    Ok(all
+        .into_iter()
+        .find(|(s, _)| *s == pipeline.output().source)
+        .map(|(_, img)| img)
+        .expect("output func evaluated"))
+}
+
+/// Evaluates `pipeline`, returning every func's buffer keyed by source id
+/// (useful for debugging intermediate stages).
+///
+/// # Errors
+///
+/// Returns [`InterpError`] if inputs don't match the pipeline declaration.
+pub fn interpret_named(
+    pipeline: &Pipeline,
+    inputs: &[Image],
+) -> Result<Vec<(SourceId, Image)>, InterpError> {
+    if inputs.len() != pipeline.inputs().len() {
+        return Err(InterpError::InputCount {
+            expected: pipeline.inputs().len(),
+            got: inputs.len(),
+        });
+    }
+    let mut buffers: HashMap<SourceId, Image> = HashMap::new();
+    for (def, img) in pipeline.inputs().iter().zip(inputs) {
+        if def.extent != (img.width(), img.height()) {
+            return Err(InterpError::InputExtent {
+                name: def.name.clone(),
+                expected: def.extent,
+                got: (img.width(), img.height()),
+            });
+        }
+        buffers.insert(def.source, img.clone());
+    }
+
+    let mut out = Vec::new();
+    for func in pipeline.funcs() {
+        let (w, h) = func.extent;
+        let mut img = Image::new(w, h);
+        match func.body.as_ref().expect("validated pipeline") {
+            FuncBody::Pure(e) => {
+                for yy in 0..h {
+                    for xx in 0..w {
+                        img.set(xx, yy, eval_f(e, xx as i64, yy as i64, &buffers));
+                    }
+                }
+            }
+            FuncBody::Histogram { source, bins, min, max } => {
+                let src = &buffers[source];
+                let scale = *bins as f32 / (max - min);
+                for yy in 0..src.height() {
+                    for xx in 0..src.width() {
+                        let v = src.get(xx, yy);
+                        let bin = (((v - min) * scale) as i64).clamp(0, *bins as i64 - 1);
+                        img.set(bin as u32, 0, img.get(bin as u32, 0) + 1.0);
+                    }
+                }
+            }
+        }
+        buffers.insert(func.source, img.clone());
+        out.push((func.source, img));
+    }
+    Ok(out)
+}
+
+/// Evaluates a value expression at output pixel `(x, y)`.
+fn eval_f(e: &Expr, x: i64, y: i64, buffers: &HashMap<SourceId, Image>) -> f32 {
+    match e {
+        Expr::ConstF(v) => *v,
+        Expr::ConstI(v) => *v as f32,
+        Expr::Var(Var::X) => x as f32,
+        Expr::Var(Var::Y) => y as f32,
+        Expr::At(s, cx, cy) => {
+            let ix = eval_i(cx, x, y, buffers);
+            let iy = eval_i(cy, x, y, buffers);
+            buffers[s].get_clamped(ix, iy)
+        }
+        Expr::Bin(op, a, b) => {
+            let a = eval_f(a, x, y, buffers);
+            let b = eval_f(b, x, y, buffers);
+            match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a / b,
+                BinOp::Min => a.min(b),
+                BinOp::Max => a.max(b),
+                BinOp::Lt => (a < b) as u32 as f32,
+                BinOp::Le => (a <= b) as u32 as f32,
+                BinOp::Eq => (a == b) as u32 as f32,
+            }
+        }
+        Expr::Cast(ScalarType::I32, inner) => eval_f(inner, x, y, buffers).trunc(),
+        Expr::Cast(ScalarType::F32, inner) => eval_f(inner, x, y, buffers),
+        Expr::Select(c, a, b) => {
+            if eval_f(c, x, y, buffers) != 0.0 {
+                eval_f(a, x, y, buffers)
+            } else {
+                eval_f(b, x, y, buffers)
+            }
+        }
+    }
+}
+
+/// Evaluates a coordinate expression with integer semantics (floor
+/// division, like Halide).
+fn eval_i(e: &Expr, x: i64, y: i64, buffers: &HashMap<SourceId, Image>) -> i64 {
+    match e {
+        Expr::ConstF(v) => *v as i64,
+        Expr::ConstI(v) => *v as i64,
+        Expr::Var(Var::X) => x,
+        Expr::Var(Var::Y) => y,
+        Expr::Bin(op, a, b) => {
+            let a = eval_i(a, x, y, buffers);
+            let b = eval_i(b, x, y, buffers);
+            match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0 {
+                        0
+                    } else {
+                        a.div_euclid(b)
+                    }
+                }
+                BinOp::Min => a.min(b),
+                BinOp::Max => a.max(b),
+                BinOp::Lt => (a < b) as i64,
+                BinOp::Le => (a <= b) as i64,
+                BinOp::Eq => (a == b) as i64,
+            }
+        }
+        // A cast inside a coordinate: evaluate the inner expression as a
+        // value (this is the data-dependent-gather path) and truncate.
+        Expr::Cast(_, inner) => eval_f(inner, x, y, buffers) as i64,
+        Expr::At(..) | Expr::Select(..) => eval_f(e, x, y, buffers) as i64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{x, y};
+    use crate::pipeline::PipelineBuilder;
+
+    #[test]
+    fn brighten_scales_every_pixel() {
+        let mut p = PipelineBuilder::new();
+        let input = p.input("in", 8, 8);
+        let out = p.func("out", 8, 8);
+        p.define(out, input.at(x(), y()) * 2.0);
+        let pipe = p.build(out).unwrap();
+        let img = Image::gradient(8, 8);
+        let result = interpret(&pipe, &[img.clone()]).unwrap();
+        for yy in 0..8 {
+            for xx in 0..8 {
+                assert_eq!(result.get(xx, yy), img.get(xx, yy) * 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn blur_boundary_clamps() {
+        let mut p = PipelineBuilder::new();
+        let input = p.input("in", 4, 1);
+        let out = p.func("out", 4, 1);
+        p.define(
+            out,
+            (input.at(x() - 1, y()) + input.at(x(), y()) + input.at(x() + 1, y())) / 3.0,
+        );
+        let pipe = p.build(out).unwrap();
+        let img = Image::from_vec(4, 1, vec![3.0, 6.0, 9.0, 12.0]);
+        let result = interpret(&pipe, &[img]).unwrap();
+        // x=0 clamps: (3+3+6)/3 = 4
+        assert_eq!(result.get(0, 0), 4.0);
+        assert_eq!(result.get(1, 0), 6.0);
+        // x=3 clamps: (9+12+12)/3 = 11
+        assert_eq!(result.get(3, 0), 11.0);
+    }
+
+    #[test]
+    fn downsample_halves_extent() {
+        let mut p = PipelineBuilder::new();
+        let input = p.input("in", 8, 8);
+        let out = p.func("out", 4, 4);
+        p.define(out, input.at(x() * 2, y() * 2));
+        let pipe = p.build(out).unwrap();
+        let mut img = Image::new(8, 8);
+        for yy in 0..8 {
+            for xx in 0..8 {
+                img.set(xx, yy, (yy * 8 + xx) as f32);
+            }
+        }
+        let result = interpret(&pipe, &[img]).unwrap();
+        assert_eq!(result.get(0, 0), 0.0);
+        assert_eq!(result.get(1, 0), 2.0);
+        assert_eq!(result.get(0, 1), 16.0);
+    }
+
+    #[test]
+    fn upsample_uses_floor_division() {
+        let mut p = PipelineBuilder::new();
+        let input = p.input("in", 2, 1);
+        let out = p.func("out", 4, 1);
+        p.define(out, input.at(x() / 2, y()));
+        let pipe = p.build(out).unwrap();
+        let img = Image::from_vec(2, 1, vec![5.0, 7.0]);
+        let result = interpret(&pipe, &[img]).unwrap();
+        assert_eq!(result.data(), &[5.0, 5.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn histogram_counts_values() {
+        let mut p = PipelineBuilder::new();
+        let input = p.input("in", 4, 1);
+        let h = p.func("hist", 4, 1);
+        p.define_histogram(h, input, 0.0, 4.0);
+        let pipe = p.build(h).unwrap();
+        let img = Image::from_vec(4, 1, vec![0.5, 1.5, 1.7, 3.2]);
+        let result = interpret(&pipe, &[img]).unwrap();
+        assert_eq!(result.data(), &[1.0, 2.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let mut p = PipelineBuilder::new();
+        let input = p.input("in", 3, 1);
+        let h = p.func("hist", 2, 1);
+        p.define_histogram(h, input, 0.0, 1.0);
+        let pipe = p.build(h).unwrap();
+        let img = Image::from_vec(3, 1, vec![-5.0, 0.2, 9.0]);
+        let result = interpret(&pipe, &[img]).unwrap();
+        assert_eq!(result.data(), &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn data_dependent_gather() {
+        let mut p = PipelineBuilder::new();
+        let table = p.input("table", 4, 1);
+        let idx = p.input("idx", 4, 1);
+        let out = p.func("out", 4, 1);
+        p.define(out, table.at(idx.at(x(), y()).cast_i32(), 0));
+        let pipe = p.build(out).unwrap();
+        let table_img = Image::from_vec(4, 1, vec![10.0, 20.0, 30.0, 40.0]);
+        let idx_img = Image::from_vec(4, 1, vec![3.0, 2.0, 1.0, 0.0]);
+        let result = interpret(&pipe, &[table_img, idx_img]).unwrap();
+        assert_eq!(result.data(), &[40.0, 30.0, 20.0, 10.0]);
+    }
+
+    #[test]
+    fn select_blends() {
+        let mut p = PipelineBuilder::new();
+        let input = p.input("in", 4, 1);
+        let out = p.func("out", 4, 1);
+        p.define(out, input.at(x(), y()).lt(2.0).select(100.0, 200.0));
+        let pipe = p.build(out).unwrap();
+        let img = Image::from_vec(4, 1, vec![0.0, 1.0, 2.0, 3.0]);
+        let result = interpret(&pipe, &[img]).unwrap();
+        assert_eq!(result.data(), &[100.0, 100.0, 200.0, 200.0]);
+    }
+
+    #[test]
+    fn wrong_input_count_rejected() {
+        let mut p = PipelineBuilder::new();
+        let input = p.input("in", 4, 4);
+        let out = p.func("out", 4, 4);
+        p.define(out, input.at(x(), y()));
+        let pipe = p.build(out).unwrap();
+        assert!(matches!(
+            interpret(&pipe, &[]),
+            Err(InterpError::InputCount { expected: 1, got: 0 })
+        ));
+    }
+
+    #[test]
+    fn wrong_input_extent_rejected() {
+        let mut p = PipelineBuilder::new();
+        let input = p.input("in", 4, 4);
+        let out = p.func("out", 4, 4);
+        p.define(out, input.at(x(), y()));
+        let pipe = p.build(out).unwrap();
+        assert!(matches!(
+            interpret(&pipe, &[Image::new(5, 4)]),
+            Err(InterpError::InputExtent { .. })
+        ));
+    }
+
+    #[test]
+    fn intermediate_buffers_available() {
+        let mut p = PipelineBuilder::new();
+        let input = p.input("in", 4, 4);
+        let mid = p.func("mid", 4, 4);
+        p.define(mid, input.at(x(), y()) + 1.0);
+        let out = p.func("out", 4, 4);
+        p.define(out, mid.at(x(), y()) * 2.0);
+        let pipe = p.build(out).unwrap();
+        let all = interpret_named(&pipe, &[Image::splat(4, 4, 1.0)]).unwrap();
+        assert_eq!(all.len(), 2);
+        let mid_img = &all[0].1;
+        assert_eq!(mid_img.get(0, 0), 2.0);
+        let out_img = &all[1].1;
+        assert_eq!(out_img.get(0, 0), 4.0);
+    }
+}

@@ -1,0 +1,734 @@
+//! Fixed-width binary encoding of SIMB instructions.
+//!
+//! Each instruction encodes into a 24-byte (192-bit) word — wide enough to
+//! hold the 64-bit `simb_mask` plus a 32-bit immediate with byte-aligned
+//! fields, which is what the host driver writes into the VSM instruction
+//! region. `decode(encode(i)) == i` holds for every instruction (verified by
+//! a property test).
+
+use std::fmt;
+
+use crate::{
+    AddrOperand, AddrReg, ArfOp, ArfSrc, CompMode, CompOp, CrfOp, CrfSrc, CtrlReg, DataReg,
+    DataType, Instruction, RemoteTarget, SimbMask, VecMask,
+};
+
+/// Width of one encoded instruction in bytes.
+pub const WORD_BYTES: usize = 24;
+
+/// Error produced when decoding a malformed instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    offset: usize,
+    byte: u8,
+    what: &'static str,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {} byte {:#x} at offset {}", self.what, self.byte, self.offset)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Writer {
+    buf: [u8; WORD_BYTES],
+    pos: usize,
+}
+
+impl Writer {
+    fn new(opcode: u8) -> Self {
+        let mut w = Self { buf: [0; WORD_BYTES], pos: 0 };
+        w.u8(opcode);
+        w
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf[self.pos] = v;
+        self.pos += 1;
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf[self.pos..self.pos + 4].copy_from_slice(&v.to_le_bytes());
+        self.pos += 4;
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf[self.pos..self.pos + 8].copy_from_slice(&v.to_le_bytes());
+        self.pos += 8;
+    }
+
+    fn simb(&mut self, m: SimbMask) {
+        self.u8(m.width() as u8);
+        self.u64(m.bits());
+    }
+
+    fn addr_operand(&mut self, a: AddrOperand) {
+        match a {
+            AddrOperand::Imm(v) => {
+                self.u8(0);
+                self.u32(v);
+            }
+            AddrOperand::Indirect(r) => {
+                self.u8(1);
+                self.u32(r.index() as u32);
+            }
+        }
+    }
+
+    fn crf_src(&mut self, s: CrfSrc) {
+        match s {
+            CrfSrc::Imm(v) => {
+                self.u8(0);
+                self.u32(v as u32);
+            }
+            CrfSrc::Reg(r) => {
+                self.u8(1);
+                self.u32(r.index() as u32);
+            }
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8; WORD_BYTES],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> u8 {
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    fn u32(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
+        self.pos += 4;
+        v
+    }
+
+    fn u64(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
+        self.pos += 8;
+        v
+    }
+
+    fn simb(&mut self) -> Result<SimbMask, DecodeError> {
+        let offset = self.pos;
+        let width = self.u8();
+        if width == 0 || width as usize > SimbMask::MAX_WIDTH {
+            return Err(DecodeError { offset, byte: width, what: "simb width" });
+        }
+        let bits = self.u64();
+        Ok(SimbMask::from_bits(width as usize, bits))
+    }
+
+    fn addr_operand(&mut self) -> Result<AddrOperand, DecodeError> {
+        let offset = self.pos;
+        let tag = self.u8();
+        let v = self.u32();
+        match tag {
+            0 => Ok(AddrOperand::Imm(v)),
+            1 => Ok(AddrOperand::Indirect(AddrReg::new(v as u8))),
+            _ => Err(DecodeError { offset, byte: tag, what: "addr operand tag" }),
+        }
+    }
+
+    fn crf_src(&mut self) -> Result<CrfSrc, DecodeError> {
+        let offset = self.pos;
+        let tag = self.u8();
+        let v = self.u32();
+        match tag {
+            0 => Ok(CrfSrc::Imm(v as i32)),
+            1 => Ok(CrfSrc::Reg(CtrlReg::new(v as u8))),
+            _ => Err(DecodeError { offset, byte: tag, what: "crf src tag" }),
+        }
+    }
+}
+
+mod opcode {
+    pub const COMP: u8 = 0;
+    pub const CALC_ARF: u8 = 1;
+    pub const ST_RF: u8 = 2;
+    pub const LD_RF: u8 = 3;
+    pub const ST_PGSM: u8 = 4;
+    pub const LD_PGSM: u8 = 5;
+    pub const RD_PGSM: u8 = 6;
+    pub const WR_PGSM: u8 = 7;
+    pub const RD_VSM: u8 = 8;
+    pub const WR_VSM: u8 = 9;
+    pub const MOV: u8 = 10;
+    pub const SETI_VSM: u8 = 11;
+    pub const RESET: u8 = 12;
+    pub const SETI_DRF: u8 = 13;
+    pub const REQ: u8 = 14;
+    pub const JUMP: u8 = 15;
+    pub const CJUMP: u8 = 16;
+    pub const CALC_CRF: u8 = 17;
+    pub const SETI_CRF: u8 = 18;
+    pub const SYNC: u8 = 19;
+}
+
+fn comp_op_code(op: CompOp) -> u8 {
+    use CompOp::*;
+    match op {
+        Add => 0,
+        Sub => 1,
+        Mul => 2,
+        Mac => 3,
+        Div => 4,
+        Min => 5,
+        Max => 6,
+        Shl => 7,
+        Shr => 8,
+        And => 9,
+        Or => 10,
+        Xor => 11,
+        CropLsb => 12,
+        CropMsb => 13,
+        CmpLt => 14,
+        CmpLe => 15,
+        CmpEq => 16,
+        CvtI2F => 17,
+        CvtF2I => 18,
+    }
+}
+
+fn comp_op_decode(code: u8, offset: usize) -> Result<CompOp, DecodeError> {
+    use CompOp::*;
+    Ok(match code {
+        0 => Add,
+        1 => Sub,
+        2 => Mul,
+        3 => Mac,
+        4 => Div,
+        5 => Min,
+        6 => Max,
+        7 => Shl,
+        8 => Shr,
+        9 => And,
+        10 => Or,
+        11 => Xor,
+        12 => CropLsb,
+        13 => CropMsb,
+        14 => CmpLt,
+        15 => CmpLe,
+        16 => CmpEq,
+        17 => CvtI2F,
+        18 => CvtF2I,
+        b => return Err(DecodeError { offset, byte: b, what: "comp op" }),
+    })
+}
+
+fn arf_op_code(op: ArfOp) -> u8 {
+    use ArfOp::*;
+    match op {
+        Add => 0,
+        Sub => 1,
+        Mul => 2,
+        Div => 3,
+        Rem => 4,
+        Shl => 5,
+        Shr => 6,
+        And => 7,
+        Or => 8,
+        Min => 9,
+        Max => 10,
+    }
+}
+
+fn arf_op_decode(code: u8, offset: usize) -> Result<ArfOp, DecodeError> {
+    use ArfOp::*;
+    Ok(match code {
+        0 => Add,
+        1 => Sub,
+        2 => Mul,
+        3 => Div,
+        4 => Rem,
+        5 => Shl,
+        6 => Shr,
+        7 => And,
+        8 => Or,
+        9 => Min,
+        10 => Max,
+        b => return Err(DecodeError { offset, byte: b, what: "arf op" }),
+    })
+}
+
+fn crf_op_code(op: CrfOp) -> u8 {
+    use CrfOp::*;
+    match op {
+        Add => 0,
+        Sub => 1,
+        Mul => 2,
+        Div => 3,
+        Rem => 4,
+        Lt => 5,
+        Ge => 6,
+        Eq => 7,
+        Min => 8,
+        Max => 9,
+    }
+}
+
+fn crf_op_decode(code: u8, offset: usize) -> Result<CrfOp, DecodeError> {
+    use CrfOp::*;
+    Ok(match code {
+        0 => Add,
+        1 => Sub,
+        2 => Mul,
+        3 => Div,
+        4 => Rem,
+        5 => Lt,
+        6 => Ge,
+        7 => Eq,
+        8 => Min,
+        9 => Max,
+        b => return Err(DecodeError { offset, byte: b, what: "crf op" }),
+    })
+}
+
+/// Encodes one instruction into its 24-byte binary word.
+pub fn encode(inst: &Instruction) -> [u8; WORD_BYTES] {
+    use Instruction::*;
+    let w = match *inst {
+        Comp { op, dtype, mode, dst, src1, src2, vec_mask, simb_mask } => {
+            let mut w = Writer::new(opcode::COMP);
+            w.u8(comp_op_code(op));
+            w.u8(matches!(dtype, DataType::I32) as u8);
+            w.u8(matches!(mode, CompMode::ScalarVector) as u8);
+            w.u8(dst.index() as u8);
+            w.u8(src1.index() as u8);
+            w.u8(src2.index() as u8);
+            w.u8(vec_mask.bits());
+            w.simb(simb_mask);
+            w
+        }
+        CalcArf { op, dst, src1, src2, simb_mask } => {
+            let mut w = Writer::new(opcode::CALC_ARF);
+            w.u8(arf_op_code(op));
+            w.u8(dst.index() as u8);
+            w.u8(src1.index() as u8);
+            match src2 {
+                ArfSrc::Imm(v) => {
+                    w.u8(0);
+                    w.u32(v as u32);
+                }
+                ArfSrc::Reg(r) => {
+                    w.u8(1);
+                    w.u32(r.index() as u32);
+                }
+            }
+            w.simb(simb_mask);
+            w
+        }
+        StRf { dram_addr, drf, simb_mask } => {
+            let mut w = Writer::new(opcode::ST_RF);
+            w.addr_operand(dram_addr);
+            w.u8(drf.index() as u8);
+            w.simb(simb_mask);
+            w
+        }
+        LdRf { dram_addr, drf, simb_mask } => {
+            let mut w = Writer::new(opcode::LD_RF);
+            w.addr_operand(dram_addr);
+            w.u8(drf.index() as u8);
+            w.simb(simb_mask);
+            w
+        }
+        StPgsm { dram_addr, pgsm_addr, simb_mask } => {
+            let mut w = Writer::new(opcode::ST_PGSM);
+            w.addr_operand(dram_addr);
+            w.addr_operand(pgsm_addr);
+            w.simb(simb_mask);
+            w
+        }
+        LdPgsm { dram_addr, pgsm_addr, simb_mask } => {
+            let mut w = Writer::new(opcode::LD_PGSM);
+            w.addr_operand(dram_addr);
+            w.addr_operand(pgsm_addr);
+            w.simb(simb_mask);
+            w
+        }
+        RdPgsm { pgsm_addr, drf, simb_mask } => {
+            let mut w = Writer::new(opcode::RD_PGSM);
+            w.addr_operand(pgsm_addr);
+            w.u8(drf.index() as u8);
+            w.simb(simb_mask);
+            w
+        }
+        WrPgsm { pgsm_addr, drf, simb_mask } => {
+            let mut w = Writer::new(opcode::WR_PGSM);
+            w.addr_operand(pgsm_addr);
+            w.u8(drf.index() as u8);
+            w.simb(simb_mask);
+            w
+        }
+        RdVsm { vsm_addr, drf, simb_mask } => {
+            let mut w = Writer::new(opcode::RD_VSM);
+            w.addr_operand(vsm_addr);
+            w.u8(drf.index() as u8);
+            w.simb(simb_mask);
+            w
+        }
+        WrVsm { vsm_addr, drf, simb_mask } => {
+            let mut w = Writer::new(opcode::WR_VSM);
+            w.addr_operand(vsm_addr);
+            w.u8(drf.index() as u8);
+            w.simb(simb_mask);
+            w
+        }
+        Mov { to_arf, arf, drf, lane, simb_mask } => {
+            let mut w = Writer::new(opcode::MOV);
+            w.u8(to_arf as u8);
+            w.u8(arf.index() as u8);
+            w.u8(drf.index() as u8);
+            w.u8(lane);
+            w.simb(simb_mask);
+            w
+        }
+        SetiVsm { vsm_addr, imm } => {
+            let mut w = Writer::new(opcode::SETI_VSM);
+            w.u32(vsm_addr);
+            w.u32(imm);
+            w
+        }
+        Reset { drf, simb_mask } => {
+            let mut w = Writer::new(opcode::RESET);
+            w.u8(drf.index() as u8);
+            w.simb(simb_mask);
+            w
+        }
+        SetiDrf { drf, imm, vec_mask, simb_mask } => {
+            let mut w = Writer::new(opcode::SETI_DRF);
+            w.u8(drf.index() as u8);
+            w.u32(imm);
+            w.u8(vec_mask.bits());
+            w.simb(simb_mask);
+            w
+        }
+        Req { target, dram_addr, vsm_addr } => {
+            let mut w = Writer::new(opcode::REQ);
+            w.u8(target.chip);
+            w.u8(target.vault);
+            w.u8(target.pg);
+            w.u8(target.pe);
+            w.crf_src(dram_addr);
+            w.crf_src(vsm_addr);
+            w
+        }
+        Jump { target } => {
+            let mut w = Writer::new(opcode::JUMP);
+            w.crf_src(target);
+            w
+        }
+        CJump { cond, target } => {
+            let mut w = Writer::new(opcode::CJUMP);
+            w.u8(cond.index() as u8);
+            w.crf_src(target);
+            w
+        }
+        CalcCrf { op, dst, src1, src2 } => {
+            let mut w = Writer::new(opcode::CALC_CRF);
+            w.u8(crf_op_code(op));
+            w.u8(dst.index() as u8);
+            w.u8(src1.index() as u8);
+            w.crf_src(src2);
+            w
+        }
+        SetiCrf { dst, imm } => {
+            let mut w = Writer::new(opcode::SETI_CRF);
+            w.u8(dst.index() as u8);
+            w.u32(imm as u32);
+            w
+        }
+        Sync { phase_id } => {
+            let mut w = Writer::new(opcode::SYNC);
+            w.u32(phase_id);
+            w
+        }
+    };
+    w.buf
+}
+
+/// Decodes a 24-byte binary word back into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the opcode or any field tag is invalid.
+pub fn decode(word: &[u8; WORD_BYTES]) -> Result<Instruction, DecodeError> {
+    let mut r = Reader { buf: word, pos: 0 };
+    let op = r.u8();
+    let inst = match op {
+        opcode::COMP => {
+            let off = r.pos;
+            let cop = comp_op_decode(r.u8(), off)?;
+            let dtype = if r.u8() == 0 { DataType::F32 } else { DataType::I32 };
+            let mode = if r.u8() == 0 { CompMode::VectorVector } else { CompMode::ScalarVector };
+            let dst = DataReg::new(r.u8());
+            let src1 = DataReg::new(r.u8());
+            let src2 = DataReg::new(r.u8());
+            let vec_mask = VecMask::from_bits(r.u8());
+            let simb_mask = r.simb()?;
+            Instruction::Comp { op: cop, dtype, mode, dst, src1, src2, vec_mask, simb_mask }
+        }
+        opcode::CALC_ARF => {
+            let off = r.pos;
+            let aop = arf_op_decode(r.u8(), off)?;
+            let dst = AddrReg::new(r.u8());
+            let src1 = AddrReg::new(r.u8());
+            let tag_off = r.pos;
+            let tag = r.u8();
+            let v = r.u32();
+            let src2 = match tag {
+                0 => ArfSrc::Imm(v as i32),
+                1 => ArfSrc::Reg(AddrReg::new(v as u8)),
+                b => return Err(DecodeError { offset: tag_off, byte: b, what: "arf src tag" }),
+            };
+            let simb_mask = r.simb()?;
+            Instruction::CalcArf { op: aop, dst, src1, src2, simb_mask }
+        }
+        opcode::ST_RF => {
+            let dram_addr = r.addr_operand()?;
+            let drf = DataReg::new(r.u8());
+            Instruction::StRf { dram_addr, drf, simb_mask: r.simb()? }
+        }
+        opcode::LD_RF => {
+            let dram_addr = r.addr_operand()?;
+            let drf = DataReg::new(r.u8());
+            Instruction::LdRf { dram_addr, drf, simb_mask: r.simb()? }
+        }
+        opcode::ST_PGSM => {
+            let dram_addr = r.addr_operand()?;
+            let pgsm_addr = r.addr_operand()?;
+            Instruction::StPgsm { dram_addr, pgsm_addr, simb_mask: r.simb()? }
+        }
+        opcode::LD_PGSM => {
+            let dram_addr = r.addr_operand()?;
+            let pgsm_addr = r.addr_operand()?;
+            Instruction::LdPgsm { dram_addr, pgsm_addr, simb_mask: r.simb()? }
+        }
+        opcode::RD_PGSM => {
+            let pgsm_addr = r.addr_operand()?;
+            let drf = DataReg::new(r.u8());
+            Instruction::RdPgsm { pgsm_addr, drf, simb_mask: r.simb()? }
+        }
+        opcode::WR_PGSM => {
+            let pgsm_addr = r.addr_operand()?;
+            let drf = DataReg::new(r.u8());
+            Instruction::WrPgsm { pgsm_addr, drf, simb_mask: r.simb()? }
+        }
+        opcode::RD_VSM => {
+            let vsm_addr = r.addr_operand()?;
+            let drf = DataReg::new(r.u8());
+            Instruction::RdVsm { vsm_addr, drf, simb_mask: r.simb()? }
+        }
+        opcode::WR_VSM => {
+            let vsm_addr = r.addr_operand()?;
+            let drf = DataReg::new(r.u8());
+            Instruction::WrVsm { vsm_addr, drf, simb_mask: r.simb()? }
+        }
+        opcode::MOV => {
+            let to_arf = r.u8() != 0;
+            let arf = AddrReg::new(r.u8());
+            let drf = DataReg::new(r.u8());
+            let lane = r.u8();
+            Instruction::Mov { to_arf, arf, drf, lane, simb_mask: r.simb()? }
+        }
+        opcode::SETI_VSM => Instruction::SetiVsm { vsm_addr: r.u32(), imm: r.u32() },
+        opcode::RESET => Instruction::Reset { drf: DataReg::new(r.u8()), simb_mask: r.simb()? },
+        opcode::SETI_DRF => {
+            let drf = DataReg::new(r.u8());
+            let imm = r.u32();
+            let vec_mask = VecMask::from_bits(r.u8());
+            Instruction::SetiDrf { drf, imm, vec_mask, simb_mask: r.simb()? }
+        }
+        opcode::REQ => {
+            let target = RemoteTarget { chip: r.u8(), vault: r.u8(), pg: r.u8(), pe: r.u8() };
+            let dram_addr = r.crf_src()?;
+            let vsm_addr = r.crf_src()?;
+            Instruction::Req { target, dram_addr, vsm_addr }
+        }
+        opcode::JUMP => Instruction::Jump { target: r.crf_src()? },
+        opcode::CJUMP => {
+            let cond = CtrlReg::new(r.u8());
+            Instruction::CJump { cond, target: r.crf_src()? }
+        }
+        opcode::CALC_CRF => {
+            let off = r.pos;
+            let cop = crf_op_decode(r.u8(), off)?;
+            let dst = CtrlReg::new(r.u8());
+            let src1 = CtrlReg::new(r.u8());
+            let src2 = r.crf_src()?;
+            Instruction::CalcCrf { op: cop, dst, src1, src2 }
+        }
+        opcode::SETI_CRF => {
+            let dst = CtrlReg::new(r.u8());
+            Instruction::SetiCrf { dst, imm: r.u32() as i32 }
+        }
+        opcode::SYNC => Instruction::Sync { phase_id: r.u32() },
+        b => return Err(DecodeError { offset: 0, byte: b, what: "opcode" }),
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask() -> SimbMask {
+        SimbMask::from_bits(32, 0xDEAD_BEEF)
+    }
+
+    fn sample_instructions() -> Vec<Instruction> {
+        vec![
+            Instruction::Comp {
+                op: CompOp::Mac,
+                dtype: DataType::F32,
+                mode: CompMode::ScalarVector,
+                dst: DataReg::new(9),
+                src1: DataReg::new(1),
+                src2: DataReg::new(2),
+                vec_mask: VecMask::first(3),
+                simb_mask: mask(),
+            },
+            Instruction::CalcArf {
+                op: ArfOp::Mul,
+                dst: AddrReg::new(6),
+                src1: AddrReg::new(5),
+                src2: ArfSrc::Imm(-128),
+                simb_mask: mask(),
+            },
+            Instruction::CalcArf {
+                op: ArfOp::Add,
+                dst: AddrReg::new(6),
+                src1: AddrReg::new(5),
+                src2: ArfSrc::Reg(AddrReg::new(7)),
+                simb_mask: mask(),
+            },
+            Instruction::StRf {
+                dram_addr: AddrOperand::Indirect(AddrReg::new(4)),
+                drf: DataReg::new(3),
+                simb_mask: mask(),
+            },
+            Instruction::LdRf {
+                dram_addr: AddrOperand::Imm(0xABCD),
+                drf: DataReg::new(3),
+                simb_mask: mask(),
+            },
+            Instruction::StPgsm {
+                dram_addr: AddrOperand::Imm(16),
+                pgsm_addr: AddrOperand::Indirect(AddrReg::new(9)),
+                simb_mask: mask(),
+            },
+            Instruction::LdPgsm {
+                dram_addr: AddrOperand::Indirect(AddrReg::new(10)),
+                pgsm_addr: AddrOperand::Imm(32),
+                simb_mask: mask(),
+            },
+            Instruction::RdPgsm {
+                pgsm_addr: AddrOperand::Imm(48),
+                drf: DataReg::new(11),
+                simb_mask: mask(),
+            },
+            Instruction::WrPgsm {
+                pgsm_addr: AddrOperand::Indirect(AddrReg::new(12)),
+                drf: DataReg::new(13),
+                simb_mask: mask(),
+            },
+            Instruction::RdVsm {
+                vsm_addr: AddrOperand::Imm(0x100),
+                drf: DataReg::new(14),
+                simb_mask: mask(),
+            },
+            Instruction::WrVsm {
+                vsm_addr: AddrOperand::Indirect(AddrReg::new(15)),
+                drf: DataReg::new(16),
+                simb_mask: mask(),
+            },
+            Instruction::Mov {
+                to_arf: true,
+                arf: AddrReg::new(20),
+                drf: DataReg::new(21),
+                lane: 2,
+                simb_mask: mask(),
+            },
+            Instruction::SetiVsm { vsm_addr: 0x2000, imm: 0xFFFF_0001 },
+            Instruction::Reset { drf: DataReg::new(22), simb_mask: mask() },
+            Instruction::SetiDrf {
+                drf: DataReg::new(23),
+                imm: 1.5f32.to_bits(),
+                vec_mask: VecMask::ALL,
+                simb_mask: mask(),
+            },
+            Instruction::Req {
+                target: RemoteTarget { chip: 7, vault: 15, pg: 7, pe: 3 },
+                dram_addr: CrfSrc::Reg(CtrlReg::new(4)),
+                vsm_addr: CrfSrc::Imm(0x300),
+            },
+            Instruction::Jump { target: CrfSrc::Imm(17) },
+            Instruction::CJump { cond: CtrlReg::new(2), target: CrfSrc::Reg(CtrlReg::new(3)) },
+            Instruction::CalcCrf {
+                op: CrfOp::Lt,
+                dst: CtrlReg::new(1),
+                src1: CtrlReg::new(2),
+                src2: CrfSrc::Imm(100),
+            },
+            Instruction::SetiCrf { dst: CtrlReg::new(5), imm: -7 },
+            Instruction::Sync { phase_id: 9 },
+        ]
+    }
+
+    #[test]
+    fn round_trip_every_variant() {
+        for inst in sample_instructions() {
+            let word = encode(&inst);
+            let back = decode(&word).unwrap_or_else(|e| panic!("decode failed for {inst}: {e}"));
+            assert_eq!(back, inst, "round trip mismatch for {inst}");
+        }
+    }
+
+    #[test]
+    fn invalid_opcode_rejected() {
+        let mut word = [0u8; WORD_BYTES];
+        word[0] = 0xFF;
+        assert!(decode(&word).is_err());
+    }
+
+    #[test]
+    fn invalid_simb_width_rejected() {
+        let inst = Instruction::Reset { drf: DataReg::new(0), simb_mask: SimbMask::all(32) };
+        let mut word = encode(&inst);
+        word[2] = 0; // zero width
+        assert!(decode(&word).is_err());
+        word[2] = 65; // too wide
+        assert!(decode(&word).is_err());
+    }
+
+    #[test]
+    fn invalid_comp_op_rejected() {
+        let inst = Instruction::Comp {
+            op: CompOp::Add,
+            dtype: DataType::F32,
+            mode: CompMode::VectorVector,
+            dst: DataReg::new(0),
+            src1: DataReg::new(0),
+            src2: DataReg::new(0),
+            vec_mask: VecMask::ALL,
+            simb_mask: SimbMask::all(8),
+        };
+        let mut word = encode(&inst);
+        word[1] = 200;
+        assert!(decode(&word).is_err());
+    }
+
+    #[test]
+    fn decode_error_display() {
+        let mut word = [0u8; WORD_BYTES];
+        word[0] = 0xFF;
+        let err = decode(&word).unwrap_err();
+        assert!(err.to_string().contains("opcode"));
+    }
+}

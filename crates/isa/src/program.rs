@@ -1,0 +1,484 @@
+//! Program container and label-resolving builder.
+//!
+//! An iPIM program is the unit of offloading: the host writes it into a
+//! vault's VSM instruction region and every vault's control core executes it
+//! (paper Sec. IV-E). Jump targets are instruction indices held in the CtrlRF
+//! or encoded as immediates; [`ProgramBuilder`] lets compiler passes emit
+//! symbolic labels and resolves them at seal time.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{CrfSrc, Instruction};
+
+/// Error produced while building or validating a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A label was referenced but never bound to a location.
+    UnboundLabel(Label),
+    /// A label was bound twice.
+    DuplicateLabel(Label),
+    /// A resolved jump target lies outside the program.
+    TargetOutOfRange {
+        /// Index of the offending branch instruction.
+        inst: usize,
+        /// The resolved (invalid) target.
+        target: i64,
+    },
+    /// A serialized byte stream is shorter than its header claims.
+    Truncated {
+        /// Bytes required.
+        expected: usize,
+        /// Bytes provided.
+        got: usize,
+    },
+    /// A serialized instruction word failed to decode.
+    Decode {
+        /// Index of the malformed instruction.
+        index: usize,
+        /// Decoder error text.
+        message: String,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::UnboundLabel(l) => write!(f, "label L{} was never bound", l.0),
+            ProgramError::DuplicateLabel(l) => write!(f, "label L{} bound twice", l.0),
+            ProgramError::TargetOutOfRange { inst, target } => {
+                write!(f, "instruction {inst} jumps to out-of-range target {target}")
+            }
+            ProgramError::Truncated { expected, got } => {
+                write!(f, "program stream truncated: need {expected} bytes, got {got}")
+            }
+            ProgramError::Decode { index, message } => {
+                write!(f, "instruction {index} failed to decode: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// A symbolic branch target created by [`ProgramBuilder::new_label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub(crate) u32);
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// An immutable, validated sequence of SIMB instructions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    insts: Vec<Instruction>,
+}
+
+impl Program {
+    /// Wraps a raw instruction sequence, validating immediate jump targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::TargetOutOfRange`] if any immediate branch
+    /// target falls outside `0..=len` (a target equal to `len` halts).
+    pub fn new(insts: Vec<Instruction>) -> Result<Self, ProgramError> {
+        let len = insts.len() as i64;
+        for (i, inst) in insts.iter().enumerate() {
+            let target = match inst {
+                Instruction::Jump { target: CrfSrc::Imm(t) } => Some(*t as i64),
+                Instruction::CJump { target: CrfSrc::Imm(t), .. } => Some(*t as i64),
+                _ => None,
+            };
+            if let Some(t) = target {
+                if t < 0 || t > len {
+                    return Err(ProgramError::TargetOutOfRange { inst: i, target: t });
+                }
+            }
+        }
+        Ok(Self { insts })
+    }
+
+    /// The instructions of the program.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.insts
+    }
+
+    /// Number of (static) instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Iterates over the instructions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
+        self.insts.iter()
+    }
+
+    /// Renders the whole program as assembly text, one instruction per line,
+    /// prefixed with its index.
+    pub fn to_assembly(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, inst) in self.insts.iter().enumerate() {
+            let _ = writeln!(out, "{i:>5}: {inst}");
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_assembly())
+    }
+}
+
+impl<'a> IntoIterator for &'a Program {
+    type Item = &'a Instruction;
+    type IntoIter = std::slice::Iter<'a, Instruction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.insts.iter()
+    }
+}
+
+/// Pending patch: instruction `inst` must receive the address of `label`.
+#[derive(Debug, Clone, Copy)]
+enum Patch {
+    JumpTarget { inst: usize, label: Label },
+    CJumpTarget { inst: usize, label: Label },
+    SetiCrf { inst: usize, label: Label },
+}
+
+/// Incrementally builds a [`Program`], resolving symbolic labels.
+///
+/// # Example
+///
+/// ```
+/// use ipim_isa::{ProgramBuilder, Instruction, CrfSrc, CtrlReg, CrfOp};
+///
+/// # fn main() -> Result<(), ipim_isa::ProgramError> {
+/// let mut b = ProgramBuilder::new();
+/// let top = b.new_label();
+/// b.push(Instruction::SetiCrf { dst: CtrlReg::new(0), imm: 3 });
+/// b.bind(top)?;
+/// b.push(Instruction::CalcCrf {
+///     op: CrfOp::Sub,
+///     dst: CtrlReg::new(0),
+///     src1: CtrlReg::new(0),
+///     src2: CrfSrc::Imm(1),
+/// });
+/// b.push_cjump_to(CtrlReg::new(0), top); // loop while c0 != 0
+/// let program = b.seal()?;
+/// assert_eq!(program.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Instruction>,
+    next_label: u32,
+    bound: HashMap<Label, usize>,
+    patches: Vec<Patch>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an instruction, returning its index.
+    pub fn push(&mut self, inst: Instruction) -> usize {
+        self.insts.push(inst);
+        self.insts.len() - 1
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Binds `label` to the *next* instruction to be pushed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::DuplicateLabel`] if already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), ProgramError> {
+        if self.bound.insert(label, self.insts.len()).is_some() {
+            return Err(ProgramError::DuplicateLabel(label));
+        }
+        Ok(())
+    }
+
+    /// Appends an unconditional jump to `label` (resolved at seal time).
+    pub fn push_jump_to(&mut self, label: Label) -> usize {
+        let idx = self.push(Instruction::Jump { target: CrfSrc::Imm(0) });
+        self.patches.push(Patch::JumpTarget { inst: idx, label });
+        idx
+    }
+
+    /// Appends a conditional jump to `label` taken when `cond != 0`.
+    pub fn push_cjump_to(&mut self, cond: crate::CtrlReg, label: Label) -> usize {
+        let idx = self.push(Instruction::CJump { cond, target: CrfSrc::Imm(0) });
+        self.patches.push(Patch::CJumpTarget { inst: idx, label });
+        idx
+    }
+
+    /// Appends a `seti crf` whose immediate will be the address of `label`
+    /// (used to materialize register-indirect jump targets, the form the
+    /// paper's Table I describes).
+    pub fn push_seti_crf_label(&mut self, dst: crate::CtrlReg, label: Label) -> usize {
+        let idx = self.push(Instruction::SetiCrf { dst, imm: 0 });
+        self.patches.push(Patch::SetiCrf { inst: idx, label });
+        idx
+    }
+
+    /// Current instruction count (address of the next pushed instruction).
+    pub fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Resolves all labels and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::UnboundLabel`] if a referenced label was never
+    /// bound, or any error from [`Program::new`].
+    pub fn seal(mut self) -> Result<Program, ProgramError> {
+        for patch in &self.patches {
+            let (inst, label) = match patch {
+                Patch::JumpTarget { inst, label }
+                | Patch::CJumpTarget { inst, label }
+                | Patch::SetiCrf { inst, label } => (*inst, *label),
+            };
+            let addr = *self.bound.get(&label).ok_or(ProgramError::UnboundLabel(label))? as i32;
+            match (&mut self.insts[inst], patch) {
+                (Instruction::Jump { target }, Patch::JumpTarget { .. }) => {
+                    *target = CrfSrc::Imm(addr);
+                }
+                (Instruction::CJump { target, .. }, Patch::CJumpTarget { .. }) => {
+                    *target = CrfSrc::Imm(addr);
+                }
+                (Instruction::SetiCrf { imm, .. }, Patch::SetiCrf { .. }) => {
+                    *imm = addr;
+                }
+                _ => unreachable!("patch does not match instruction shape"),
+            }
+        }
+        Program::new(self.insts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CrfOp, CtrlReg};
+
+    #[test]
+    fn empty_program() {
+        let p = Program::new(vec![]).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn label_backward_branch_resolves() {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.bind(top).unwrap();
+        b.push(Instruction::SetiCrf { dst: CtrlReg::new(0), imm: 0 });
+        b.push_cjump_to(CtrlReg::new(0), top);
+        let p = b.seal().unwrap();
+        match p.instructions()[1] {
+            Instruction::CJump { target: CrfSrc::Imm(0), .. } => {}
+            ref other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn label_forward_branch_resolves() {
+        let mut b = ProgramBuilder::new();
+        let end = b.new_label();
+        b.push_jump_to(end);
+        b.push(Instruction::SetiCrf { dst: CtrlReg::new(1), imm: 7 });
+        b.bind(end).unwrap();
+        let p = b.seal().unwrap();
+        match p.instructions()[0] {
+            Instruction::Jump { target: CrfSrc::Imm(2) } => {}
+            ref other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_errors() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.push_jump_to(l);
+        assert!(matches!(b.seal(), Err(ProgramError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.bind(l).unwrap();
+        assert_eq!(b.bind(l), Err(ProgramError::DuplicateLabel(l)));
+    }
+
+    #[test]
+    fn out_of_range_target_rejected() {
+        let insts = vec![Instruction::Jump { target: CrfSrc::Imm(5) }];
+        assert!(matches!(
+            Program::new(insts),
+            Err(ProgramError::TargetOutOfRange { inst: 0, target: 5 })
+        ));
+    }
+
+    #[test]
+    fn target_equal_to_len_halts_and_is_valid() {
+        let insts = vec![Instruction::Jump { target: CrfSrc::Imm(1) }];
+        assert!(Program::new(insts).is_ok());
+    }
+
+    #[test]
+    fn seti_crf_label_materializes_address() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.push_seti_crf_label(CtrlReg::new(3), l);
+        b.push(Instruction::CalcCrf {
+            op: CrfOp::Add,
+            dst: CtrlReg::new(0),
+            src1: CtrlReg::new(0),
+            src2: CrfSrc::Imm(1),
+        });
+        b.bind(l).unwrap();
+        let p = b.seal().unwrap();
+        match p.instructions()[0] {
+            Instruction::SetiCrf { imm: 2, .. } => {}
+            ref other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assembly_listing_has_one_line_per_inst() {
+        let mut b = ProgramBuilder::new();
+        b.push(Instruction::Sync { phase_id: 0 });
+        b.push(Instruction::Sync { phase_id: 1 });
+        let p = b.seal().unwrap();
+        assert_eq!(p.to_assembly().lines().count(), 2);
+    }
+}
+
+impl Program {
+    /// Serializes the program to the binary format the host writes into a
+    /// vault's VSM instruction region: a little-endian `u32` instruction
+    /// count followed by one 24-byte word per instruction.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.insts.len() * 24);
+        out.extend_from_slice(&(self.insts.len() as u32).to_le_bytes());
+        for inst in &self.insts {
+            out.extend_from_slice(&crate::encode(inst));
+        }
+        out
+    }
+
+    /// Deserializes a program previously produced by [`Program::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::Truncated`] if the byte stream is shorter
+    /// than its header claims, [`ProgramError::Decode`] on a malformed
+    /// instruction word, or a validation error from [`Program::new`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ProgramError> {
+        if bytes.len() < 4 {
+            return Err(ProgramError::Truncated { expected: 4, got: bytes.len() });
+        }
+        let n = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+        let need = 4 + n * 24;
+        if bytes.len() < need {
+            return Err(ProgramError::Truncated { expected: need, got: bytes.len() });
+        }
+        let mut insts = Vec::with_capacity(n);
+        for i in 0..n {
+            let word: [u8; 24] = bytes[4 + i * 24..4 + (i + 1) * 24]
+                .try_into()
+                .expect("24 bytes");
+            insts.push(crate::decode(&word).map_err(|e| ProgramError::Decode {
+                index: i,
+                message: e.to_string(),
+            })?);
+        }
+        Program::new(insts)
+    }
+}
+
+#[cfg(test)]
+mod serialization_tests {
+    use super::*;
+    use crate::{CrfOp, CtrlReg, DataReg, SimbMask};
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.push(Instruction::SetiCrf { dst: CtrlReg::new(0), imm: 4 });
+        b.bind(top).unwrap();
+        b.push(Instruction::Reset { drf: DataReg::new(1), simb_mask: SimbMask::all(32) });
+        b.push(Instruction::CalcCrf {
+            op: CrfOp::Sub,
+            dst: CtrlReg::new(0),
+            src1: CtrlReg::new(0),
+            src2: CrfSrc::Imm(1),
+        });
+        b.push_cjump_to(CtrlReg::new(0), top);
+        b.seal().unwrap()
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let p = sample();
+        let bytes = p.to_bytes();
+        assert_eq!(bytes.len(), 4 + p.len() * 24);
+        let back = Program::from_bytes(&bytes).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let p = sample();
+        let bytes = p.to_bytes();
+        assert!(matches!(
+            Program::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(ProgramError::Truncated { .. })
+        ));
+        assert!(matches!(
+            Program::from_bytes(&[1, 2]),
+            Err(ProgramError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_word_rejected() {
+        let p = sample();
+        let mut bytes = p.to_bytes();
+        bytes[4] = 0xFF; // invalid opcode of instruction 0
+        assert!(matches!(
+            Program::from_bytes(&bytes),
+            Err(ProgramError::Decode { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_program_round_trips() {
+        let p = Program::new(vec![]).unwrap();
+        assert_eq!(Program::from_bytes(&p.to_bytes()).unwrap(), p);
+    }
+}

@@ -1,0 +1,124 @@
+//! Typed register names for the three register files of iPIM.
+//!
+//! Each process engine (PE) owns a vector *data register file* (DataRF, 64
+//! entries of 128 bits) and a scalar *address register file* (AddrRF, 64
+//! entries of 32 bits). The control core on the base logic die owns a scalar
+//! *control register file* (CtrlRF) used for loop counters and jump targets.
+
+use std::fmt;
+
+/// AddrRF location reserved for the PE's own index within its process group.
+pub const ARF_PE_ID: AddrReg = AddrReg(0);
+/// AddrRF location reserved for the process-group index within the vault.
+pub const ARF_PG_ID: AddrReg = AddrReg(1);
+/// AddrRF location reserved for the vault index within the cube.
+pub const ARF_VAULT_ID: AddrReg = AddrReg(2);
+/// AddrRF location reserved for the cube (chip) index.
+pub const ARF_CHIP_ID: AddrReg = AddrReg(3);
+
+macro_rules! reg_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub(crate) u8);
+
+        impl $name {
+            /// Creates a register name from its index.
+            ///
+            /// Register-file *sizes* are a machine-configuration concern, so
+            /// any `u8` index is representable at the ISA level; the
+            /// architecture model validates indices against the configured
+            /// file size when a program is loaded.
+            pub const fn new(index: u8) -> Self {
+                Self(index)
+            }
+
+            /// Returns the index of this register within its file.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u8> for $name {
+            fn from(index: u8) -> Self {
+                Self(index)
+            }
+        }
+    };
+}
+
+reg_type!(
+    /// A name in a PE's vector data register file (`DataRF`).
+    ///
+    /// Each entry holds one 128-bit SIMD vector (four 32-bit lanes).
+    DataReg,
+    "d"
+);
+
+reg_type!(
+    /// A name in a PE's scalar address register file (`AddrRF`).
+    ///
+    /// Entries hold 32-bit integers used for memory indexing. Locations
+    /// [`ARF_PE_ID`]..=[`ARF_CHIP_ID`] are reserved for hardware identity
+    /// registers (paper Sec. IV-E).
+    AddrReg,
+    "a"
+);
+
+reg_type!(
+    /// A name in the control core's scalar register file (`CtrlRF`).
+    ///
+    /// Entries hold 32-bit integers used for loop bounds, counters and jump
+    /// targets.
+    CtrlReg,
+    "c"
+);
+
+impl AddrReg {
+    /// Returns `true` if this is one of the four reserved identity registers
+    /// (peID, pgID, vaultID, chipID).
+    pub const fn is_reserved(self) -> bool {
+        self.0 < 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(DataReg::new(7).to_string(), "d7");
+        assert_eq!(AddrReg::new(63).to_string(), "a63");
+        assert_eq!(CtrlReg::new(0).to_string(), "c0");
+    }
+
+    #[test]
+    fn reserved_identity_registers() {
+        assert!(ARF_PE_ID.is_reserved());
+        assert!(ARF_PG_ID.is_reserved());
+        assert!(ARF_VAULT_ID.is_reserved());
+        assert!(ARF_CHIP_ID.is_reserved());
+        assert!(!AddrReg::new(4).is_reserved());
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for i in 0..=u8::MAX {
+            assert_eq!(DataReg::new(i).index(), i as usize);
+            assert_eq!(DataReg::from(i), DataReg::new(i));
+        }
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(DataReg::new(1) < DataReg::new(2));
+        assert!(CtrlReg::new(9) > CtrlReg::new(3));
+    }
+}

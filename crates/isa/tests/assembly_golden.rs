@@ -1,0 +1,102 @@
+//! Golden assembly-text tests: the printed forms are part of the crate's
+//! public contract (debuggers and the Table I dump rely on them).
+
+use ipim_isa::{
+    AddrOperand, AddrReg, ArfOp, ArfSrc, CompMode, CompOp, CrfOp, CrfSrc, CtrlReg, DataReg,
+    DataType, Instruction, ProgramBuilder, RemoteTarget, SimbMask, VecMask,
+};
+
+fn mask() -> SimbMask {
+    SimbMask::all(32)
+}
+
+#[test]
+fn golden_assembly_forms() {
+    let cases: Vec<(Instruction, &str)> = vec![
+        (
+            Instruction::Comp {
+                op: CompOp::Mac,
+                dtype: DataType::F32,
+                mode: CompMode::ScalarVector,
+                dst: DataReg::new(4),
+                src1: DataReg::new(1),
+                src2: DataReg::new(2),
+                vec_mask: VecMask::ALL,
+                simb_mask: mask(),
+            },
+            "comp.f32.sv mac d4, d1, d2 (vec=all, simb=all)",
+        ),
+        (
+            Instruction::CalcArf {
+                op: ArfOp::Mul,
+                dst: AddrReg::new(8),
+                src1: AddrReg::new(0),
+                src2: ArfSrc::Imm(16),
+                simb_mask: mask(),
+            },
+            "calc_arf mul a8, a0, #16 (simb=all)",
+        ),
+        (
+            Instruction::LdRf {
+                dram_addr: AddrOperand::Indirect(AddrReg::new(9)),
+                drf: DataReg::new(3),
+                simb_mask: mask(),
+            },
+            "ld_rf [a9], d3 (simb=all)",
+        ),
+        (
+            Instruction::StRf {
+                dram_addr: AddrOperand::Imm(0x40),
+                drf: DataReg::new(3),
+                simb_mask: mask(),
+            },
+            "st_rf 0x40, d3 (simb=all)",
+        ),
+        (
+            Instruction::Mov {
+                to_arf: true,
+                arf: AddrReg::new(10),
+                drf: DataReg::new(5),
+                lane: 2,
+                simb_mask: mask(),
+            },
+            "mov_arf a10, d5.2 (simb=all)",
+        ),
+        (
+            Instruction::Req {
+                target: RemoteTarget { chip: 1, vault: 2, pg: 3, pe: 0 },
+                dram_addr: CrfSrc::Imm(256),
+                vsm_addr: CrfSrc::Reg(CtrlReg::new(4)),
+            },
+            "req chip1.v2.pg3.pe0, #256, c4",
+        ),
+        (
+            Instruction::CJump { cond: CtrlReg::new(1), target: CrfSrc::Imm(5) },
+            "cjump c1, #5",
+        ),
+        (
+            Instruction::CalcCrf {
+                op: CrfOp::Lt,
+                dst: CtrlReg::new(2),
+                src1: CtrlReg::new(0),
+                src2: CrfSrc::Imm(64),
+            },
+            "calc_crf lt c2, c0, #64",
+        ),
+        (Instruction::Sync { phase_id: 3 }, "sync 3"),
+    ];
+    for (inst, want) in cases {
+        assert_eq!(inst.to_string(), want);
+    }
+}
+
+#[test]
+fn program_listing_format() {
+    let mut b = ProgramBuilder::new();
+    b.push(Instruction::SetiCrf { dst: CtrlReg::new(0), imm: 8 });
+    b.push(Instruction::Sync { phase_id: 0 });
+    let p = b.seal().unwrap();
+    let listing = p.to_assembly();
+    assert!(listing.contains("    0: seti_crf c0, #8"));
+    assert!(listing.contains("    1: sync 0"));
+}

@@ -1,0 +1,11 @@
+//! Interconnect model: on-chip 2D mesh, input-queued routers with X-Y
+//! routing, and off-chip SERDES links between cubes (paper Sec. IV-E).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod mesh;
+mod router;
+
+pub use mesh::{Mesh, MeshConfig};
+pub use router::{Flit, NodeId, Packet, PacketId, Router, RouterStats};

@@ -1,0 +1,83 @@
+//! Property tests for the mesh: every injected packet is delivered exactly
+//! once to its destination, regardless of traffic pattern.
+
+use ipim_noc::{Mesh, MeshConfig, NodeId, Packet, PacketId};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_packets() -> impl Strategy<Value = Vec<((u8, u8), (u8, u8), u32)>> {
+    proptest::collection::vec(
+        ((0u8..4, 0u8..4), (0u8..4, 0u8..4), prop_oneof![Just(16u32), Just(32), Just(64)]),
+        1..50,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn all_packets_delivered_exactly_once(specs in arb_packets()) {
+        let mut mesh: Mesh<u64> = Mesh::new(MeshConfig::default());
+        let mut to_send: std::collections::VecDeque<_> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, (src, dst, bytes))| Packet {
+                id: PacketId(i as u64),
+                src: NodeId { x: src.0, y: src.1 },
+                dst: NodeId { x: dst.0, y: dst.1 },
+                bytes: *bytes,
+                payload: i as u64,
+            })
+            .collect();
+        let mut received: HashMap<u64, NodeId> = HashMap::new();
+        let mut now = 0u64;
+        while received.len() < specs.len() {
+            if let Some(p) = to_send.front() {
+                let p = p.clone();
+                if mesh.inject(p, now) {
+                    to_send.pop_front();
+                }
+            }
+            for p in mesh.tick(now) {
+                let prev = received.insert(p.payload, p.dst);
+                prop_assert!(prev.is_none(), "duplicate delivery of {}", p.payload);
+                // Delivered at the right node.
+                let want = &specs[p.payload as usize].1;
+                prop_assert_eq!(p.dst, NodeId { x: want.0, y: want.1 });
+            }
+            now += 1;
+            prop_assert!(now < 100_000, "deliveries stalled");
+        }
+        // Network drains completely.
+        for _ in 0..100 {
+            mesh.tick(now);
+            now += 1;
+        }
+        prop_assert!(mesh.is_idle());
+    }
+
+    #[test]
+    fn hop_count_bounds_latency(src in (0u8..4, 0u8..4), dst in (0u8..4, 0u8..4)) {
+        let mut mesh: Mesh<u8> = Mesh::new(MeshConfig::default());
+        let p = Packet {
+            id: PacketId(0),
+            src: NodeId { x: src.0, y: src.1 },
+            dst: NodeId { x: dst.0, y: dst.1 },
+            bytes: 16,
+            payload: 9,
+        };
+        let hops = mesh.hops(p.src, p.dst) as u64;
+        prop_assert!(mesh.inject(p, 0));
+        let mut now = 0u64;
+        loop {
+            if !mesh.tick(now).is_empty() {
+                break;
+            }
+            now += 1;
+            prop_assert!(now < 1000);
+        }
+        // One hop per cycle plus injection/ejection overhead.
+        prop_assert!(now >= hops, "arrived before traversing {hops} hops");
+        prop_assert!(now <= hops + 4, "uncontended latency too high: {now} vs {hops} hops");
+    }
+}

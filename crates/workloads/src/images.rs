@@ -1,0 +1,106 @@
+//! Deterministic synthetic image generation (the DIV8K stand-in).
+//!
+//! Real photographs have strong local correlation with broadband detail;
+//! the generator sums three octaves of bilinearly-interpolated value noise,
+//! normalized to `[0, 1)`. All evaluated kernels are content-independent in
+//! runtime (Histogram's binning is exercised by the full-range values), so
+//! this preserves the workloads' behaviour (see DESIGN.md §2).
+
+use ipim_frontend::Image;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a `width × height` natural-image-like test image.
+///
+/// Deterministic in `(width, height, seed)`.
+pub fn synthetic_image(width: u32, height: u32, seed: u64) -> Image {
+    let mut img = Image::new(width, height);
+    // Three octaves of value noise at coarse/medium/fine granularity.
+    let octaves = [(16u32, 0.6f32), (4, 0.3), (1, 0.1)];
+    let mut layers = Vec::new();
+    for (i, (cell, weight)) in octaves.iter().enumerate() {
+        let gw = width.div_ceil(*cell) + 2;
+        let gh = height.div_ceil(*cell) + 2;
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64 * 0x9E37_79B9));
+        let grid: Vec<f32> = (0..gw * gh).map(|_| rng.random::<f32>()).collect();
+        layers.push((*cell, *weight, gw, grid));
+    }
+    for y in 0..height {
+        for x in 0..width {
+            let mut v = 0.0f32;
+            for (cell, weight, gw, grid) in &layers {
+                let fx = x as f32 / *cell as f32;
+                let fy = y as f32 / *cell as f32;
+                let x0 = fx as u32;
+                let y0 = fy as u32;
+                let tx = fx - x0 as f32;
+                let ty = fy - y0 as f32;
+                let at = |gx: u32, gy: u32| grid[(gy * gw + gx) as usize];
+                let top = at(x0, y0) * (1.0 - tx) + at(x0 + 1, y0) * tx;
+                let bot = at(x0, y0 + 1) * (1.0 - tx) + at(x0 + 1, y0 + 1) * tx;
+                v += weight * (top * (1.0 - ty) + bot * ty);
+            }
+            img.set(x, y, v.clamp(0.0, 0.999_999));
+        }
+    }
+    img
+}
+
+/// A Gaussian-shaped lookup table of `n` entries over `[0, 1]` with width
+/// `sigma` — the range kernel of the bilateral grid's slice stage.
+pub fn lut_gaussian(n: u32, sigma: f32) -> Image {
+    let mut img = Image::new(n, 1);
+    for i in 0..n {
+        let t = i as f32 / (n - 1) as f32;
+        let d = (t - 0.5) / sigma;
+        // exp(-d²/2) approximated by a well-behaved rational so device and
+        // host agree bit-for-bit is not required (LUT is host-computed).
+        img.set(i, 0, (-0.5 * d * d).exp());
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = synthetic_image(64, 32, 7);
+        let b = synthetic_image(64, 32, 7);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        let c = synthetic_image(64, 32, 8);
+        assert!(a.max_abs_diff(&c) > 0.0);
+    }
+
+    #[test]
+    fn values_in_unit_range() {
+        let img = synthetic_image(128, 64, 1);
+        assert!(img.data().iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn has_local_correlation() {
+        // Neighboring pixels should be far more similar than random pairs.
+        let img = synthetic_image(128, 128, 2);
+        let mut neighbor = 0.0f64;
+        let mut distant = 0.0f64;
+        let mut n = 0u32;
+        for y in 0..127 {
+            for x in 0..64 {
+                neighbor += (img.get(x, y) - img.get(x + 1, y)).abs() as f64;
+                distant += (img.get(x, y) - img.get(x + 64, y)).abs() as f64;
+                n += 1;
+            }
+        }
+        assert!(neighbor / n as f64 * 2.0 < distant / n as f64, "no spatial structure");
+    }
+
+    #[test]
+    fn lut_is_peaked_at_center() {
+        let lut = lut_gaussian(64, 0.2);
+        assert!(lut.get(32, 0) > lut.get(0, 0));
+        assert!(lut.get(32, 0) > lut.get(63, 0));
+        assert!((lut.get(31, 0) - 1.0).abs() < 0.05);
+    }
+}

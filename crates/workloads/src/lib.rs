@@ -1,0 +1,190 @@
+//! The paper's Table II benchmark suite: six single-stage kernels covering
+//! elementwise, stencil, resampling, shift and reduction patterns, plus
+//! four heterogeneous multi-stage pipelines (bilateral grid, interpolate,
+//! local Laplacian, stencil chain).
+//!
+//! Each [`Workload`] bundles a frontend [`Pipeline`] with deterministic
+//! synthetic inputs (standing in for DIV8K; see DESIGN.md §2) and the
+//! metadata the GPU baseline model needs.
+//!
+//! Pipelines are parameterized by [`WorkloadScale`] so the same code runs
+//! the paper-scale 8K shapes and the fast simulation slices used by tests
+//! and benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod images;
+mod multi;
+mod single;
+
+pub use images::{lut_gaussian, synthetic_image};
+
+use ipim_frontend::{Image, Pipeline, SourceId};
+
+/// Image scale a workload is instantiated at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadScale {
+    /// Image width (pixels).
+    pub width: u32,
+    /// Image height (pixels).
+    pub height: u32,
+}
+
+impl Default for WorkloadScale {
+    fn default() -> Self {
+        // The default simulation slice: big enough to keep every PE busy
+        // over multiple tile slots, small enough for cycle-accurate runs.
+        Self { width: 512, height: 512 }
+    }
+}
+
+impl WorkloadScale {
+    /// A small scale for unit tests.
+    pub fn tiny() -> Self {
+        Self { width: 128, height: 128 }
+    }
+
+    /// The paper's DIV8K resolution (7680 × 4320); use with the analytic
+    /// scale-out path, not cycle-accurate simulation.
+    pub fn div8k() -> Self {
+        Self { width: 7680, height: 4320 }
+    }
+
+    /// Total pixels.
+    pub fn pixels(&self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+}
+
+/// One Table II benchmark instance.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Benchmark name as in the paper's figures.
+    pub name: &'static str,
+    /// Whether the paper groups it with the multi-stage benchmarks.
+    pub multi_stage: bool,
+    /// Pipeline stage count as the paper reports it.
+    pub stages: usize,
+    /// The frontend pipeline.
+    pub pipeline: Pipeline,
+    /// Input images keyed by source.
+    pub inputs: Vec<(SourceId, Image)>,
+    /// The scale it was instantiated at.
+    pub scale: WorkloadScale,
+    /// Arithmetic (FP) operations per *output* pixel, for the GPU roofline.
+    pub flops_per_pixel: f64,
+    /// Effective DRAM bytes per output pixel on a fused GPU implementation
+    /// (reads of inputs + final write, intermediates cached on chip).
+    pub gpu_bytes_per_pixel: f64,
+    /// Output pixels (may differ from input pixels for resampling).
+    pub output_pixels: u64,
+}
+
+impl Workload {
+    /// The output image extent.
+    pub fn output_extent(&self) -> (u32, u32) {
+        self.pipeline.output().extent
+    }
+}
+
+/// All ten Table II benchmarks at the given scale, in the paper's order.
+pub fn all_workloads(scale: WorkloadScale) -> Vec<Workload> {
+    vec![
+        single::brighten(scale),
+        single::blur(scale),
+        single::downsample(scale),
+        single::upsample(scale),
+        single::shift(scale),
+        single::histogram(scale),
+        multi::bilateral_grid(scale),
+        multi::interpolate(scale),
+        multi::local_laplacian(scale),
+        multi::stencil_chain(scale),
+    ]
+}
+
+/// Looks up one benchmark by its paper name.
+pub fn workload_by_name(name: &str, scale: WorkloadScale) -> Option<Workload> {
+    all_workloads(scale).into_iter().find(|w| w.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_benchmarks_in_paper_order() {
+        let ws = all_workloads(WorkloadScale::tiny());
+        let names: Vec<_> = ws.iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Brighten",
+                "Blur",
+                "Downsample",
+                "Upsample",
+                "Shift",
+                "Histogram",
+                "BilateralGrid",
+                "Interpolate",
+                "LocalLaplacian",
+                "StencilChain",
+            ]
+        );
+        assert_eq!(ws.iter().filter(|w| w.multi_stage).count(), 4);
+    }
+
+    #[test]
+    fn stage_counts_match_table2() {
+        let ws = all_workloads(WorkloadScale::tiny());
+        let count = |n: &str| ws.iter().find(|w| w.name == n).unwrap().stages;
+        assert_eq!(count("BilateralGrid"), 4);
+        assert_eq!(count("Interpolate"), 12);
+        assert_eq!(count("LocalLaplacian"), 23);
+        assert_eq!(count("StencilChain"), 32);
+    }
+
+    #[test]
+    fn lookup_by_name_case_insensitive() {
+        assert!(workload_by_name("blur", WorkloadScale::tiny()).is_some());
+        assert!(workload_by_name("BLUR", WorkloadScale::tiny()).is_some());
+        assert!(workload_by_name("nope", WorkloadScale::tiny()).is_none());
+    }
+
+    #[test]
+    fn inputs_match_pipeline_declarations() {
+        for w in all_workloads(WorkloadScale::tiny()) {
+            assert_eq!(
+                w.inputs.len(),
+                w.pipeline.inputs().len(),
+                "{} input count",
+                w.name
+            );
+            for (def, (src, img)) in w.pipeline.inputs().iter().zip(&w.inputs) {
+                assert_eq!(def.source, *src, "{} input order", w.name);
+                assert_eq!(
+                    def.extent,
+                    (img.width(), img.height()),
+                    "{} input extent",
+                    w.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reference_interpreter_runs_every_workload() {
+        for w in all_workloads(WorkloadScale::tiny()) {
+            let images: Vec<_> = w.inputs.iter().map(|(_, img)| img.clone()).collect();
+            let out = ipim_frontend::interpret(&w.pipeline, &images)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert_eq!((out.width(), out.height()), w.output_extent(), "{}", w.name);
+            assert!(
+                out.data().iter().all(|v| v.is_finite()),
+                "{} produced non-finite pixels",
+                w.name
+            );
+        }
+    }
+}

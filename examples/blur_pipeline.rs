@@ -1,0 +1,38 @@
+//! Compares the five compiler configurations of the paper's Fig. 12 on the
+//! Blur benchmark, showing how register allocation, instruction reordering
+//! and memory-order enforcement each contribute.
+//!
+//! Run with: `cargo run --release --example blur_pipeline`
+
+use ipim_core::{workload_by_name, CompileOptions, MachineConfig, Session, WorkloadScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = WorkloadScale { width: 256, height: 256 };
+    let w = workload_by_name("Blur", scale).expect("blur workload");
+
+    let configs: [(&str, CompileOptions); 5] = [
+        ("baseline1 (min RA, no reorder)", CompileOptions::baseline1()),
+        ("baseline2 (min RA)", CompileOptions::baseline2()),
+        ("baseline3 (no reorder)", CompileOptions::baseline3()),
+        ("baseline4 (no mem order)", CompileOptions::baseline4()),
+        ("opt (max RA + reorder + mem order)", CompileOptions::opt()),
+    ];
+
+    println!("== Compiler backend ablation on Blur ({}x{}) ==", scale.width, scale.height);
+    let mut baseline_cycles = None;
+    for (name, options) in configs {
+        let session = Session::with_options(MachineConfig::vault_slice(1), options);
+        let outcome = session.run_workload(&w, 2_000_000_000)?;
+        let cycles = outcome.report.cycles;
+        let base = *baseline_cycles.get_or_insert(cycles);
+        println!(
+            "{name:38} {cycles:>10} cycles  speedup {:>5.2}x  IPC {:.3}  stalls: hazard {} / queue {} / tsv {}",
+            base as f64 / cycles as f64,
+            outcome.report.stats.ipc(),
+            outcome.report.stats.stalls.hazard,
+            outcome.report.stats.stalls.queue_full,
+            outcome.report.stats.stalls.tsv,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Runs the Interpolate benchmark — a 12-stage pyramid pipeline mixing
+//! downsampling, upsampling, stencils and elementwise stages — and prints
+//! the per-category instruction mix plus an energy breakdown, illustrating
+//! how heterogeneous multi-stage pipelines map onto the SIMB ISA.
+//!
+//! Run with: `cargo run --release --example multi_stage_pyramid`
+
+use ipim_core::{workload_by_name, MachineConfig, Session, WorkloadScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = WorkloadScale { width: 256, height: 256 };
+    let w = workload_by_name("Interpolate", scale).expect("interpolate workload");
+    println!(
+        "== {} ({} pipeline stages, {}x{}) ==",
+        w.name, w.stages, scale.width, scale.height
+    );
+
+    let session = Session::new(MachineConfig::vault_slice(1));
+    let outcome = session.run_workload(&w, 4_000_000_000)?;
+    let stats = &outcome.report.stats;
+    let cat = &stats.by_category;
+
+    println!("cycles: {}   IPC: {:.3}", outcome.report.cycles, stats.ipc());
+    println!("dynamic instruction mix:");
+    println!("  computation     {:>6.2}%", 100.0 * cat.fraction(cat.computation));
+    println!("  index calc      {:>6.2}%", 100.0 * cat.fraction(cat.index_calc));
+    println!("  intra-vault mem {:>6.2}%", 100.0 * cat.fraction(cat.intra_vault));
+    println!("  inter-vault     {:>6.2}%", 100.0 * cat.fraction(cat.inter_vault));
+    println!("  control flow    {:>6.2}%", 100.0 * cat.fraction(cat.control_flow));
+    println!("  sync            {:>6.2}%", 100.0 * cat.fraction(cat.synchronization));
+
+    let e = &outcome.report.energy;
+    let total = e.total_pj();
+    println!("energy breakdown ({:.2} µJ total):", total * 1e-6);
+    println!("  DRAM   {:>6.2}%", 100.0 * e.dram.total_pj() / total);
+    println!("  SIMD   {:>6.2}%", 100.0 * e.simd_pj / total);
+    println!("  IntALU {:>6.2}%", 100.0 * e.int_alu_pj / total);
+    println!("  DataRF {:>6.2}%", 100.0 * e.data_rf_pj / total);
+    println!("  AddrRF {:>6.2}%", 100.0 * e.addr_rf_pj / total);
+    println!("  PGSM   {:>6.2}%", 100.0 * e.pgsm_pj / total);
+    println!("  others {:>6.2}%", 100.0 * (e.pe_bus_pj + e.others_pj()) / total);
+    println!("PIM-die energy fraction: {:.1}%", 100.0 * e.pim_die_fraction());
+    Ok(())
+}

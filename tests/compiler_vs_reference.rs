@@ -1,0 +1,62 @@
+//! Property-based cross-checks: randomly generated pipelines within the
+//! supported subset always compile and match the reference interpreter.
+
+use ipim_core::frontend::{x, y, Expr, Image, PipelineBuilder};
+use ipim_core::{MachineConfig, Session};
+use proptest::prelude::*;
+
+/// A random elementwise/stencil expression over one input.
+fn arb_stencil_expr() -> impl Strategy<Value = Vec<(i32, i32, f32)>> {
+    // Up to 5 taps with offsets in [-2, 2] and small weights.
+    proptest::collection::vec(((-2i32..=2), (-2i32..=2), 0.1f32..2.0), 1..5)
+}
+
+fn build_pipeline(taps: &[(i32, i32, f32)]) -> (ipim_core::frontend::Pipeline, Image) {
+    let mut p = PipelineBuilder::new();
+    let input = p.input("in", 64, 64);
+    let mut e: Option<Expr> = None;
+    for (dx, dy, w) in taps {
+        let term = input.at(x() + *dx, y() + *dy) * *w;
+        e = Some(match e {
+            None => term,
+            Some(prev) => prev + term,
+        });
+    }
+    let out = p.func("out", 64, 64);
+    p.define(out, e.expect("at least one tap"));
+    p.schedule(out).compute_root().ipim_tile(8, 8).load_pgsm().vectorize(4);
+    (p.build(out).expect("valid pipeline"), Image::gradient(64, 64))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_stencils_match_reference(taps in arb_stencil_expr()) {
+        let (pipeline, img) = build_pipeline(&taps);
+        let session = Session::new(MachineConfig::vault_slice(1));
+        let input_src = pipeline.inputs()[0].source;
+        let outcome = session
+            .run_pipeline(&pipeline, &[(input_src, img.clone())], 500_000_000)
+            .expect("run");
+        let expected =
+            ipim_core::frontend::interpret(&pipeline, &[img]).expect("reference");
+        let diff = expected.max_abs_diff(&outcome.output);
+        prop_assert!(diff <= 1e-3, "diverges by {diff} for taps {taps:?}");
+    }
+
+    #[test]
+    fn random_affine_programs_are_deterministic(taps in arb_stencil_expr()) {
+        let (pipeline, img) = build_pipeline(&taps);
+        let session = Session::new(MachineConfig::vault_slice(1));
+        let input_src = pipeline.inputs()[0].source;
+        let a = session
+            .run_pipeline(&pipeline, &[(input_src, img.clone())], 500_000_000)
+            .expect("run");
+        let b = session
+            .run_pipeline(&pipeline, &[(input_src, img)], 500_000_000)
+            .expect("run");
+        prop_assert_eq!(a.report.cycles, b.report.cycles, "non-deterministic timing");
+        prop_assert_eq!(a.output.max_abs_diff(&b.output), 0.0);
+    }
+}

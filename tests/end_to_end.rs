@@ -1,0 +1,67 @@
+//! Cross-crate integration: every Table II workload compiles, runs on the
+//! cycle-accurate slice, and matches the reference interpreter.
+
+use ipim_core::experiments::verify_against_reference;
+use ipim_core::{all_workloads, MachineConfig, Session, WorkloadScale};
+
+/// Small scale keeps the full 10-benchmark sweep tractable in debug builds.
+fn scale() -> WorkloadScale {
+    WorkloadScale { width: 128, height: 128 }
+}
+
+#[test]
+fn all_single_stage_workloads_run_and_verify() {
+    let session = Session::new(MachineConfig::vault_slice(1));
+    for w in all_workloads(scale()).into_iter().filter(|w| !w.multi_stage) {
+        let outcome = session
+            .run_workload(&w, 2_000_000_000)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        verify_against_reference(&w, &outcome);
+        assert!(outcome.report.stats.issued > 0, "{}", w.name);
+        assert!(outcome.report.energy.total_pj() > 0.0, "{}", w.name);
+    }
+}
+
+#[test]
+fn bilateral_grid_and_interpolate_run_and_verify() {
+    let session = Session::new(MachineConfig::vault_slice(1));
+    for name in ["BilateralGrid", "Interpolate"] {
+        let w = ipim_core::workload_by_name(name, scale()).unwrap();
+        let outcome = session
+            .run_workload(&w, 2_000_000_000)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        verify_against_reference(&w, &outcome);
+    }
+}
+
+#[test]
+fn local_laplacian_runs_and_verifies() {
+    let session = Session::new(MachineConfig::vault_slice(1));
+    let w = ipim_core::workload_by_name("LocalLaplacian", scale()).unwrap();
+    let outcome = session.run_workload(&w, 2_000_000_000).expect("run");
+    verify_against_reference(&w, &outcome);
+    assert_eq!(w.stages, 23);
+}
+
+#[test]
+fn stencil_chain_runs_and_verifies() {
+    let session = Session::new(MachineConfig::vault_slice(1));
+    let w = ipim_core::workload_by_name("StencilChain", scale()).unwrap();
+    let outcome = session.run_workload(&w, 4_000_000_000).expect("run");
+    verify_against_reference(&w, &outcome);
+    assert_eq!(w.stages, 32);
+}
+
+#[test]
+fn histogram_runs_on_a_multi_vault_machine() {
+    // Two vaults exercise the cross-vault all-gather (`req` + `sync`).
+    let session = Session::new(MachineConfig::vault_slice(2));
+    let w = ipim_core::workload_by_name("Histogram", scale()).unwrap();
+    let outcome = session.run_workload(&w, 2_000_000_000).expect("run");
+    verify_against_reference(&w, &outcome);
+    assert!(outcome.report.stats.remote_reqs > 0);
+    assert!(outcome.report.stats.by_category.synchronization >= 4);
+    // Every pixel counted exactly once.
+    let total: f32 = outcome.output.data().iter().sum();
+    assert_eq!(total, scale().pixels() as f32);
+}

@@ -1,0 +1,114 @@
+//! Smoke tests over the experiment drivers: every figure/table generator
+//! produces sane, paper-shaped data at reduced scale.
+
+use ipim_core::experiments::{
+    self, fig1, fig11, fig13, fig9, geomean, gpu_comparison, ExperimentConfig,
+};
+
+fn quick_suite() -> (ExperimentConfig, Vec<experiments::SuiteRun>) {
+    let mut cfg = ExperimentConfig::quick();
+    cfg.verify = false; // verified by tests/end_to_end.rs already
+    let suite = experiments::run_suite(&cfg).expect("suite");
+    (cfg, suite)
+}
+
+#[test]
+fn fig1_profiles_have_the_bandwidth_bound_shape() {
+    let rows = fig1();
+    assert_eq!(rows.len(), 10);
+    for r in &rows {
+        assert!(r.dram_util >= 9.0 * r.alu_util, "{}: not bandwidth-bound", r.name);
+    }
+    let hist = rows.iter().find(|r| r.name == "Histogram").unwrap();
+    assert!(hist.dram_util < 0.2, "histogram GPU schedule is anomalous");
+}
+
+#[test]
+fn suite_wide_figures_have_paper_shapes() {
+    let (cfg, suite) = quick_suite();
+    assert_eq!(suite.len(), 10);
+
+    // Fig. 6/7: iPIM wins on throughput and energy for the average.
+    let cmp = gpu_comparison(&cfg, &suite);
+    let mean_speedup = geomean(cmp.iter().map(|r| r.speedup));
+    assert!(mean_speedup > 2.0, "mean speedup {mean_speedup} too low");
+    // Histogram's parallel-partial-reduction schedule gives the largest
+    // win (the paper's 43.78x outlier), and single-stage kernels beat the
+    // pyramid pipelines.
+    let speedup = |n: &str| cmp.iter().find(|r| r.name == n).unwrap().speedup;
+    let max = cmp.iter().map(|r| r.speedup).fold(0.0f64, f64::max);
+    assert_eq!(speedup("Histogram"), max, "histogram should lead");
+    assert!(speedup("Brighten") > speedup("Interpolate"));
+    assert!(speedup("Brighten") > speedup("LocalLaplacian"));
+    let mean_saving: f64 =
+        cmp.iter().map(|r| r.energy_saving).sum::<f64>() / cmp.len() as f64;
+    assert!(mean_saving > 0.5, "mean energy saving {mean_saving}");
+
+    // Fig. 9: most energy is spent on the PIM dies.
+    for row in fig9(&suite) {
+        assert!(
+            row.pim_die_fraction > 0.5,
+            "{}: pim-die fraction {}",
+            row.name,
+            row.pim_die_fraction
+        );
+        let sum = row.dram + row.simd + row.int_alu + row.addr_rf + row.data_rf + row.pgsm
+            + row.others;
+        assert!((sum - 1.0).abs() < 1e-6, "{}: fractions sum to {sum}", row.name);
+    }
+
+    // Fig. 11: index calculation is a large share; inter-vault is small.
+    let inst = fig11(&suite);
+    let mean_index: f64 =
+        inst.iter().map(|r| r.index_calc).sum::<f64>() / inst.len() as f64;
+    assert!(mean_index > 0.10, "mean index share {mean_index}");
+    for r in &inst {
+        assert!(r.inter_vault < 0.10, "{}: inter-vault share {}", r.name, r.inter_vault);
+    }
+
+    // Fig. 13: IPC is meaningfully below 1 but not degenerate.
+    let ipc_rows = fig13(&cfg, &suite);
+    let mean_ipc: f64 = ipc_rows.iter().map(|r| r.ipc).sum::<f64>() / ipc_rows.len() as f64;
+    assert!(mean_ipc > 0.2 && mean_ipc < 1.0, "mean IPC {mean_ipc}");
+}
+
+#[test]
+fn table4_area_matches_paper() {
+    assert!((ipim_core::area::total_overhead_pct() - 10.71).abs() < 0.05);
+    let ratio = ipim_core::area::naive_per_bank_core_overhead_pct()
+        / ipim_core::area::total_overhead_pct();
+    assert!(ratio > 10.0);
+}
+
+#[test]
+fn thermal_power_fits_cooling() {
+    let p = ipim_core::power::peak_power_per_cube(
+        &ipim_core::MachineConfig::default(),
+        &ipim_core::EnergyParams::default(),
+    );
+    assert!(p.fits_cooling(ipim_core::power::COMMODITY_COOLING_MW_PER_MM2));
+}
+
+#[test]
+fn slice_scale_out_is_near_linear() {
+    // The scale-out claim (DESIGN.md §2): vaults run lockstep SPMD, so a
+    // 2-vault slice on the same image finishes in about half the cycles.
+    use ipim_core::{workload_by_name, MachineConfig, Session, WorkloadScale};
+    let scale = WorkloadScale { width: 128, height: 128 };
+    let w = workload_by_name("Blur", scale).unwrap();
+    let one = Session::new(MachineConfig::vault_slice(1))
+        .run_workload(&w, 2_000_000_000)
+        .expect("1 vault")
+        .report
+        .cycles as f64;
+    let two = Session::new(MachineConfig::vault_slice(2))
+        .run_workload(&w, 2_000_000_000)
+        .expect("2 vaults")
+        .report
+        .cycles as f64;
+    let ratio = one / two;
+    assert!(
+        (1.6..=2.4).contains(&ratio),
+        "2-vault slice should be ~2x faster, got {ratio:.2}x"
+    );
+}
