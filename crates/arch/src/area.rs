@@ -96,6 +96,6 @@ mod tests {
 
     #[test]
     fn control_core_fits_base_die_budget() {
-        assert!(CTRL_CORE_MM2 < BASE_DIE_SPARE_PER_VAULT_MM2);
+        const { assert!(CTRL_CORE_MM2 < BASE_DIE_SPARE_PER_VAULT_MM2) }
     }
 }

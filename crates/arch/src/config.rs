@@ -175,7 +175,9 @@ impl MachineConfig {
     /// Returns a human-readable description of the first violated
     /// constraint.
     pub fn validate(&self) -> Result<(), String> {
-        if self.cubes == 0 || self.vaults_per_cube == 0 || self.pgs_per_vault == 0
+        if self.cubes == 0
+            || self.vaults_per_cube == 0
+            || self.pgs_per_vault == 0
             || self.pes_per_pg == 0
         {
             return Err("machine dimensions must be non-zero".into());
@@ -221,10 +223,7 @@ mod tests {
     fn near_bank_bandwidth_dwarfs_base_die() {
         let near = MachineConfig::default();
         let ponb = MachineConfig { placement: Placement::BaseDie, ..MachineConfig::default() };
-        assert_eq!(
-            near.peak_bank_bytes_per_cycle() / ponb.peak_bank_bytes_per_cycle(),
-            32
-        );
+        assert_eq!(near.peak_bank_bytes_per_cycle() / ponb.peak_bank_bytes_per_cycle(), 32);
     }
 
     #[test]

@@ -170,12 +170,8 @@ mod tests {
 
     #[test]
     fn totals_and_fractions() {
-        let book = EnergyBook {
-            simd_pj: 60.0,
-            tsv_pj: 30.0,
-            ctrl_core_pj: 10.0,
-            ..EnergyBook::default()
-        };
+        let book =
+            EnergyBook { simd_pj: 60.0, tsv_pj: 30.0, ctrl_core_pj: 10.0, ..EnergyBook::default() };
         assert_eq!(book.total_pj(), 100.0);
         assert_eq!(book.pim_die_pj(), 60.0);
         assert_eq!(book.others_pj(), 40.0);

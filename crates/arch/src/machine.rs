@@ -157,7 +157,10 @@ impl Machine {
     }
 
     fn node_of(&self, vault: usize) -> NodeId {
-        NodeId { x: (vault % self.mesh_shape.0 as usize) as u8, y: (vault / self.mesh_shape.0 as usize) as u8 }
+        NodeId {
+            x: (vault % self.mesh_shape.0 as usize) as u8,
+            y: (vault / self.mesh_shape.0 as usize) as u8,
+        }
     }
 
     /// Access a vault (host upload / inspection).
@@ -231,8 +234,8 @@ impl Machine {
         // 2. Mesh deliveries.
         for cube in 0..self.meshes.len() {
             for packet in self.meshes[cube].tick(now) {
-                let vault_local = packet.dst.y as usize * self.mesh_shape.0 as usize
-                    + packet.dst.x as usize;
+                let vault_local =
+                    packet.dst.y as usize * self.mesh_shape.0 as usize + packet.dst.x as usize;
                 let v = cube * self.config.vaults_per_cube + vault_local;
                 let msg = match packet.payload {
                     NetMsg::Fwd { origin, target, dram_addr, tag } => InMsg::ServeReq {
@@ -285,8 +288,7 @@ impl Machine {
     fn route(&mut self, from: usize, msg: OutMsg, now: u64) {
         match msg {
             OutMsg::ReqForward { origin, target, dram_addr, tag } => {
-                let dst_global =
-                    self.vault_index(target.chip as usize, target.vault as usize);
+                let dst_global = self.vault_index(target.chip as usize, target.vault as usize);
                 let payload = NetMsg::Fwd { origin, target, dram_addr, tag };
                 self.send(from, dst_global, payload, 16, now);
             }
@@ -351,10 +353,9 @@ impl Machine {
                 waiting += 1;
                 match phase {
                     None => phase = Some(p),
-                    Some(q) => assert_eq!(
-                        p, q,
-                        "vaults waiting at different sync phases: program bug"
-                    ),
+                    Some(q) => {
+                        assert_eq!(p, q, "vaults waiting at different sync phases: program bug")
+                    }
                 }
             } else if !v.is_halted() {
                 running += 1;

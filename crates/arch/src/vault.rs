@@ -10,9 +10,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use ipim_dram::{
-    AccessKind, Bank, Completion, MemController, Request, RequestId, ACCESS_BYTES,
-};
+use ipim_dram::{AccessKind, Bank, Completion, MemController, Request, RequestId, ACCESS_BYTES};
 use ipim_isa::{
     AddrOperand, ArfSrc, Category, CompMode, CompOp, CrfSrc, DataType, Instruction, Program,
     RegRef, RemoteTarget, SimbMask, ARF_CHIP_ID, ARF_PE_ID, ARF_PG_ID, ARF_VAULT_ID,
@@ -83,7 +81,7 @@ pub type Vector = [u32; 4];
 /// cycle, completion after the operation's latency.
 #[derive(Debug, Clone, Default)]
 struct Unit {
-    queue: VecDeque<(u64, u64)>, // (inflight id, latency)
+    queue: VecDeque<(u64, u64)>,     // (inflight id, latency)
     in_flight: VecDeque<(u64, u64)>, // (inflight id, done_at)
     last_start: Option<u64>,
 }
@@ -230,9 +228,8 @@ impl Vault {
         let pes: Vec<Pe> = (0..config.pes_per_vault()).map(|_| Pe::new(config)).collect();
         let mcs = (0..config.pgs_per_vault)
             .map(|_| {
-                let banks = (0..config.pes_per_pg)
-                    .map(|_| Bank::new(config.timing, config.bank))
-                    .collect();
+                let banks =
+                    (0..config.pes_per_pg).map(|_| Bank::new(config.timing, config.bank)).collect();
                 let mut mc = MemController::new(
                     banks,
                     config.timing,
@@ -708,10 +705,7 @@ impl Vault {
                 self.execute_functional(&inst, mask);
                 let n = self.dispatch(&inst, mask, inst_id, now);
                 if n > 0 {
-                    self.issued.insert(
-                        inst_id,
-                        InFlightInst { pending: n, reads, writes },
-                    );
+                    self.issued.insert(inst_id, InFlightInst { pending: n, reads, writes });
                 }
             }
         }
@@ -826,9 +820,9 @@ impl Vault {
                 }
                 Instruction::SetiDrf { drf, imm, vec_mask, .. } => {
                     let mut d = self.pes[g].data_rf[drf.index()];
-                    for l in 0..4 {
+                    for (l, lane) in d.iter_mut().enumerate() {
                         if vec_mask.lane(l) {
-                            d[l] = imm;
+                            *lane = imm;
                         }
                     }
                     self.pes[g].data_rf[drf.index()] = d;
@@ -842,8 +836,7 @@ impl Vault {
     /// returns the number of PE-side completions to wait for.
     fn dispatch(&mut self, inst: &Instruction, mask: SimbMask, inst_id: u64, _now: u64) -> u32 {
         let lat = &self.config.latency;
-        let (unit, latency, mem_kind): (DispatchUnit, u64, Option<(AccessKind, u64)>) = match inst
-        {
+        let (unit, latency, mem_kind): (DispatchUnit, u64, Option<(AccessKind, u64)>) = match inst {
             Instruction::Comp { op, .. } => {
                 let l = match op {
                     CompOp::Add | CompOp::Sub => lat.add,
@@ -863,9 +856,7 @@ impl Vault {
             Instruction::LdRf { .. } => {
                 (DispatchUnit::Mem, 0, Some((AccessKind::Read, lat.pe_bus)))
             }
-            Instruction::StRf { .. } => {
-                (DispatchUnit::Mem, 0, Some((AccessKind::Write, 0)))
-            }
+            Instruction::StRf { .. } => (DispatchUnit::Mem, 0, Some((AccessKind::Write, 0))),
             Instruction::LdPgsm { .. } => {
                 (DispatchUnit::Mem, 0, Some((AccessKind::Read, lat.pe_bus + lat.pgsm)))
             }
@@ -887,9 +878,7 @@ impl Vault {
             match unit {
                 DispatchUnit::Simd => self.pes[g].simd.queue.push_back((inst_id, latency)),
                 DispatchUnit::Alu => self.pes[g].alu.queue.push_back((inst_id, latency)),
-                DispatchUnit::PgsmPort => {
-                    self.pes[g].pgsm_port.queue.push_back((inst_id, latency))
-                }
+                DispatchUnit::PgsmPort => self.pes[g].pgsm_port.queue.push_back((inst_id, latency)),
                 DispatchUnit::VsmPort => self.pes[g].vsm_port.queue.push_back((inst_id, latency)),
                 DispatchUnit::Mem => {
                     let (kind, extra) = mem_kind.expect("mem op");
@@ -959,10 +948,8 @@ impl Vault {
             Instruction::LdPgsm { dram_addr, pgsm_addr, .. }
             | Instruction::StPgsm { dram_addr, pgsm_addr, .. } => {
                 self.stats.pgsm_accesses += n;
-                let indirect = [dram_addr, pgsm_addr]
-                    .iter()
-                    .filter(|a| a.addr_reg().is_some())
-                    .count() as u64;
+                let indirect =
+                    [dram_addr, pgsm_addr].iter().filter(|a| a.addr_reg().is_some()).count() as u64;
                 self.stats.addr_rf_accesses += indirect * n;
             }
             Instruction::RdPgsm { pgsm_addr, drf: _, .. }
@@ -1128,31 +1115,16 @@ mod tests {
     fn comp_semantics_float_and_int() {
         let two = 2.0f32.to_bits();
         let three = 3.0f32.to_bits();
-        assert_eq!(
-            f32::from_bits(apply_comp(CompOp::Add, DataType::F32, two, three, 0)),
-            5.0
-        );
+        assert_eq!(f32::from_bits(apply_comp(CompOp::Add, DataType::F32, two, three, 0)), 5.0);
         assert_eq!(
             f32::from_bits(apply_comp(CompOp::Mac, DataType::F32, two, three, 1.0f32.to_bits())),
             7.0
         );
-        assert_eq!(
-            apply_comp(CompOp::Mul, DataType::I32, 7u32, (-3i32) as u32, 0) as i32,
-            -21
-        );
+        assert_eq!(apply_comp(CompOp::Mul, DataType::I32, 7u32, (-3i32) as u32, 0) as i32, -21);
         assert_eq!(apply_comp(CompOp::Div, DataType::I32, 7, 0, 0), 0);
-        assert_eq!(
-            apply_comp(CompOp::CmpLt, DataType::I32, (-1i32) as u32, 1, 0),
-            1
-        );
-        assert_eq!(
-            f32::from_bits(apply_comp(CompOp::CvtI2F, DataType::F32, 5, 0, 0)),
-            5.0
-        );
-        assert_eq!(
-            apply_comp(CompOp::CvtF2I, DataType::I32, 5.9f32.to_bits(), 0, 0),
-            5
-        );
+        assert_eq!(apply_comp(CompOp::CmpLt, DataType::I32, (-1i32) as u32, 1, 0), 1);
+        assert_eq!(f32::from_bits(apply_comp(CompOp::CvtI2F, DataType::F32, 5, 0, 0)), 5.0);
+        assert_eq!(apply_comp(CompOp::CvtF2I, DataType::I32, 5.9f32.to_bits(), 0, 0), 5);
         assert_eq!(apply_comp(CompOp::CropLsb, DataType::I32, 0xABCD_1234, 0, 0), 0x1234);
         assert_eq!(apply_comp(CompOp::CropMsb, DataType::I32, 0xABCD_1234, 0, 0), 0xABCD);
     }

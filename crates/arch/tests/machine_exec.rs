@@ -6,8 +6,7 @@
 use ipim_arch::{Machine, MachineConfig, Placement};
 use ipim_isa::{
     AddrOperand, AddrReg, ArfOp, ArfSrc, CompMode, CompOp, CrfOp, CrfSrc, CtrlReg, DataReg,
-    DataType, Instruction, Program, ProgramBuilder, RemoteTarget, SimbMask, VecMask,
-    ARF_PE_ID,
+    DataType, Instruction, Program, ProgramBuilder, RemoteTarget, SimbMask, VecMask, ARF_PE_ID,
 };
 
 const W: usize = 32; // PEs per vault in the default shape
@@ -20,13 +19,7 @@ fn one_vault() -> Machine {
     Machine::new(MachineConfig::vault_slice(1))
 }
 
-fn comp(
-    op: CompOp,
-    dst: u8,
-    src1: u8,
-    src2: u8,
-    mask: SimbMask,
-) -> Instruction {
+fn comp(op: CompOp, dst: u8, src1: u8, src2: u8, mask: SimbMask) -> Instruction {
     Instruction::Comp {
         op,
         dtype: DataType::F32,
@@ -67,7 +60,7 @@ fn seti_and_add_produce_expected_lanes() {
             assert_eq!(f32::from_bits(lane), 3.75);
         }
     }
-    assert_eq!(report.stats.issued, 3 * 1);
+    assert_eq!(report.stats.issued, 3);
     assert!(report.cycles > 0);
 }
 
@@ -234,10 +227,7 @@ fn waw_reuse_stalls_but_distinct_registers_overlap() {
     let serial = run(&mut m1, prog(3)).cycles;
     let mut m2 = one_vault();
     let overlapped = run(&mut m2, prog(4)).cycles;
-    assert!(
-        overlapped < serial,
-        "distinct destinations should overlap: {overlapped} vs {serial}"
-    );
+    assert!(overlapped < serial, "distinct destinations should overlap: {overlapped} vs {serial}");
 }
 
 #[test]
@@ -260,10 +250,7 @@ fn vsm_reads_serialize_on_tsv() {
     let vsm_cycles = run(&mut m1, bv.seal().unwrap()).cycles;
     let mut m2 = one_vault();
     let pgsm_cycles = run(&mut m2, bp.seal().unwrap()).cycles;
-    assert!(
-        vsm_cycles >= pgsm_cycles + (W as u64) - 4,
-        "vsm={vsm_cycles} pgsm={pgsm_cycles}"
-    );
+    assert!(vsm_cycles >= pgsm_cycles + (W as u64) - 4, "vsm={vsm_cycles} pgsm={pgsm_cycles}");
 }
 
 #[test]
@@ -485,11 +472,7 @@ fn partial_vec_mask_preserves_inactive_lanes() {
 #[test]
 fn cross_cube_req_traverses_serdes() {
     // Two cubes of one vault each: the req crosses the SERDES link.
-    let config = MachineConfig {
-        cubes: 2,
-        vaults_per_cube: 1,
-        ..MachineConfig::vault_slice(1)
-    };
+    let config = MachineConfig { cubes: 2, vaults_per_cube: 1, ..MachineConfig::vault_slice(1) };
     let mut m = Machine::new(config);
     m.vault_mut(1, 0).bank_array_mut(0, 0).write_f32(128, 77.25);
     let pe0 = SimbMask::single(W, 0).unwrap();

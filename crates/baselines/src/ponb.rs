@@ -20,19 +20,13 @@ mod tests {
         let ipim = MachineConfig::vault_slice(2);
         let ponb = ponb_config(&ipim);
         assert_eq!(ponb.placement, Placement::BaseDie);
-        assert_eq!(
-            MachineConfig { placement: ipim.placement, ..ponb.clone() },
-            ipim
-        );
+        assert_eq!(MachineConfig { placement: ipim.placement, ..ponb.clone() }, ipim);
     }
 
     #[test]
     fn bandwidth_ratio_is_32x_raw() {
         let ipim = MachineConfig::default();
         let ponb = ponb_config(&ipim);
-        assert_eq!(
-            ipim.peak_bank_bytes_per_cycle() / ponb.peak_bank_bytes_per_cycle(),
-            32
-        );
+        assert_eq!(ipim.peak_bank_bytes_per_cycle() / ponb.peak_bank_bytes_per_cycle(), 32);
     }
 }

@@ -1,16 +1,19 @@
-//! Criterion benches, one group per reproduced table/figure.
+//! Micro-benchmarks, one group per reproduced table/figure, on the simkit
+//! timer (`cargo bench -p ipim-bench`).
 //!
 //! These measure the wall-clock cost of regenerating each experiment's
 //! underlying measurement at a reduced scale (the figure binaries in
 //! `src/bin/` print the paper-shaped numbers themselves). Cycle-accurate
-//! simulation is expensive, so the groups use small images and few samples.
+//! simulation is expensive, so the groups use small images and few
+//! samples. Results append to `results/figures.jsonl`, one JSON object
+//! per benchmark, for later perf PRs to diff against.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ipim_core::experiments::{fig1, ExperimentConfig};
 use ipim_core::{
     all_workloads, area, compile, power, workload_by_name, CompileOptions, EnergyParams,
     MachineConfig, Session, WorkloadScale,
 };
+use ipim_simkit::{Bench, BenchConfig};
 
 fn small() -> WorkloadScale {
     WorkloadScale { width: 128, height: 128 }
@@ -21,152 +24,130 @@ fn bench_scale() -> WorkloadScale {
     WorkloadScale { width: 128, height: 128 }
 }
 
+/// Iteration count for full compile+simulate measurements (criterion's
+/// old `sample_size(10)`).
+fn sim_config() -> BenchConfig {
+    BenchConfig { warmup: 1, iters: 10 }
+}
+
 /// Fig. 1: the GPU-profile model (pure computation).
-fn fig01(c: &mut Criterion) {
-    c.bench_function("fig01_gpu_profile", |b| b.iter(fig1));
+fn fig01(b: &mut Bench) {
+    b.bench("fig01_gpu_profile", fig1);
 }
 
 /// Table I: ISA encode/decode throughput over a full workload program.
-fn table1(c: &mut Criterion) {
+fn table1(b: &mut Bench) {
     let w = workload_by_name("Blur", small()).unwrap();
-    let compiled = compile(
-        &w.pipeline,
-        &MachineConfig::vault_slice(1),
-        &CompileOptions::opt(),
-    )
-    .unwrap();
-    c.bench_function("table1_isa_encode_program", |b| {
-        b.iter(|| {
-            let mut bytes = 0usize;
-            for inst in compiled.program.instructions() {
-                bytes += ipim_core::isa::encode(inst).len();
-            }
-            bytes
-        })
+    let compiled =
+        compile(&w.pipeline, &MachineConfig::vault_slice(1), &CompileOptions::opt()).unwrap();
+    b.bench("table1_isa_encode_program", || {
+        let mut bytes = 0usize;
+        for inst in compiled.program.instructions() {
+            bytes += ipim_core::isa::encode(inst).len();
+        }
+        bytes
     });
 }
 
 /// Tables III/IV + thermal: configuration/area/power models.
-fn tables_3_4(c: &mut Criterion) {
-    c.bench_function("table3_config_validate", |b| {
-        b.iter(|| MachineConfig::default().validate().is_ok())
-    });
-    c.bench_function("table4_area_model", |b| b.iter(area::total_overhead_pct));
-    c.bench_function("thermal_peak_power", |b| {
-        b.iter(|| power::peak_power_per_cube(&MachineConfig::default(), &EnergyParams::default()))
+fn tables_3_4(b: &mut Bench) {
+    b.bench("table3_config_validate", || MachineConfig::default().validate().is_ok());
+    b.bench("table4_area_model", area::total_overhead_pct);
+    b.bench("thermal_peak_power", || {
+        power::peak_power_per_cube(&MachineConfig::default(), &EnergyParams::default())
     });
 }
 
 /// Fig. 6/7 measurement kernel: compile+simulate one representative
 /// single-stage and one multi-stage benchmark on the slice.
-fn fig06_07(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig06_07_speedup_energy");
-    g.sample_size(10);
+fn fig06_07(b: &mut Bench) {
     for name in ["Brighten", "Blur", "BilateralGrid"] {
         let w = workload_by_name(name, bench_scale()).unwrap();
         let session = Session::new(MachineConfig::vault_slice(1));
-        g.bench_function(name, |b| {
-            b.iter(|| session.run_workload(&w, 2_000_000_000).unwrap().report.cycles)
+        b.bench_with(sim_config(), &format!("fig06_07_speedup_energy/{name}"), || {
+            session.run_workload(&w, 2_000_000_000).unwrap().report.cycles
         });
     }
-    g.finish();
 }
 
 /// Fig. 8: the PonB comparison kernel (same run under the other placement).
-fn fig08(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig08_ponb");
-    g.sample_size(10);
+fn fig08(b: &mut Bench) {
     let w = workload_by_name("Brighten", bench_scale()).unwrap();
     for (label, cfg) in [
         ("near_bank", MachineConfig::vault_slice(1)),
         ("base_die", ipim_core::baselines::ponb_config(&MachineConfig::vault_slice(1))),
     ] {
         let session = Session::new(cfg);
-        g.bench_function(label, |b| {
-            b.iter(|| session.run_workload(&w, 4_000_000_000).unwrap().report.cycles)
+        b.bench_with(sim_config(), &format!("fig08_ponb/{label}"), || {
+            session.run_workload(&w, 4_000_000_000).unwrap().report.cycles
         });
     }
-    g.finish();
 }
 
 /// Fig. 9/11/13 share the suite measurement kernel: one full run with
 /// statistics extraction.
-fn fig09_11_13(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig09_11_13_stats");
-    g.sample_size(10);
+fn fig09_11_13(b: &mut Bench) {
     let w = workload_by_name("Interpolate", bench_scale()).unwrap();
     let session = Session::new(MachineConfig::vault_slice(1));
-    g.bench_function("interpolate_stats", |b| {
-        b.iter(|| {
-            let o = session.run_workload(&w, 4_000_000_000).unwrap();
-            (
-                o.report.energy.pim_die_fraction(),
-                o.report.stats.by_category.index_calc,
-                o.report.stats.ipc(),
-            )
-        })
+    b.bench_with(sim_config(), "fig09_11_13_stats/interpolate_stats", || {
+        let o = session.run_workload(&w, 4_000_000_000).unwrap();
+        (
+            o.report.energy.pim_die_fraction(),
+            o.report.stats.by_category.index_calc,
+            o.report.stats.ipc(),
+        )
     });
-    g.finish();
 }
 
 /// Fig. 10: the sensitivity-sweep kernel (one off-nominal configuration).
-fn fig10(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10_sensitivity");
-    g.sample_size(10);
+fn fig10(b: &mut Bench) {
     let w = workload_by_name("Blur", bench_scale()).unwrap();
     for (label, rf) in [("rf16", 16usize), ("rf128", 128)] {
-        let session = Session::new(MachineConfig {
-            data_rf_entries: rf,
-            ..MachineConfig::vault_slice(1)
-        });
-        g.bench_function(label, |b| {
-            b.iter(|| session.run_workload(&w, 4_000_000_000).unwrap().report.cycles)
+        let session =
+            Session::new(MachineConfig { data_rf_entries: rf, ..MachineConfig::vault_slice(1) });
+        b.bench_with(sim_config(), &format!("fig10_sensitivity/{label}"), || {
+            session.run_workload(&w, 4_000_000_000).unwrap().report.cycles
         });
     }
-    g.finish();
 }
 
 /// Fig. 12: the five-compiler-configuration kernel on one benchmark.
-fn fig12(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig12_compiler");
-    g.sample_size(10);
+fn fig12(b: &mut Bench) {
     let w = workload_by_name("Blur", bench_scale()).unwrap();
-    for (label, options) in [
-        ("baseline1", CompileOptions::baseline1()),
-        ("opt", CompileOptions::opt()),
-    ] {
+    for (label, options) in
+        [("baseline1", CompileOptions::baseline1()), ("opt", CompileOptions::opt())]
+    {
         let session = Session::with_options(MachineConfig::vault_slice(1), options);
-        g.bench_function(label, |b| {
-            b.iter(|| session.run_workload(&w, 4_000_000_000).unwrap().report.cycles)
+        b.bench_with(sim_config(), &format!("fig12_compiler/{label}"), || {
+            session.run_workload(&w, 4_000_000_000).unwrap().report.cycles
         });
     }
-    g.finish();
 }
 
 /// Compiler-only throughput: how fast the full backend compiles Table II.
-fn compiler_throughput(c: &mut Criterion) {
+fn compiler_throughput(b: &mut Bench) {
     let cfg = MachineConfig::vault_slice(1);
     let ws = all_workloads(small());
-    c.bench_function("compile_all_table2", |b| {
-        b.iter(|| {
-            ws.iter()
-                .map(|w| compile(&w.pipeline, &cfg, &CompileOptions::opt()).unwrap().static_instructions)
-                .sum::<usize>()
-        })
+    b.bench("compile_all_table2", || {
+        ws.iter()
+            .map(|w| {
+                compile(&w.pipeline, &cfg, &CompileOptions::opt()).unwrap().static_instructions
+            })
+            .sum::<usize>()
     });
     let _ = ExperimentConfig::quick();
 }
 
-criterion_group!(
-    benches,
-    fig01,
-    table1,
-    tables_3_4,
-    fig06_07,
-    fig08,
-    fig09_11_13,
-    fig10,
-    fig12,
-    compiler_throughput
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("figures");
+    fig01(&mut b);
+    table1(&mut b);
+    tables_3_4(&mut b);
+    fig06_07(&mut b);
+    fig08(&mut b);
+    fig09_11_13(&mut b);
+    fig10(&mut b);
+    fig12(&mut b);
+    compiler_throughput(&mut b);
+    b.finish().expect("write results");
+}

@@ -38,19 +38,13 @@ fn main() {
                 MachineConfig { sched_policy: SchedPolicy::Fcfs, ..cfg.slice.clone() },
             ),
             ("refresh disabled", MachineConfig { refresh: false, ..cfg.slice.clone() }),
-            (
-                "2-vault slice",
-                MachineConfig { vaults_per_cube: 2, ..cfg.slice.clone() },
-            ),
+            ("2-vault slice", MachineConfig { vaults_per_cube: 2, ..cfg.slice.clone() }),
         ];
         for (label, machine) in cases {
             let cycles = run(machine, bench, scale);
             row(
                 label,
-                &[
-                    (cycles.to_string(), 12),
-                    (format!("{}x", f(cycles as f64 / base as f64, 3)), 8),
-                ],
+                &[(cycles.to_string(), 12), (format!("{}x", f(cycles as f64 / base as f64, 3)), 8)],
             );
         }
     }

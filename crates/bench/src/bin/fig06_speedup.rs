@@ -15,11 +15,7 @@ fn main() {
     let rows = gpu_comparison(&cfg, &suite);
     row(
         "benchmark",
-        &[
-            ("iPIM Gpix/s".into(), 12),
-            ("GPU Gpix/s".into(), 11),
-            ("speedup".into(), 8),
-        ],
+        &[("iPIM Gpix/s".into(), 12), ("GPU Gpix/s".into(), 11), ("speedup".into(), 8)],
     );
     for r in &rows {
         row(
@@ -31,5 +27,8 @@ fn main() {
             ],
         );
     }
-    println!("\ngeomean speedup: {:.2}x  (paper: 11.02x average)", geomean(rows.iter().map(|r| r.speedup)));
+    println!(
+        "\ngeomean speedup: {:.2}x  (paper: 11.02x average)",
+        geomean(rows.iter().map(|r| r.speedup))
+    );
 }

@@ -6,20 +6,10 @@ use ipim_core::experiments::{gpu_comparison, run_suite};
 
 fn main() {
     let cfg = config_from_env();
-    banner(
-        "Fig. 7 — iPIM vs GPU energy",
-        "Sec. VII-B: 79.49% average energy saving",
-    );
+    banner("Fig. 7 — iPIM vs GPU energy", "Sec. VII-B: 79.49% average energy saving");
     let suite = run_suite(&cfg).expect("suite");
     let rows = gpu_comparison(&cfg, &suite);
-    row(
-        "benchmark",
-        &[
-            ("iPIM nJ/px".into(), 11),
-            ("GPU nJ/px".into(), 10),
-            ("saving".into(), 8),
-        ],
-    );
+    row("benchmark", &[("iPIM nJ/px".into(), 11), ("GPU nJ/px".into(), 10), ("saving".into(), 8)]);
     let mut single = (0.0, 0);
     let mut multi = (0.0, 0);
     for (r, run) in rows.iter().zip(&suite) {

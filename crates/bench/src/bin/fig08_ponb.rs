@@ -13,10 +13,7 @@ fn main() {
     let rows = fig8(&cfg).expect("fig8");
     row("benchmark", &[("speedup".into(), 8), ("energy saving".into(), 14)]);
     for r in &rows {
-        row(
-            r.name,
-            &[(format!("{:.2}x", r.speedup), 8), (pct(r.energy_saving), 14)],
-        );
+        row(r.name, &[(format!("{:.2}x", r.speedup), 8), (pct(r.energy_saving), 14)]);
     }
     let mean_save: f64 = rows.iter().map(|r| r.energy_saving).sum::<f64>() / rows.len() as f64;
     println!(

@@ -6,10 +6,7 @@ use ipim_core::experiments::{fig9, run_suite};
 
 fn main() {
     let cfg = config_from_env();
-    banner(
-        "Fig. 9 — energy breakdown",
-        "Sec. VII-C2: 89.17% PIM-die energy",
-    );
+    banner("Fig. 9 — energy breakdown", "Sec. VII-C2: 89.17% PIM-die energy");
     let suite = run_suite(&cfg).expect("suite");
     row(
         "benchmark",

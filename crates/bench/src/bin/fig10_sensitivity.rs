@@ -11,10 +11,7 @@ fn main() {
     // image so the full sweep stays tractable (sensitivity is relative).
     cfg.scale.width = (cfg.scale.width / 2).max(128);
     cfg.scale.height = (cfg.scale.height / 2).max(128);
-    banner(
-        "Fig. 10 — sensitivity to RF entries and PGSM size",
-        "Sec. VII-C3",
-    );
+    banner("Fig. 10 — sensitivity to RF entries and PGSM size", "Sec. VII-C3");
     println!("(a) DataRF entries (normalized mean execution time; paper: 1.47/1.27/1.10/1.00)");
     let rf = fig10_rf(&cfg, &[16, 32, 64, 128]).expect("rf sweep");
     row("RF entries", &[("norm. time".into(), 11)]);

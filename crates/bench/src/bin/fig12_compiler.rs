@@ -33,11 +33,18 @@ fn main() {
             ],
         );
     }
-    let g = |sel: fn(&ipim_core::experiments::CompilerRow) -> f64| {
-        geomean(rows.iter().map(sel))
-    };
+    let g = |sel: fn(&ipim_core::experiments::CompilerRow) -> f64| geomean(rows.iter().map(sel));
     println!("\ngeomean: opt {:.2}x (paper 3.19x)", g(|r| r.opt));
-    println!("register allocation contribution (opt/b2): {:.2}x (paper 2.59x)", g(|r| r.opt) / g(|r| r.baseline2));
-    println!("reordering contribution (opt/b3): {:.2}x (paper 2.74x)", g(|r| r.opt) / g(|r| r.baseline3));
-    println!("memory-order contribution (opt/b4): {:.2}x (paper 1.30x)", g(|r| r.opt) / g(|r| r.baseline4));
+    println!(
+        "register allocation contribution (opt/b2): {:.2}x (paper 2.59x)",
+        g(|r| r.opt) / g(|r| r.baseline2)
+    );
+    println!(
+        "reordering contribution (opt/b3): {:.2}x (paper 2.74x)",
+        g(|r| r.opt) / g(|r| r.baseline3)
+    );
+    println!(
+        "memory-order contribution (opt/b4): {:.2}x (paper 1.30x)",
+        g(|r| r.opt) / g(|r| r.baseline4)
+    );
 }

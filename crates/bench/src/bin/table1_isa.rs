@@ -3,8 +3,8 @@
 
 use ipim_bench::banner;
 use ipim_core::isa::{
-    encode, AddrOperand, AddrReg, ArfOp, ArfSrc, CompMode, CompOp, CrfOp, CrfSrc, CtrlReg,
-    DataReg, DataType, Instruction, RemoteTarget, SimbMask, VecMask,
+    encode, AddrOperand, AddrReg, ArfOp, ArfSrc, CompMode, CompOp, CrfOp, CrfSrc, CtrlReg, DataReg,
+    DataType, Instruction, RemoteTarget, SimbMask, VecMask,
 };
 
 fn main() {

@@ -56,5 +56,8 @@ fn main() {
         "PEbus / TSV / SERDES energy                  : {:.3}p / {:.2}p / {:.2}p J/bit",
         e.pe_bus_pj_per_bit, e.tsv_pj_per_bit, e.serdes_pj_per_bit
     );
-    println!("rowbuffer policy / schedule                  : {:?} / {:?}", c.page_policy, c.sched_policy);
+    println!(
+        "rowbuffer policy / schedule                  : {:?} / {:?}",
+        c.page_policy, c.sched_policy
+    );
 }

@@ -14,7 +14,10 @@ fn main() {
     println!("cube footprint            : {CUBE_MM2:.1} mm2");
     println!("peak power                : {:.1} W   (paper 63 W)", p.total_w);
     println!("power density             : {:.0} mW/mm2 (paper 593 mW/mm2)", p.density_mw_per_mm2);
-    println!("DRAM-bank-induced share   : {:.1}%  (paper attributes 78.5% to ACT/PRE)", p.dram_fraction * 100.0);
+    println!(
+        "DRAM-bank-induced share   : {:.1}%  (paper attributes 78.5% to ACT/PRE)",
+        p.dram_fraction * 100.0
+    );
     println!(
         "commodity cooling (706)   : {}",
         if p.fits_cooling(COMMODITY_COOLING_MW_PER_MM2) { "OK" } else { "EXCEEDED" }

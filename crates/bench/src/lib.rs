@@ -16,14 +16,8 @@ use ipim_core::{MachineConfig, WorkloadScale};
 
 /// Builds the experiment configuration from the environment.
 pub fn config_from_env() -> ExperimentConfig {
-    let edge: u32 = std::env::var("IPIM_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(256);
-    let vaults: usize = std::env::var("IPIM_VAULTS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1);
+    let edge: u32 = std::env::var("IPIM_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
+    let vaults: usize = std::env::var("IPIM_VAULTS").ok().and_then(|v| v.parse().ok()).unwrap_or(1);
     ExperimentConfig {
         scale: WorkloadScale { width: edge, height: edge },
         slice: MachineConfig::vault_slice(vaults),

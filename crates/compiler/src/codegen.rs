@@ -243,7 +243,6 @@ impl<'a> StageCtx<'a> {
         });
     }
 
-
     pub(crate) fn calc(&mut self, op: ArfOp, dst: u8, src1: u8, src2: ArfSrc) {
         self.kb.push(Instruction::CalcArf {
             op,
@@ -262,7 +261,15 @@ impl<'a> StageCtx<'a> {
         }
     }
 
-    pub(crate) fn comp(&mut self, op: CompOp, dtype: DataType, mode: CompMode, dst: u8, s1: u8, s2: u8) {
+    pub(crate) fn comp(
+        &mut self,
+        op: CompOp,
+        dtype: DataType,
+        mode: CompMode,
+        dst: u8,
+        s1: u8,
+        s2: u8,
+    ) {
         self.kb.push(Instruction::Comp {
             op,
             dtype,
@@ -275,6 +282,7 @@ impl<'a> StageCtx<'a> {
         });
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn comp_masked(
         &mut self,
         op: CompOp,
@@ -453,7 +461,7 @@ pub(crate) fn emit_pure_stage(
     };
 
     let grid = ctx.map.grid;
-    if grid.tiles() % ctx.facts.total_pes != 0 {
+    if !grid.tiles().is_multiple_of(ctx.facts.total_pes) {
         return Err(CompileError::Unsupported {
             what: format!(
                 "{} tiles do not divide evenly over {} PEs (static SIMB masks)",
@@ -473,8 +481,7 @@ pub(crate) fn emit_pure_stage(
     let share = ctx.facts.pgsm_bytes / ctx.facts.pes_per_pg;
     let mut pgsm_cursor = 0u32;
     for s in &plan.staged_sources {
-        let BufferLayout::Distributed { stored_w, stored_h, .. } = *ctx.map.layout(*s)
-        else {
+        let BufferLayout::Distributed { stored_w, stored_h, .. } = *ctx.map.layout(*s) else {
             unreachable!("staged sources are distributed");
         };
         let whole_bytes = stored_w * stored_h * 4;
@@ -533,12 +540,7 @@ pub(crate) fn emit_pure_stage(
 
     // --- per-buffer slot base registers ---
     let mut slot_base: HashMap<SourceId, u8> = HashMap::new();
-    for s in plan
-        .sources
-        .iter()
-        .copied()
-        .chain(std::iter::once(out_src))
-    {
+    for s in plan.sources.iter().copied().chain(std::iter::once(out_src)) {
         if slot_base.contains_key(&s) {
             continue;
         }
@@ -606,8 +608,7 @@ pub(crate) fn emit_pure_stage(
         let StagingMode::RowWindow { ny, oy_min, rows } = ctx.staging_modes[s] else {
             continue;
         };
-        let BufferLayout::Distributed { stored_w, halo: src_halo, .. } = *ctx.map.layout(*s)
-        else {
+        let BufferLayout::Distributed { stored_w, halo: src_halo, .. } = *ctx.map.layout(*s) else {
             unreachable!()
         };
         let bank_base = slot_base[s];
@@ -802,10 +803,7 @@ fn plan_expr(
                         AffineCoord::Affine { var: None, num: _, den: _, offset: 0 } => {}
                         _ => {
                             return Err(CompileError::Unsupported {
-                                what: format!(
-                                    "gather into `{}` must use row 0",
-                                    ctx.map.names[s]
-                                ),
+                                what: format!("gather into `{}` must use row 0", ctx.map.names[s]),
                             })
                         }
                     }
@@ -815,9 +813,10 @@ fn plan_expr(
                     let halo = *halo;
                     let ax = analyze_coord(cx);
                     let ay = analyze_coord(cy);
-                    let (AffineCoord::Affine { var: vx, num: nx, den: dx, offset: ox },
-                         AffineCoord::Affine { var: vy, num: ny, den: dy, offset: oy }) =
-                        (ax, ay)
+                    let (
+                        AffineCoord::Affine { var: vx, num: nx, den: dx, offset: ox },
+                        AffineCoord::Affine { var: vy, num: ny, den: dy, offset: oy },
+                    ) = (ax, ay)
                     else {
                         return Err(CompileError::Unsupported {
                             what: format!(
@@ -865,10 +864,8 @@ fn plan_expr(
                     let rel_off = ox + halo.0 as i32 - out_halo.0 as i32;
                     let bank_key: RowKey =
                         (*s, ny as i64, oy as i64, dy as i64, false, rel_off * 4);
-                    let pgsm_key: RowKey =
-                        (*s, ny as i64, oy as i64, dy as i64, true, rel_off * 4);
-                    let per_lane_key: RowKey =
-                        (*s, ny as i64, oy as i64, dy as i64, true, 0);
+                    let pgsm_key: RowKey = (*s, ny as i64, oy as i64, dy as i64, true, rel_off * 4);
+                    let per_lane_key: RowKey = (*s, ny as i64, oy as i64, dy as i64, true, 0);
                     if unit_x && rel_off.rem_euclid(4) == 0 {
                         // Aligned vector load straight from the bank
                         // (unless the schedule stages this source anyway).
@@ -910,7 +907,9 @@ fn plan_expr(
             plan_expr(ctx, stage, a, out_halo, counter, out, sources, staged)?;
             plan_expr(ctx, stage, b, out_halo, counter, out, sources, staged)?;
         }
-        Expr::Cast(_, inner) => plan_expr(ctx, stage, inner, out_halo, counter, out, sources, staged)?,
+        Expr::Cast(_, inner) => {
+            plan_expr(ctx, stage, inner, out_halo, counter, out, sources, staged)?
+        }
         Expr::Select(c, a, b) => {
             plan_expr(ctx, stage, c, out_halo, counter, out, sources, staged)?;
             plan_expr(ctx, stage, a, out_halo, counter, out, sources, staged)?;
@@ -979,8 +978,7 @@ fn emit_row_base(
     let (_, ny, oy, dy) = (key.0, key.1, key.2, key.3);
     let a = ctx.claim_areg("row base")?;
     if staged {
-        if let Some(StagingMode::RowWindow { oy_min, .. }) =
-            ctx.staging_modes.get(&source).copied()
+        if let Some(StagingMode::RowWindow { oy_min, .. }) = ctx.staging_modes.get(&source).copied()
         {
             // Row-window staging: the access's row sits at a fixed offset
             // within the staged window (integer y scale guaranteed by
@@ -988,9 +986,12 @@ fn emit_row_base(
             debug_assert!(dy == 1);
             let off = oy as i32 - oy_min;
             let pgsm_off = ctx.pgsm_offsets[&source];
-            ctx.calc(ArfOp::Add, a, A_PGSM_BASE, ArfSrc::Imm(
-                pgsm_off as i32 + off * (stored_w * 4) as i32 + folded_off,
-            ));
+            ctx.calc(
+                ArfOp::Add,
+                a,
+                A_PGSM_BASE,
+                ArfSrc::Imm(pgsm_off as i32 + off * (stored_w * 4) as i32 + folded_off),
+            );
             ctx.row_bases.insert(key, a);
             return Ok(());
         }
@@ -1196,7 +1197,7 @@ fn emit_expr_inner(
     emit_expr_rec(ctx, expr, &mut counter, plan, loaded, stage, out_halo_x, as_int)
 }
 
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
 fn emit_expr_rec(
     ctx: &mut StageCtx<'_>,
     e: &Expr,
@@ -1231,10 +1232,8 @@ fn emit_expr_rec(
             // Global coordinate vector: gx = tx*tw + xi + [0..3] (x only
             // varies per lane).
             let a = ctx.arf_temp()?;
-            let (tw, th) = (
-                stage.extent.0 / ctx.map.grid.tiles_x,
-                stage.extent.1 / ctx.map.grid.tiles_y,
-            );
+            let (tw, th) =
+                (stage.extent.0 / ctx.map.grid.tiles_x, stage.extent.1 / ctx.map.grid.tiles_y);
             let v = ctx.vreg()?;
             match var {
                 Var::X => {
@@ -1273,14 +1272,7 @@ fn emit_expr_rec(
                         simb_mask: ctx.mask,
                     });
                     // Broadcast the scalar to all lanes (y is uniform).
-                    ctx.comp(
-                        CompOp::Add,
-                        DataType::I32,
-                        CompMode::ScalarVector,
-                        v,
-                        D_ZERO,
-                        s,
-                    );
+                    ctx.comp(CompOp::Add, DataType::I32, CompMode::ScalarVector, v, D_ZERO, s);
                 }
             }
             if as_int {

@@ -60,7 +60,7 @@ pub fn emit_histogram_stage(
     machine_vaults: u32,
     sync_phase: &mut u32,
 ) -> Result<(), CompileError> {
-    if bins % 4 != 0 || bins == 0 {
+    if !bins.is_multiple_of(4) || bins == 0 {
         return Err(CompileError::Unsupported {
             what: format!("histogram bins ({bins}) must be a positive multiple of 4"),
         });
@@ -379,7 +379,13 @@ pub fn emit_histogram_stage(
             src2: ArfSrc::Imm((bins * 16) as i32),
             simb_mask: mask_pg_leads,
         });
-        ctx.calc_masked(ArfOp::Add, a, a, ArfSrc::Imm((VSM_PG_PARTIALS + c * 16) as i32), mask_pg_leads);
+        ctx.calc_masked(
+            ArfOp::Add,
+            a,
+            a,
+            ArfSrc::Imm((VSM_PG_PARTIALS + c * 16) as i32),
+            mask_pg_leads,
+        );
         ctx.kb.push_mem(
             Instruction::WrVsm {
                 vsm_addr: AddrOperand::Indirect(ipim_isa::AddrReg::new(a)),
@@ -396,10 +402,8 @@ pub fn emit_histogram_stage(
     for k in 0..bins / 4 {
         ctx.reset_vregs();
         let packed = ctx.vreg()?;
-        ctx.kb.push(Instruction::Reset {
-            drf: ipim_isa::DataReg::new(packed),
-            simb_mask: mask_lead,
-        });
+        ctx.kb
+            .push(Instruction::Reset { drf: ipim_isa::DataReg::new(packed), simb_mask: mask_lead });
         for l in 0..4u32 {
             let c = k * 4 + l;
             let acc = ctx.vreg()?;
@@ -478,10 +482,7 @@ pub fn emit_histogram_stage(
     for k in 0..bins / 4 {
         ctx.reset_vregs();
         let acc = ctx.vreg()?;
-        ctx.kb.push(Instruction::Reset {
-            drf: ipim_isa::DataReg::new(acc),
-            simb_mask: mask_lead,
-        });
+        ctx.kb.push(Instruction::Reset { drf: ipim_isa::DataReg::new(acc), simb_mask: mask_lead });
         for v in 0..machine_vaults {
             let t = ctx.vreg()?;
             ctx.kb.push_mem(

@@ -97,13 +97,11 @@ fn upload_distributed(
             for sx in 0..stored_w {
                 let gx = ox + sx as i64 - halo.0 as i64;
                 let v = image.get_clamped(gx, gy);
-                row[sx as usize * 4..sx as usize * 4 + 4].copy_from_slice(&v.to_bits().to_le_bytes());
+                row[sx as usize * 4..sx as usize * 4 + 4]
+                    .copy_from_slice(&v.to_bits().to_le_bytes());
             }
             let addr = base + slot * slot_bytes + sy * stored_w * 4;
-            machine
-                .vault_mut(loc.cube, loc.vault)
-                .bank_array_mut(loc.pg, loc.pe)
-                .write(addr, &row);
+            machine.vault_mut(loc.cube, loc.vault).bank_array_mut(loc.pg, loc.pe).write(addr, &row);
         }
     }
 }
@@ -151,10 +149,7 @@ pub fn read_back(machine: &Machine, map: &MemoryMap, source: SourceId) -> Image 
                 let tx = t % grid.tiles_x;
                 let ty = t / grid.tiles_x;
                 for ly in 0..tile.1 {
-                    let addr = base
-                        + slot * slot_bytes
-                        + (ly + halo.1) * stored_w * 4
-                        + halo.0 * 4;
+                    let addr = base + slot * slot_bytes + (ly + halo.1) * stored_w * 4 + halo.0 * 4;
                     machine
                         .vault(loc.cube, loc.vault)
                         .bank_array(loc.pg, loc.pe)
@@ -206,10 +201,7 @@ mod tests {
         let mut p = PipelineBuilder::new();
         let input = p.input("in", 32, 32);
         let out = p.func("out", 32, 32);
-        p.define(
-            out,
-            (input.at(x() - 1, y()) + input.at(x() + 1, y())) / 2.0,
-        );
+        p.define(out, (input.at(x() - 1, y()) + input.at(x() + 1, y())) / 2.0);
         p.schedule(out).compute_root().ipim_tile(4, 4);
         let pipe = p.build(out).unwrap();
         let map = MemoryMap::plan(&pipe, 32, 1 << 20).unwrap();
@@ -230,9 +222,7 @@ mod tests {
         p.schedule(out).compute_root().ipim_tile(4, 4);
         let pipe = p.build(out).unwrap();
         let map = MemoryMap::plan(&pipe, 32, 1 << 20).unwrap();
-        let BufferLayout::Distributed { base, halo, stored_w, .. } =
-            *map.layout(input.id())
-        else {
+        let BufferLayout::Distributed { base, halo, stored_w, .. } = *map.layout(input.id()) else {
             panic!("expected distributed");
         };
         assert_eq!(halo.0, 1);

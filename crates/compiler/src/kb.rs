@@ -37,10 +37,7 @@ impl MemTag {
     /// Whether two same-tagged instructions must stay ordered when at least
     /// one of them writes.
     pub fn self_conflicts(&self) -> bool {
-        matches!(
-            self,
-            MemTag::DramRmw(_) | MemTag::DramSpill(_) | MemTag::Pgsm(_) | MemTag::Vsm
-        )
+        matches!(self, MemTag::DramRmw(_) | MemTag::DramSpill(_) | MemTag::Pgsm(_) | MemTag::Vsm)
     }
 }
 
@@ -173,9 +170,8 @@ pub fn straight_regions(items: &[Item]) -> Vec<std::ops::Range<usize>> {
 pub fn lower(items: &[Item]) -> Result<Program, ProgramError> {
     let mut b = ProgramBuilder::new();
     let mut labels = std::collections::HashMap::new();
-    let mut label_of = |b: &mut ProgramBuilder, l: KLabel| {
-        *labels.entry(l).or_insert_with(|| b.new_label())
-    };
+    let mut label_of =
+        |b: &mut ProgramBuilder, l: KLabel| *labels.entry(l).or_insert_with(|| b.new_label());
     for item in items {
         match item {
             Item::Inst(inst, _) => {

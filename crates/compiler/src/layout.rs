@@ -217,11 +217,7 @@ impl MemoryMap {
     ///
     /// Returns [`LayoutError`] on indivisible extents, unvectorizable
     /// tiles, non-1-D gathered sources, or bank overflow.
-    pub fn plan(
-        pipeline: &Pipeline,
-        total_pes: u32,
-        bank_bytes: u32,
-    ) -> Result<Self, LayoutError> {
+    pub fn plan(pipeline: &Pipeline, total_pes: u32, bank_bytes: u32) -> Result<Self, LayoutError> {
         let out = pipeline.output();
         // The grid derives from the output stage's tile schedule; a
         // histogram output is a 1-D reduction, so its *source* extent
@@ -254,11 +250,10 @@ impl MemoryMap {
                         }
                     }
                 }
-                Some(FuncBody::Histogram { .. }) => {
-                    if !replicated.contains(&stage.source) {
-                        replicated.push(stage.source);
-                    }
+                Some(FuncBody::Histogram { .. }) if !replicated.contains(&stage.source) => {
+                    replicated.push(stage.source);
                 }
+                Some(FuncBody::Histogram { .. }) => {}
                 None => {}
             }
         }
@@ -277,10 +272,8 @@ impl MemoryMap {
                 }
                 let (in_tw, in_th) = stage_tile(pipeline, &grid, fp.source);
                 // Output x range [-hx_out, sw + hx_out), inclusive hi.
-                let (xlo, xhi) =
-                    fp.window_x(-(hx_out as i64), (sw + hx_out) as i64 - 1);
-                let (ylo, yhi) =
-                    fp.window_y(-(hy_out as i64), (sh + hy_out) as i64 - 1);
+                let (xlo, xhi) = fp.window_x(-(hx_out as i64), (sw + hx_out) as i64 - 1);
+                let (ylo, yhi) = fp.window_y(-(hy_out as i64), (sh + hy_out) as i64 - 1);
                 let need_x = (-xlo).max(xhi - (in_tw as i64 - 1)).max(0) as u32;
                 let need_y = (-ylo).max(yhi - (in_th as i64 - 1)).max(0) as u32;
                 let e = halo.entry(fp.source).or_insert((0, 0));
@@ -294,11 +287,8 @@ impl MemoryMap {
         let mut buffers = HashMap::new();
         let mut names = HashMap::new();
         let mut cursor: u32 = 0;
-        let mut all_sources: Vec<(SourceId, String, (u32, u32))> = pipeline
-            .inputs()
-            .iter()
-            .map(|i| (i.source, i.name.clone(), i.extent))
-            .collect();
+        let mut all_sources: Vec<(SourceId, String, (u32, u32))> =
+            pipeline.inputs().iter().map(|i| (i.source, i.name.clone(), i.extent)).collect();
         for stage in &roots {
             all_sources.push((stage.source, stage.name.clone(), stage.extent));
         }
@@ -323,7 +313,7 @@ impl MemoryMap {
                 // Vector *stores* require 4-wide tiles; only funcs are
                 // stage outputs — inputs read per-lane tolerate any width.
                 let is_func = pipeline.func_by_source(source).is_some();
-                if is_func && tile.0 % 4 != 0 {
+                if is_func && !tile.0.is_multiple_of(4) {
                     return Err(LayoutError::TileNotVectorizable { name, tile_w: tile.0 });
                 }
                 let h = *halo.get(&source).unwrap_or(&(0, 0));
@@ -375,10 +365,7 @@ mod tests {
         let mut p = PipelineBuilder::new();
         let input = p.input("in", 64, 64);
         let out = p.func("out", 64, 64);
-        p.define(
-            out,
-            (input.at(x() - 1, y()) + input.at(x(), y()) + input.at(x() + 1, y())) / 3.0,
-        );
+        p.define(out, (input.at(x() - 1, y()) + input.at(x(), y()) + input.at(x() + 1, y())) / 3.0);
         p.schedule(out).compute_root().ipim_tile(8, 8);
         let pipe = p.build(out).unwrap();
         let map = MemoryMap::plan(&pipe, 32, 1 << 20).unwrap();
@@ -489,10 +476,7 @@ mod tests {
         p.define(out, input.at(x(), y()));
         p.schedule(out).compute_root().ipim_tile(8, 8);
         let pipe = p.build(out).unwrap();
-        assert!(matches!(
-            MemoryMap::plan(&pipe, 32, 100),
-            Err(LayoutError::BankOverflow { .. })
-        ));
+        assert!(matches!(MemoryMap::plan(&pipe, 32, 100), Err(LayoutError::BankOverflow { .. })));
     }
 
     #[test]

@@ -91,15 +91,8 @@ pub fn allocate(
     loop {
         let regions = straight_regions(items);
         let Some(range) = regions.get(region_idx).cloned() else { break };
-        let used = allocate_region(
-            items,
-            range,
-            pinned,
-            rf_size,
-            spill_base,
-            &mut spill_slots,
-            policy,
-        )?;
+        let used =
+            allocate_region(items, range, pinned, rf_size, spill_base, &mut spill_slots, policy)?;
         let _ = used;
         region_idx += 1;
     }
@@ -170,16 +163,14 @@ fn allocate_region(
         return Err(RegAllocError::TooFewRegisters { available });
     }
 
-    // 1. Spill pre-pass: demote long live ranges until max pressure fits.
-    loop {
-        let pressure = max_pressure(items, range.clone(), pinned)?;
-        if pressure <= available {
-            break;
-        }
+    // 1. Spill pre-pass: demote one long live range, then retry the whole
+    // region (the range is stale after insertion); recursion repeats until
+    // max pressure fits.
+    let pressure = max_pressure(items, range.clone(), pinned)?;
+    if pressure > available {
         if !demote_one(items, range.clone(), pinned, spill_base, spill_slots) {
             return Err(RegAllocError::TooFewRegisters { available });
         }
-        // Region range is stale after insertion: recompute.
         return allocate_region(
             items,
             current_region(items, range.start),
@@ -398,8 +389,7 @@ fn demote_one(
     // Rename each use to a fresh vreg and plan a reload before it. Process
     // insertions back-to-front so indices stay valid.
     let mut insertions: Vec<(usize, Item)> = Vec::new();
-    let mut fresh = max_vreg + 1;
-    for &u in use_sites.iter().rev() {
+    for (fresh, &u) in (max_vreg + 1..).zip(use_sites.iter().rev()) {
         if let Item::Inst(inst, _) = &mut items[u] {
             rename_reads(inst, victim, fresh);
         }
@@ -414,7 +404,6 @@ fn demote_one(
                 Some(MemTag::DramSpill(slot)),
             ),
         ));
-        fresh += 1;
     }
     insertions.push((
         d + 1,
@@ -437,10 +426,7 @@ fn demote_one(
 /// Returns the straight region containing or following `hint` after items
 /// shifted.
 fn current_region(items: &[Item], hint: usize) -> std::ops::Range<usize> {
-    straight_regions(items)
-        .into_iter()
-        .find(|r| r.end >= hint)
-        .expect("region still exists")
+    straight_regions(items).into_iter().find(|r| r.end >= hint).expect("region still exists")
 }
 
 #[cfg(test)]
@@ -554,8 +540,7 @@ mod tests {
             prog.push(comp(12 + (v - 4), v, v));
         }
         let mut items = region(prog);
-        let spills =
-            allocate(&mut items, PINNED, 8, 0x1000, RegAllocPolicy::Max).unwrap();
+        let spills = allocate(&mut items, PINNED, 8, 0x1000, RegAllocPolicy::Max).unwrap();
         assert!(spills > 0, "must spill");
         let out = insts(&items);
         assert!(out.iter().any(|i| matches!(i, Instruction::StRf { .. })));

@@ -69,13 +69,20 @@ pub struct DepGraph {
 
 /// Builds the dependency graph of `block`; when `enforce_memory_order` is
 /// set, DRAM accesses are additionally chained in program order.
-pub fn build_dep_graph(block: &[(Instruction, Option<MemTag>)], enforce_memory_order: bool) -> DepGraph {
+pub fn build_dep_graph(
+    block: &[(Instruction, Option<MemTag>)],
+    enforce_memory_order: bool,
+) -> DepGraph {
     let n = block.len();
     let mut succ: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
     let mut indegree = vec![0usize; n];
     let mut edges = 0usize;
-    let add_edge = |succ: &mut Vec<Vec<(usize, u64)>>, indegree: &mut Vec<usize>,
-                    edges: &mut usize, a: usize, b: usize, w: u64| {
+    let add_edge = |succ: &mut Vec<Vec<(usize, u64)>>,
+                    indegree: &mut Vec<usize>,
+                    edges: &mut usize,
+                    a: usize,
+                    b: usize,
+                    w: u64| {
         if let Some(e) = succ[a].iter_mut().find(|(t, _)| *t == b) {
             e.1 = e.1.max(w);
             return;
@@ -89,8 +96,7 @@ pub fn build_dep_graph(block: &[(Instruction, Option<MemTag>)], enforce_memory_o
         let (bj, tj) = &block[j];
         let rj = bj.reads();
         let wj = bj.writes();
-        for i in 0..j {
-            let (bi, ti) = &block[i];
+        for (i, (bi, ti)) in block.iter().enumerate().take(j) {
             let ri = bi.reads();
             let wi = bi.writes();
             // Register dependences: RAW, WAR, WAW.
@@ -152,10 +158,7 @@ fn mem_writes(inst: &Instruction) -> bool {
 
 /// Paper Algorithm 1: list-schedules `block` against its dependency graph,
 /// returning the new order as indices into the original block.
-pub fn schedule_order(
-    block: &[(Instruction, Option<MemTag>)],
-    graph: &DepGraph,
-) -> Vec<usize> {
+pub fn schedule_order(block: &[(Instruction, Option<MemTag>)], graph: &DepGraph) -> Vec<usize> {
     let n = block.len();
     let mut t = vec![0u64; n];
     let mut indegree = graph.indegree.clone();
@@ -217,10 +220,10 @@ pub fn reorder(items: &mut [Item], enforce_memory_order: bool) {
 mod tests {
     use super::*;
     use crate::kb::KernelBuilder;
+    use ipim_frontend::SourceId;
     use ipim_isa::{
         AddrOperand, CompMode, CompOp, DataReg, DataType, Instruction, SimbMask, VecMask,
     };
-    use ipim_frontend::SourceId;
 
     fn mask() -> SimbMask {
         SimbMask::all(32)

@@ -53,10 +53,7 @@ fn blur_stencil_with_pgsm() {
     let mut p = PipelineBuilder::new();
     let input = p.input("in", 32, 32);
     let out = p.func("out", 32, 32);
-    p.define(
-        out,
-        (input.at(x() - 1, y()) + input.at(x(), y()) + input.at(x() + 1, y())) / 3.0,
-    );
+    p.define(out, (input.at(x() - 1, y()) + input.at(x(), y()) + input.at(x() + 1, y())) / 3.0);
     p.schedule(out).compute_root().ipim_tile(4, 4).load_pgsm();
     let pipe = p.build(out).unwrap();
     let img = Image::gradient(32, 32);
@@ -69,16 +66,10 @@ fn blur_two_stage_separable() {
     let mut p = PipelineBuilder::new();
     let input = p.input("in", 32, 32);
     let bx = p.func("blurx", 32, 32);
-    p.define(
-        bx,
-        (input.at(x() - 1, y()) + input.at(x(), y()) + input.at(x() + 1, y())) / 3.0,
-    );
+    p.define(bx, (input.at(x() - 1, y()) + input.at(x(), y()) + input.at(x() + 1, y())) / 3.0);
     p.schedule(bx).compute_root().ipim_tile(4, 4).load_pgsm();
     let out = p.func("out", 32, 32);
-    p.define(
-        out,
-        (bx.at(x(), y() - 1) + bx.at(x(), y()) + bx.at(x(), y() + 1)) / 3.0,
-    );
+    p.define(out, (bx.at(x(), y() - 1) + bx.at(x(), y()) + bx.at(x(), y() + 1)) / 3.0);
     p.schedule(out).compute_root().ipim_tile(4, 4).load_pgsm();
     let pipe = p.build(out).unwrap();
     let img = Image::gradient(32, 32);
@@ -145,12 +136,7 @@ fn lut_gather_dynamic_index() {
     let pipe = p.build(out).unwrap();
     let img = Image::gradient(32, 32); // values in [0, 1)
     let lut_img = Image::from_vec(16, 1, (0..16).map(|i| 100.0 + i as f32).collect());
-    run_and_compare(
-        &pipe,
-        &[(input, img), (lut, lut_img)],
-        &CompileOptions::opt(),
-        8_000_000,
-    );
+    run_and_compare(&pipe, &[(input, img), (lut, lut_img)], &CompileOptions::opt(), 8_000_000);
 }
 
 #[test]
@@ -171,10 +157,7 @@ fn coordinate_dependent_expression() {
     let input = p.input("in", 32, 32);
     let out = p.func("out", 32, 32);
     // out = in * (x + 2y) — exercises Var lowering.
-    p.define(
-        out,
-        input.at(x(), y()) * (x().cast_f32() + y().cast_f32() * 2.0),
-    );
+    p.define(out, input.at(x(), y()) * (x().cast_f32() + y().cast_f32() * 2.0));
     p.schedule(out).compute_root().ipim_tile(4, 4);
     let pipe = p.build(out).unwrap();
     let img = Image::splat(32, 32, 1.0);
@@ -204,8 +187,7 @@ fn histogram_reduction_single_vault() {
     p.schedule(h).compute_root().ipim_tile(4, 4);
     let pipe = p.build(h).unwrap();
     let img = Image::gradient(32, 32);
-    let (out, report) =
-        run_and_compare(&pipe, &[(input, img)], &CompileOptions::opt(), 8_000_000);
+    let (out, report) = run_and_compare(&pipe, &[(input, img)], &CompileOptions::opt(), 8_000_000);
     // All 1024 pixels are counted.
     assert_eq!(out.data().iter().sum::<f32>(), 1024.0);
     assert!(report.stats.remote_reqs > 0, "all-gather must issue reqs");
@@ -217,10 +199,7 @@ fn all_compiler_baselines_are_correct() {
     let mut p = PipelineBuilder::new();
     let input = p.input("in", 32, 32);
     let out = p.func("out", 32, 32);
-    p.define(
-        out,
-        (input.at(x() - 1, y()) + input.at(x() + 1, y())) * 0.5 + input.at(x(), y()),
-    );
+    p.define(out, (input.at(x() - 1, y()) + input.at(x() + 1, y())) * 0.5 + input.at(x(), y()));
     p.schedule(out).compute_root().ipim_tile(4, 4).load_pgsm();
     let pipe = p.build(out).unwrap();
     let img = Image::gradient(32, 32);
@@ -242,7 +221,9 @@ fn opt_is_faster_than_baseline1() {
     let out = p.func("out", 32, 32);
     p.define(
         out,
-        (input.at(x() - 1, y()) + input.at(x(), y()) + input.at(x() + 1, y())
+        (input.at(x() - 1, y())
+            + input.at(x(), y())
+            + input.at(x() + 1, y())
             + input.at(x(), y() - 1)
             + input.at(x(), y() + 1))
             / 5.0,
@@ -250,7 +231,8 @@ fn opt_is_faster_than_baseline1() {
     p.schedule(out).compute_root().ipim_tile(4, 4).load_pgsm();
     let pipe = p.build(out).unwrap();
     let img = Image::gradient(32, 32);
-    let (_, opt) = run_and_compare(&pipe, &[(input, img.clone())], &CompileOptions::opt(), 8_000_000);
+    let (_, opt) =
+        run_and_compare(&pipe, &[(input, img.clone())], &CompileOptions::opt(), 8_000_000);
     let (_, base) =
         run_and_compare(&pipe, &[(input, img)], &CompileOptions::baseline1(), 16_000_000);
     assert!(
@@ -332,7 +314,9 @@ fn deep_stencil_chain_with_growing_halo() {
         let f = p.func(&format!("s{k}"), 128, 128);
         p.define(
             f,
-            (prev.at(x() - 1, y()) + prev.at(x() + 1, y()) + prev.at(x(), y() - 1)
+            (prev.at(x() - 1, y())
+                + prev.at(x() + 1, y())
+                + prev.at(x(), y() - 1)
                 + prev.at(x(), y() + 1)
                 + prev.at(x(), y()))
                 / 5.0,

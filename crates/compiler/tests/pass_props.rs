@@ -7,10 +7,9 @@
 use ipim_compiler::kb::{Item, KernelBuilder, MemTag};
 use ipim_compiler::reorder::{build_dep_graph, reorder, schedule_order};
 use ipim_frontend::SourceId;
-use ipim_isa::{
-    AddrOperand, CompMode, CompOp, DataReg, DataType, Instruction, SimbMask, VecMask,
-};
-use proptest::prelude::*;
+use ipim_isa::{AddrOperand, CompMode, CompOp, DataReg, DataType, Instruction, SimbMask, VecMask};
+use ipim_simkit::check;
+use ipim_simkit::prop::{bool_any, tuple2, tuple3, u32_in, u8_in, vec_of, Gen};
 
 #[derive(Debug, Clone)]
 enum GenOp {
@@ -19,17 +18,31 @@ enum GenOp {
     Store { src: u8, addr: u32, buf: u32 },
 }
 
-fn arb_block() -> impl Strategy<Value = Vec<GenOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (4u8..20, 4u8..20, 4u8..20).prop_map(|(dst, a, b)| GenOp::Comp { dst, a, b }),
-            (4u8..20, 0u32..8, 0u32..2)
-                .prop_map(|(dst, slot, buf)| GenOp::Load { dst, addr: slot * 16, buf }),
-            (4u8..20, 0u32..8, 0u32..2)
-                .prop_map(|(src, slot, buf)| GenOp::Store { src, addr: slot * 16, buf }),
-        ],
-        2..25,
+/// Raw op encoding `(kind, reg-triple, slot, buf)` — generated at the
+/// primitive level so failing blocks shrink structurally.
+type RawOp = (u32, (u8, u8, u8), u32, u32);
+
+fn arb_raw_block() -> Gen<Vec<RawOp>> {
+    vec_of(
+        ipim_simkit::prop::tuple4(
+            u32_in(0, 3),
+            tuple3(u8_in(4, 20), u8_in(4, 20), u8_in(4, 20)),
+            u32_in(0, 8),
+            u32_in(0, 2),
+        ),
+        2,
+        25,
     )
+}
+
+fn ops_from_raw(raw: &[RawOp]) -> Vec<GenOp> {
+    raw.iter()
+        .map(|&(kind, (r0, r1, r2), slot, buf)| match kind {
+            0 => GenOp::Comp { dst: r0, a: r1, b: r2 },
+            1 => GenOp::Load { dst: r0, addr: slot * 16, buf },
+            _ => GenOp::Store { src: r0, addr: slot * 16, buf },
+        })
+        .collect()
 }
 
 fn materialize(ops: &[GenOp]) -> Vec<(Instruction, Option<MemTag>)> {
@@ -69,52 +82,55 @@ fn materialize(ops: &[GenOp]) -> Vec<(Instruction, Option<MemTag>)> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn schedule_respects_every_dependency(ops in arb_block(), memorder in any::<bool>()) {
-        let block = materialize(&ops);
-        let graph = build_dep_graph(&block, memorder);
-        let order = schedule_order(&block, &graph);
-        // Permutation check.
-        let mut sorted = order.clone();
-        sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..block.len()).collect::<Vec<_>>());
-        // Every edge (i -> j) keeps i before j.
-        let pos: Vec<usize> = {
-            let mut p = vec![0; order.len()];
-            for (slot, &v) in order.iter().enumerate() {
-                p[v] = slot;
+#[test]
+fn schedule_respects_every_dependency() {
+    check(
+        "schedule_respects_every_dependency",
+        &tuple2(arb_raw_block(), bool_any()),
+        |(raw, memorder)| {
+            let block = materialize(&ops_from_raw(raw));
+            let graph = build_dep_graph(&block, *memorder);
+            let order = schedule_order(&block, &graph);
+            // Permutation check.
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..block.len()).collect::<Vec<_>>());
+            // Every edge (i -> j) keeps i before j.
+            let pos: Vec<usize> = {
+                let mut p = vec![0; order.len()];
+                for (slot, &v) in order.iter().enumerate() {
+                    p[v] = slot;
+                }
+                p
+            };
+            for (i, succs) in graph.succ.iter().enumerate() {
+                for &(j, _) in succs {
+                    assert!(pos[i] < pos[j], "edge {i}->{j} violated");
+                }
             }
-            p
-        };
-        for (i, succs) in graph.succ.iter().enumerate() {
-            for &(j, _) in succs {
-                prop_assert!(pos[i] < pos[j], "edge {i}->{j} violated");
-            }
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn memory_order_only_adds_edges(ops in arb_block()) {
-        let block = materialize(&ops);
+#[test]
+fn memory_order_only_adds_edges() {
+    check("memory_order_only_adds_edges", &arb_raw_block(), |raw| {
+        let block = materialize(&ops_from_raw(raw));
         let without = build_dep_graph(&block, false);
         let with = build_dep_graph(&block, true);
-        prop_assert!(with.edges >= without.edges);
+        assert!(with.edges >= without.edges);
         for (i, succs) in without.succ.iter().enumerate() {
             for &(j, _) in succs {
-                prop_assert!(
-                    with.succ[i].iter().any(|&(t, _)| t == j),
-                    "edge {i}->{j} dropped"
-                );
+                assert!(with.succ[i].iter().any(|&(t, _)| t == j), "edge {i}->{j} dropped");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn reorder_preserves_region_multiset(ops in arb_block()) {
-        let block = materialize(&ops);
+#[test]
+fn reorder_preserves_region_multiset() {
+    check("reorder_preserves_region_multiset", &arb_raw_block(), |raw| {
+        let block = materialize(&ops_from_raw(raw));
         let mut kb = KernelBuilder::new();
         kb.begin_straight();
         for (inst, tag) in &block {
@@ -137,6 +153,6 @@ proptest! {
         let mut after_sorted = after.clone();
         before.sort();
         after_sorted.sort();
-        prop_assert_eq!(before, after_sorted);
-    }
+        assert_eq!(before, after_sorted);
+    });
 }

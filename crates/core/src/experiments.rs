@@ -102,11 +102,7 @@ pub fn verify_against_reference(w: &Workload, outcome: &RunOutcome) {
             diff = diff.max((expected.get(x, y) - outcome.output.get(x, y)).abs());
         }
     }
-    assert!(
-        diff <= 2e-3,
-        "{}: simulated output diverges from reference by {diff}",
-        w.name
-    );
+    assert!(diff <= 2e-3, "{}: simulated output diverges from reference by {diff}", w.name);
 }
 
 // --------------------------------------------------------------------
@@ -184,9 +180,7 @@ pub fn gpu_comparison(cfg: &ExperimentConfig, suite: &[SuiteRun]) -> Vec<GpuComp
             let pixels = run.workload.output_pixels as f64;
             let ipim_pps = pixels / run.outcome.report.seconds() * factor;
             let ipim_nj = run.outcome.report.energy.total_pj() / pixels / 1000.0;
-            let gpu_nj = gpu.energy_j
-                / workload_at_div8k(&run.workload).output_pixels as f64
-                * 1e9;
+            let gpu_nj = gpu.energy_j / workload_at_div8k(&run.workload).output_pixels as f64 * 1e9;
             GpuComparisonRow {
                 name: run.workload.name,
                 ipim_gpix_s: ipim_pps / 1e9,
@@ -256,8 +250,7 @@ pub fn fig8(cfg: &ExperimentConfig) -> Result<Vec<PonbRow>, SessionError> {
         out.push(PonbRow {
             name: w.name,
             speedup: b.report.cycles as f64 / a.report.cycles as f64,
-            energy_saving: 1.0
-                - (a.report.energy.total_pj() / b.report.energy.total_pj()).min(1.0),
+            energy_saving: 1.0 - (a.report.energy.total_pj() / b.report.energy.total_pj()).min(1.0),
         });
     }
     Ok(out)
@@ -330,7 +323,10 @@ pub struct SensitivityPoint {
 /// # Errors
 ///
 /// Propagates compile/simulation errors.
-pub fn fig10_rf(cfg: &ExperimentConfig, sizes: &[usize]) -> Result<Vec<SensitivityPoint>, SessionError> {
+pub fn fig10_rf(
+    cfg: &ExperimentConfig,
+    sizes: &[usize],
+) -> Result<Vec<SensitivityPoint>, SessionError> {
     sweep(cfg, sizes, |slice, v| MachineConfig { data_rf_entries: v, ..slice.clone() })
 }
 
@@ -358,10 +354,8 @@ fn sweep(
     // through a 2 KiB PGSM at all) is dropped from the sweep so every
     // point averages the same set.
     let names = ["Blur", "BilateralGrid", "StencilChain"];
-    let workloads: Vec<_> = all_workloads(cfg.scale)
-        .into_iter()
-        .filter(|w| names.contains(&w.name))
-        .collect();
+    let workloads: Vec<_> =
+        all_workloads(cfg.scale).into_iter().filter(|w| names.contains(&w.name)).collect();
     // cycles[w][i] for workload w at size index i; None = did not compile.
     let mut cycles: Vec<Vec<Option<f64>>> = vec![Vec::new(); workloads.len()];
     for &size in sizes {
@@ -374,9 +368,8 @@ fn sweep(
             }
         }
     }
-    let usable: Vec<usize> = (0..workloads.len())
-        .filter(|&wi| cycles[wi].iter().all(Option::is_some))
-        .collect();
+    let usable: Vec<usize> =
+        (0..workloads.len()).filter(|&wi| cycles[wi].iter().all(Option::is_some)).collect();
     assert!(!usable.is_empty(), "no workload compiles across the whole sweep");
     // Per-workload normalization to its own fastest point, then averaged.
     let mut rows = Vec::new();

@@ -61,10 +61,7 @@ fn unsupported_pipeline_reports_compile_error() {
     p.schedule(out).compute_root().ipim_tile(8, 8);
     let pipe = p.build(out).unwrap();
     let session = Session::new(MachineConfig::vault_slice(1));
-    assert!(matches!(
-        session.compile_only(&pipe),
-        Err(SessionError::Compile(_))
-    ));
+    assert!(matches!(session.compile_only(&pipe), Err(SessionError::Compile(_))));
 }
 
 #[test]
@@ -74,9 +71,8 @@ fn sessions_with_different_options_share_results() {
     let mut cycle_counts = Vec::new();
     for options in [CompileOptions::opt(), CompileOptions::baseline1()] {
         let session = Session::with_options(MachineConfig::vault_slice(1), options);
-        let outcome = session
-            .run_pipeline(&pipe, &[(input.id(), img.clone())], 100_000_000)
-            .expect("run");
+        let outcome =
+            session.run_pipeline(&pipe, &[(input.id(), img.clone())], 100_000_000).expect("run");
         // Same functional result across compiler configurations.
         for yy in 0..64 {
             for xx in 0..64 {

@@ -128,10 +128,7 @@ impl Bank {
         let earliest = self
             .earliest(cmd)
             .unwrap_or_else(|| panic!("illegal {cmd:?} in state {:?}", self.state));
-        assert!(
-            now >= earliest,
-            "{cmd:?} issued at {now} before earliest legal cycle {earliest}"
-        );
+        assert!(now >= earliest, "{cmd:?} issued at {now} before earliest legal cycle {earliest}");
         let t = &self.timing;
         match cmd {
             BankCmd::Act(row) => {
@@ -276,9 +273,6 @@ mod tests {
         b.issue(BankCmd::Wr(1), 16);
         let pre_at = b.earliest(BankCmd::Pre).unwrap();
         b.issue(BankCmd::Pre, pre_at);
-        assert_eq!(
-            b.stats,
-            BankStats { acts: 1, pres: 1, reads: 1, writes: 1, refs: 0 }
-        );
+        assert_eq!(b.stats, BankStats { acts: 1, pres: 1, reads: 1, writes: 1, refs: 0 });
     }
 }

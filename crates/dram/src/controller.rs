@@ -392,9 +392,9 @@ impl MemController {
 
     /// Whether `w` must wait for an *older* queued same-address read.
     fn write_order_blocked(&self, w: &Pending) -> bool {
-        self.queue.iter().any(|r| {
-            r.req.bank == w.req.bank && r.req.addr == w.req.addr && r.seq < w.seq
-        })
+        self.queue
+            .iter()
+            .any(|r| r.req.bank == w.req.bank && r.req.addr == w.req.addr && r.seq < w.seq)
     }
 
     /// Issues one command on behalf of the write buffer (hits first, then
@@ -474,9 +474,11 @@ impl MemController {
         // A read must wait for *older* same-address posted writes to drain
         // (a real controller would forward from the buffer; waiting is the
         // conservative model).
-        if self.write_buffer.iter().any(|w| {
-            w.req.bank == req.bank && w.req.addr == req.addr && w.seq < pending.seq
-        }) {
+        if self
+            .write_buffer
+            .iter()
+            .any(|w| w.req.bank == req.bank && w.req.addr == req.addr && w.seq < pending.seq)
+        {
             self.draining_writes = true;
             return false;
         }
@@ -668,7 +670,11 @@ mod tests {
         mc
     }
 
-    fn run_until_complete(mc: &mut MemController, mut now: u64, n: usize) -> (Vec<Completion>, u64) {
+    fn run_until_complete(
+        mc: &mut MemController,
+        mut now: u64,
+        n: usize,
+    ) -> (Vec<Completion>, u64) {
         let mut out = Vec::new();
         while out.len() < n {
             out.extend(mc.tick(now));
@@ -811,8 +817,7 @@ mod tests {
         let timing = DramTiming::default();
         let map = AddressMap::default();
         let banks = (0..4).map(|_| Bank::new(timing, map)).collect();
-        let mut mc =
-            MemController::new(banks, timing, 16, PagePolicy::Open, SchedPolicy::FrFcfs);
+        let mut mc = MemController::new(banks, timing, 16, PagePolicy::Open, SchedPolicy::FrFcfs);
         for now in 0..(timing.t_refi + timing.t_rfc + 20) {
             mc.tick(now);
         }

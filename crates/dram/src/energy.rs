@@ -23,12 +23,7 @@ pub struct EnergyParams {
 
 impl Default for EnergyParams {
     fn default() -> Self {
-        Self {
-            rd_wr_pj: 520.0,
-            act_pre_pj: 220.0,
-            ref_pj: 2600.0,
-            background_mw_per_bank: 0.9,
-        }
+        Self { rd_wr_pj: 520.0, act_pre_pj: 220.0, ref_pj: 2600.0, background_mw_per_bank: 0.9 }
     }
 }
 

@@ -30,8 +30,7 @@ mod timing;
 pub use array::BankArray;
 pub use bank::{Bank, BankCmd, BankState, BankStats};
 pub use controller::{
-    AccessKind, Completion, MemController, PagePolicy, Request, RequestId, RowLocality,
-    SchedPolicy,
+    AccessKind, Completion, MemController, PagePolicy, Request, RequestId, RowLocality, SchedPolicy,
 };
 pub use energy::{DramEnergy, EnergyParams};
 pub use timing::{AddressMap, DramTiming};

@@ -6,7 +6,8 @@ use ipim_dram::{
     AccessKind, AddressMap, Bank, Completion, DramTiming, MemController, PagePolicy, Request,
     RequestId, SchedPolicy,
 };
-use proptest::prelude::*;
+use ipim_simkit::check;
+use ipim_simkit::prop::{bool_any, tuple4, u32_in, u8_any, usize_in, vec_of, Gen};
 use std::collections::HashMap;
 
 fn controller(policy: SchedPolicy, page: PagePolicy) -> MemController {
@@ -26,19 +27,17 @@ struct Op {
     value: u8,
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        (0usize..4, 0u32..32, any::<bool>(), any::<u8>()).prop_map(|(bank, slot, write, value)| {
-            Op { bank, slot, write, value }
-        }),
-        1..60,
-    )
+/// Ops are generated as primitive tuples so the harness can shrink a
+/// failing stream (drop ops, reduce banks/slots) before reporting it.
+fn arb_raw_ops() -> Gen<Vec<(usize, u32, bool, u8)>> {
+    vec_of(tuple4(usize_in(0, 4), u32_in(0, 32), bool_any(), u8_any()), 1, 60)
 }
 
-fn run_stream(
-    mc: &mut MemController,
-    ops: &[Op],
-) -> (Vec<Completion>, HashMap<(usize, u32), u8>) {
+fn ops_from_raw(raw: &[(usize, u32, bool, u8)]) -> Vec<Op> {
+    raw.iter().map(|&(bank, slot, write, value)| Op { bank, slot, write, value }).collect()
+}
+
+fn run_stream(mc: &mut MemController, ops: &[Op]) -> (Vec<Completion>, HashMap<(usize, u32), u8>) {
     // Shadow model of expected memory contents per (bank, slot).
     let mut shadow: HashMap<(usize, u32), u8> = HashMap::new();
     let mut expected_read: HashMap<u64, u8> = HashMap::new();
@@ -96,57 +95,108 @@ fn run_stream(
     (done, shadow)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn fr_fcfs_open_page_preserves_data(ops in arb_ops()) {
-        let mut mc = controller(SchedPolicy::FrFcfs, PagePolicy::Open);
-        let (done, shadow) = run_stream(&mut mc, &ops);
-        prop_assert_eq!(done.len(), ops.len());
-        // Final memory state matches the shadow model.
-        for ((bank, slot), v) in shadow {
-            let mut buf = [0u8; 16];
-            mc.bank(bank).array().read(slot * 16, &mut buf);
-            prop_assert_eq!(buf, [v; 16]);
-        }
+fn check_fr_fcfs_open_page(ops: &[Op]) {
+    let mut mc = controller(SchedPolicy::FrFcfs, PagePolicy::Open);
+    let (done, shadow) = run_stream(&mut mc, ops);
+    assert_eq!(done.len(), ops.len());
+    // Final memory state matches the shadow model.
+    for ((bank, slot), v) in shadow {
+        let mut buf = [0u8; 16];
+        mc.bank(bank).array().read(slot * 16, &mut buf);
+        assert_eq!(buf, [v; 16]);
     }
+}
 
-    #[test]
-    fn fcfs_close_page_preserves_data(ops in arb_ops()) {
-        let mut mc = controller(SchedPolicy::Fcfs, PagePolicy::Close);
-        let (done, _) = run_stream(&mut mc, &ops);
-        prop_assert_eq!(done.len(), ops.len());
-    }
+fn check_fcfs_close_page(ops: &[Op]) {
+    let mut mc = controller(SchedPolicy::Fcfs, PagePolicy::Close);
+    let (done, _) = run_stream(&mut mc, ops);
+    assert_eq!(done.len(), ops.len());
+}
 
-    #[test]
-    fn refresh_does_not_lose_requests(ops in arb_ops()) {
-        let timing = DramTiming::default();
-        let map = AddressMap::default();
-        let banks = (0..4).map(|_| Bank::new(timing, map)).collect();
-        let mut mc =
-            MemController::new(banks, timing, 16, PagePolicy::Open, SchedPolicy::FrFcfs);
-        // refresh enabled
-        let (done, _) = run_stream(&mut mc, &ops);
-        prop_assert_eq!(done.len(), ops.len());
-    }
+fn check_refresh_completes(ops: &[Op]) {
+    let timing = DramTiming::default();
+    let map = AddressMap::default();
+    let banks = (0..4).map(|_| Bank::new(timing, map)).collect();
+    let mut mc = MemController::new(banks, timing, 16, PagePolicy::Open, SchedPolicy::FrFcfs);
+    // refresh enabled
+    let (done, _) = run_stream(&mut mc, ops);
+    assert_eq!(done.len(), ops.len());
+}
 
-    #[test]
-    fn locality_counters_account_every_column_access(ops in arb_ops()) {
-        let mut mc = controller(SchedPolicy::FrFcfs, PagePolicy::Open);
-        let (_, _) = run_stream(&mut mc, &ops);
-        // Drain trailing posted writes.
-        let mut now = 2_000_000;
-        while !mc.is_idle() {
-            mc.tick(now);
-            now += 1;
-            prop_assert!(now < 2_100_000, "write drain stuck");
-        }
-        let l = mc.locality;
-        let stats = mc.total_bank_stats();
-        prop_assert_eq!(
-            l.row_hits + l.row_misses + l.row_conflicts,
-            stats.reads + stats.writes
-        );
+fn check_locality_counters(ops: &[Op]) {
+    let mut mc = controller(SchedPolicy::FrFcfs, PagePolicy::Open);
+    let (_, _) = run_stream(&mut mc, ops);
+    // Drain trailing posted writes.
+    let mut now = 2_000_000;
+    while !mc.is_idle() {
+        mc.tick(now);
+        now += 1;
+        assert!(now < 2_100_000, "write drain stuck");
     }
+    let l = mc.locality;
+    let stats = mc.total_bank_stats();
+    assert_eq!(l.row_hits + l.row_misses + l.row_conflicts, stats.reads + stats.writes);
+}
+
+#[test]
+fn fr_fcfs_open_page_preserves_data() {
+    check("fr_fcfs_open_page_preserves_data", &arb_raw_ops(), |raw| {
+        check_fr_fcfs_open_page(&ops_from_raw(raw));
+    });
+}
+
+#[test]
+fn fcfs_close_page_preserves_data() {
+    check("fcfs_close_page_preserves_data", &arb_raw_ops(), |raw| {
+        check_fcfs_close_page(&ops_from_raw(raw));
+    });
+}
+
+#[test]
+fn refresh_does_not_lose_requests() {
+    check("refresh_does_not_lose_requests", &arb_raw_ops(), |raw| {
+        check_refresh_completes(&ops_from_raw(raw));
+    });
+}
+
+#[test]
+fn locality_counters_account_every_column_access() {
+    check("locality_counters_account_every_column_access", &arb_raw_ops(), |raw| {
+        check_locality_counters(&ops_from_raw(raw));
+    });
+}
+
+/// Historical shrunk counterexamples from the proptest era (the deleted
+/// `controller_props.proptest-regressions` file), pinned as explicit
+/// cases and run through every property above.
+#[test]
+fn regression_read_after_write_same_slot() {
+    // cc 40d2b2e2…: read of (bank 2, slot 9) before a write to it.
+    let ops = ops_from_raw(&[(2, 9, false, 0), (2, 9, true, 1)]);
+    check_fr_fcfs_open_page(&ops);
+    check_fcfs_close_page(&ops);
+    check_refresh_completes(&ops);
+    check_locality_counters(&ops);
+}
+
+#[test]
+fn regression_single_write() {
+    // cc 61183a40…: one posted write must still drain and land.
+    let ops = ops_from_raw(&[(0, 0, true, 1)]);
+    check_fr_fcfs_open_page(&ops);
+    check_fcfs_close_page(&ops);
+    check_refresh_completes(&ops);
+    check_locality_counters(&ops);
+}
+
+#[test]
+fn regression_interleaved_banks_write_read_write() {
+    // cc 60d02d34…: write/read on bank 2 interleaved with read/write on
+    // bank 1 at a distinct slot.
+    let ops =
+        ops_from_raw(&[(2, 3, true, 0), (2, 3, false, 0), (1, 29, false, 0), (1, 29, true, 29)]);
+    check_fr_fcfs_open_page(&ops);
+    check_fcfs_close_page(&ops);
+    check_refresh_completes(&ops);
+    check_locality_counters(&ops);
 }

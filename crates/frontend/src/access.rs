@@ -137,8 +137,10 @@ pub fn analyze_coord(e: &Expr) -> AffineCoord {
 
 fn combine(op: BinOp, a: AffineCoord, b: AffineCoord) -> AffineCoord {
     use AffineCoord::*;
-    let (Affine { var: va, num: na, den: da, offset: oa },
-         Affine { var: vb, num: nb, den: db, offset: ob }) = (a, b)
+    let (
+        Affine { var: va, num: na, den: da, offset: oa },
+        Affine { var: vb, num: nb, den: db, offset: ob },
+    ) = (a, b)
     else {
         return Dynamic;
     };
@@ -152,9 +154,7 @@ fn combine(op: BinOp, a: AffineCoord, b: AffineCoord) -> AffineCoord {
             }
             match (va, vb) {
                 (v, None) => Affine { var: v, num: na, den: 1, offset: oa + sign * ob },
-                (None, v) => {
-                    Affine { var: v, num: sign * nb, den: 1, offset: oa + sign * ob }
-                }
+                (None, v) => Affine { var: v, num: sign * nb, den: 1, offset: oa + sign * ob },
                 (Some(x), Some(y)) if x == y => {
                     Affine { var: Some(x), num: na + sign * nb, den: 1, offset: oa + sign * ob }
                 }
@@ -193,11 +193,7 @@ fn visit(e: &Expr, out: &mut Vec<AccessPattern>) {
     match e {
         Expr::ConstF(_) | Expr::ConstI(_) | Expr::Var(_) => {}
         Expr::At(s, cx, cy) => {
-            out.push(AccessPattern {
-                source: *s,
-                cx: analyze_coord(cx),
-                cy: analyze_coord(cy),
-            });
+            out.push(AccessPattern { source: *s, cx: analyze_coord(cx), cy: analyze_coord(cy) });
             visit(cx, out);
             visit(cy, out);
         }

@@ -213,11 +213,9 @@ impl Expr {
                     Expr::At(*s, Box::new(cx), Box::new(cy))
                 }
             }
-            Expr::Bin(op, a, b) => Expr::Bin(
-                *op,
-                Box::new(a.inline(source, body)),
-                Box::new(b.inline(source, body)),
-            ),
+            Expr::Bin(op, a, b) => {
+                Expr::Bin(*op, Box::new(a.inline(source, body)), Box::new(b.inline(source, body)))
+            }
             Expr::Cast(t, e) => Expr::Cast(*t, Box::new(e.inline(source, body))),
             Expr::Select(c, a, b) => Expr::Select(
                 Box::new(c.inline(source, body)),

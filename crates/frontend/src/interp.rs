@@ -41,10 +41,9 @@ impl fmt::Display for InterpError {
             InterpError::InputCount { expected, got } => {
                 write!(f, "pipeline expects {expected} inputs, got {got}")
             }
-            InterpError::InputExtent { name, expected, got } => write!(
-                f,
-                "input `{name}` expects extent {expected:?}, got {got:?}"
-            ),
+            InterpError::InputExtent { name, expected, got } => {
+                write!(f, "input `{name}` expects extent {expected:?}, got {got:?}")
+            }
         }
     }
 }
@@ -212,7 +211,7 @@ mod tests {
         p.define(out, input.at(x(), y()) * 2.0);
         let pipe = p.build(out).unwrap();
         let img = Image::gradient(8, 8);
-        let result = interpret(&pipe, &[img.clone()]).unwrap();
+        let result = interpret(&pipe, std::slice::from_ref(&img)).unwrap();
         for yy in 0..8 {
             for xx in 0..8 {
                 assert_eq!(result.get(xx, yy), img.get(xx, yy) * 2.0);
@@ -225,10 +224,7 @@ mod tests {
         let mut p = PipelineBuilder::new();
         let input = p.input("in", 4, 1);
         let out = p.func("out", 4, 1);
-        p.define(
-            out,
-            (input.at(x() - 1, y()) + input.at(x(), y()) + input.at(x() + 1, y())) / 3.0,
-        );
+        p.define(out, (input.at(x() - 1, y()) + input.at(x(), y()) + input.at(x() + 1, y())) / 3.0);
         let pipe = p.build(out).unwrap();
         let img = Image::from_vec(4, 1, vec![3.0, 6.0, 9.0, 12.0]);
         let result = interpret(&pipe, &[img]).unwrap();

@@ -211,8 +211,7 @@ impl Pipeline {
         let mut inlined: HashMap<SourceId, Expr> = HashMap::new();
         let mut roots = Vec::new();
         for func in &self.funcs {
-            let is_root =
-                func.schedule.compute_root || func.source == self.output_source();
+            let is_root = func.schedule.compute_root || func.source == self.output_source();
             let body = func.body.clone().expect("validated pipeline");
             match body {
                 FuncBody::Pure(mut e) => {
@@ -361,7 +360,8 @@ impl PipelineBuilder {
             .position(|f| f.source == output.0)
             .ok_or(PipelineError::UnknownOutput)?;
         for (i, f) in self.funcs.iter().enumerate() {
-            let body = f.body.as_ref().ok_or_else(|| PipelineError::UndefinedFunc(f.name.clone()))?;
+            let body =
+                f.body.as_ref().ok_or_else(|| PipelineError::UndefinedFunc(f.name.clone()))?;
             if f.schedule.tile.0 == 0 || f.schedule.tile.1 == 0 {
                 return Err(PipelineError::BadSchedule {
                     func: f.name.clone(),
@@ -380,8 +380,7 @@ impl PipelineBuilder {
             };
             for r in refs {
                 let is_input = self.inputs.iter().any(|inp| inp.source == r);
-                let is_earlier_func =
-                    self.funcs[..i].iter().any(|prev| prev.source == r);
+                let is_earlier_func = self.funcs[..i].iter().any(|prev| prev.source == r);
                 if !is_input && !is_earlier_func {
                     return Err(PipelineError::ForwardReference { func: f.name.clone() });
                 }

@@ -2,17 +2,17 @@
 //! preserving, and the interpreter is total over the expression language.
 
 use ipim_frontend::{interpret, x, y, Expr, FuncBody, Image, PipelineBuilder};
-use proptest::prelude::*;
+use ipim_simkit::check;
+use ipim_simkit::prop::{bool_any, f32_in, i32_in, tuple2, tuple4, vec_of, Gen};
+
+type Term = (i32, i32, f32, bool);
 
 /// A random affine-access expression over one input.
-fn arb_expr() -> impl Strategy<Value = Vec<(i32, i32, f32, bool)>> {
-    proptest::collection::vec(
-        ((-3i32..=3), (-3i32..=3), 0.1f32..2.0, any::<bool>()),
-        1..6,
-    )
+fn arb_expr() -> Gen<Vec<Term>> {
+    vec_of(tuple4(i32_in(-3, 4), i32_in(-3, 4), f32_in(0.1, 2.0), bool_any()), 1, 6)
 }
 
-fn terms_to_expr(input: ipim_frontend::SourceRef, terms: &[(i32, i32, f32, bool)]) -> Expr {
+fn terms_to_expr(input: ipim_frontend::SourceRef, terms: &[Term]) -> Expr {
     let mut e: Option<Expr> = None;
     for (dx, dy, w, minmax) in terms {
         let a = input.at(x() + *dx, y() + *dy);
@@ -25,24 +25,22 @@ fn terms_to_expr(input: ipim_frontend::SourceRef, terms: &[(i32, i32, f32, bool)
     e.expect("non-empty")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn inlining_preserves_semantics(t1 in arb_expr(), t2 in arb_expr()) {
+#[test]
+fn inlining_preserves_semantics() {
+    check("inlining_preserves_semantics", &tuple2(arb_expr(), arb_expr()), |(t1, t2)| {
         // Pipeline A: mid is inlined (not compute_root).
         let build = |root_mid: bool| {
             let mut p = PipelineBuilder::new();
             let input = p.input("in", 24, 24);
             let mid = p.func("mid", 24, 24);
-            p.define(mid, terms_to_expr(input, &t1));
+            p.define(mid, terms_to_expr(input, t1));
             if root_mid {
                 p.schedule(mid).compute_root();
             }
             let out = p.func("out", 24, 24);
             // out reads mid with the second term set.
             let mut e: Option<Expr> = None;
-            for (dx, dy, w, _) in &t2 {
+            for (dx, dy, w, _) in t2 {
                 let term = mid.at(x() + *dx, y() + *dy) * *w;
                 e = Some(match e {
                     None => term,
@@ -56,62 +54,64 @@ proptest! {
         let (inlined, i1) = build(false);
         let (rooted, _) = build(true);
         // Inlined pipeline has one root stage; rooted has two.
-        prop_assert_eq!(inlined.root_stages().len(), 1);
-        prop_assert_eq!(rooted.root_stages().len(), 2);
+        assert_eq!(inlined.root_stages().len(), 1);
+        assert_eq!(rooted.root_stages().len(), 2);
         // Same semantics either way.
         let img = Image::gradient(24, 24);
         let _ = i1;
-        let a = interpret(&inlined, &[img.clone()]).expect("inlined");
+        let a = interpret(&inlined, std::slice::from_ref(&img)).expect("inlined");
         let b = interpret(&rooted, &[img]).expect("rooted");
-        prop_assert!(a.max_abs_diff(&b) <= 1e-4);
-    }
+        assert!(a.max_abs_diff(&b) <= 1e-4);
+    });
+}
 
-    #[test]
-    fn interpreter_is_total_and_finite(terms in arb_expr()) {
+#[test]
+fn interpreter_is_total_and_finite() {
+    check("interpreter_is_total_and_finite", &arb_expr(), |terms| {
         let mut p = PipelineBuilder::new();
         let input = p.input("in", 16, 16);
         let out = p.func("out", 16, 16);
-        p.define(out, terms_to_expr(input, &terms));
+        p.define(out, terms_to_expr(input, terms));
         let pipe = p.build(out).expect("valid");
         let img = Image::gradient(16, 16);
         let result = interpret(&pipe, &[img]).expect("interpret");
-        prop_assert!(result.data().iter().all(|v| v.is_finite()));
-    }
+        assert!(result.data().iter().all(|v| v.is_finite()));
+    });
+}
 
-    #[test]
-    fn root_stage_bodies_reference_only_materialized_sources(
-        t1 in arb_expr(),
-        t2 in arb_expr(),
-    ) {
-        let mut p = PipelineBuilder::new();
-        let input = p.input("in", 16, 16);
-        let a = p.func("a", 16, 16);
-        p.define(a, terms_to_expr(input, &t1));
-        let b = p.func("b", 16, 16);
-        let mut e: Option<Expr> = None;
-        for (dx, dy, w, _) in &t2 {
-            let term = a.at(x() + *dx, y() + *dy) * *w;
-            e = Some(match e {
-                None => term,
-                Some(prev) => prev + term,
-            });
-        }
-        p.define(b, e.expect("non-empty"));
-        p.schedule(b).compute_root();
-        let pipe = p.build(b).expect("valid");
-        for stage in pipe.root_stages() {
-            let FuncBody::Pure(body) = stage.body.as_ref().expect("defined") else {
-                continue;
-            };
-            for s in body.sources() {
-                // Every referenced source is an input or an earlier root.
-                let is_input = pipe.input_by_source(s).is_some();
-                let is_root = pipe
-                    .root_stages()
-                    .iter()
-                    .any(|r| r.source == s);
-                prop_assert!(is_input || is_root, "stage references inlined source");
+#[test]
+fn root_stage_bodies_reference_only_materialized_sources() {
+    check(
+        "root_stage_bodies_reference_only_materialized_sources",
+        &tuple2(arb_expr(), arb_expr()),
+        |(t1, t2)| {
+            let mut p = PipelineBuilder::new();
+            let input = p.input("in", 16, 16);
+            let a = p.func("a", 16, 16);
+            p.define(a, terms_to_expr(input, t1));
+            let b = p.func("b", 16, 16);
+            let mut e: Option<Expr> = None;
+            for (dx, dy, w, _) in t2 {
+                let term = a.at(x() + *dx, y() + *dy) * *w;
+                e = Some(match e {
+                    None => term,
+                    Some(prev) => prev + term,
+                });
             }
-        }
-    }
+            p.define(b, e.expect("non-empty"));
+            p.schedule(b).compute_root();
+            let pipe = p.build(b).expect("valid");
+            for stage in pipe.root_stages() {
+                let FuncBody::Pure(body) = stage.body.as_ref().expect("defined") else {
+                    continue;
+                };
+                for s in body.sources() {
+                    // Every referenced source is an input or an earlier root.
+                    let is_input = pipe.input_by_source(s).is_some();
+                    let is_root = pipe.root_stages().iter().any(|r| r.source == s);
+                    assert!(is_input || is_root, "stage references inlined source");
+                }
+            }
+        },
+    );
 }

@@ -351,8 +351,16 @@ impl Instruction {
         match self {
             Comp { .. } => Category::Computation,
             CalcArf { .. } | Mov { .. } => Category::IndexCalc,
-            StRf { .. } | LdRf { .. } | StPgsm { .. } | LdPgsm { .. } | RdPgsm { .. }
-            | WrPgsm { .. } | RdVsm { .. } | WrVsm { .. } | SetiVsm { .. } | Reset { .. }
+            StRf { .. }
+            | LdRf { .. }
+            | StPgsm { .. }
+            | LdPgsm { .. }
+            | RdPgsm { .. }
+            | WrPgsm { .. }
+            | RdVsm { .. }
+            | WrVsm { .. }
+            | SetiVsm { .. }
+            | Reset { .. }
             | SetiDrf { .. } => Category::IntraVault,
             Req { .. } => Category::InterVault,
             Jump { .. } | CJump { .. } | CalcCrf { .. } | SetiCrf { .. } => Category::ControlFlow,
@@ -518,8 +526,16 @@ impl Instruction {
             }
             Reset { drf, .. } | SetiDrf { drf, .. } => vec![RegRef::Data(*drf)],
             CalcCrf { dst, .. } | SetiCrf { dst, .. } => vec![RegRef::Ctrl(*dst)],
-            StRf { .. } | StPgsm { .. } | LdPgsm { .. } | WrPgsm { .. } | WrVsm { .. }
-            | SetiVsm { .. } | Req { .. } | Jump { .. } | CJump { .. } | Sync { .. } => vec![],
+            StRf { .. }
+            | StPgsm { .. }
+            | LdPgsm { .. }
+            | WrPgsm { .. }
+            | WrVsm { .. }
+            | SetiVsm { .. }
+            | Req { .. }
+            | Jump { .. }
+            | CJump { .. }
+            | Sync { .. } => vec![],
         }
     }
 
@@ -535,7 +551,10 @@ impl fmt::Display for Instruction {
         match self {
             Comp { op, dtype, mode, dst, src1, src2, vec_mask, simb_mask } => {
                 if op.uses_src2() {
-                    write!(f, "comp.{dtype}.{mode} {op} {dst}, {src1}, {src2} ({vec_mask}, {simb_mask})")
+                    write!(
+                        f,
+                        "comp.{dtype}.{mode} {op} {dst}, {src1}, {src2} ({vec_mask}, {simb_mask})"
+                    )
                 } else {
                     write!(f, "comp.{dtype}.{mode} {op} {dst}, {src1} ({vec_mask}, {simb_mask})")
                 }
@@ -620,10 +639,7 @@ mod tests {
             simb_mask: mask(),
         };
         assert_eq!(i.category(), Category::IndexCalc);
-        assert_eq!(
-            Instruction::Sync { phase_id: 1 }.category(),
-            Category::Synchronization
-        );
+        assert_eq!(Instruction::Sync { phase_id: 1 }.category(), Category::Synchronization);
         assert_eq!(
             Instruction::Req {
                 target: RemoteTarget { chip: 0, vault: 1, pg: 2, pe: 3 },
@@ -700,15 +716,9 @@ mod tests {
 
     #[test]
     fn control_flow_reads_ctrl_regs() {
-        let cj = Instruction::CJump {
-            cond: CtrlReg::new(1),
-            target: CrfSrc::Reg(CtrlReg::new(2)),
-        };
+        let cj = Instruction::CJump { cond: CtrlReg::new(1), target: CrfSrc::Reg(CtrlReg::new(2)) };
         assert!(cj.is_branch());
-        assert_eq!(
-            cj.reads(),
-            vec![RegRef::Ctrl(CtrlReg::new(1)), RegRef::Ctrl(CtrlReg::new(2))]
-        );
+        assert_eq!(cj.reads(), vec![RegRef::Ctrl(CtrlReg::new(1)), RegRef::Ctrl(CtrlReg::new(2))]);
     }
 
     #[test]

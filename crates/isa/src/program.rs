@@ -409,13 +409,11 @@ impl Program {
         }
         let mut insts = Vec::with_capacity(n);
         for i in 0..n {
-            let word: [u8; 24] = bytes[4 + i * 24..4 + (i + 1) * 24]
-                .try_into()
-                .expect("24 bytes");
-            insts.push(crate::decode(&word).map_err(|e| ProgramError::Decode {
-                index: i,
-                message: e.to_string(),
-            })?);
+            let word: [u8; 24] = bytes[4 + i * 24..4 + (i + 1) * 24].try_into().expect("24 bytes");
+            insts.push(
+                crate::decode(&word)
+                    .map_err(|e| ProgramError::Decode { index: i, message: e.to_string() })?,
+            );
         }
         Program::new(insts)
     }
@@ -459,10 +457,7 @@ mod serialization_tests {
             Program::from_bytes(&bytes[..bytes.len() - 1]),
             Err(ProgramError::Truncated { .. })
         ));
-        assert!(matches!(
-            Program::from_bytes(&[1, 2]),
-            Err(ProgramError::Truncated { .. })
-        ));
+        assert!(matches!(Program::from_bytes(&[1, 2]), Err(ProgramError::Truncated { .. })));
     }
 
     #[test]
@@ -470,10 +465,7 @@ mod serialization_tests {
         let p = sample();
         let mut bytes = p.to_bytes();
         bytes[4] = 0xFF; // invalid opcode of instruction 0
-        assert!(matches!(
-            Program::from_bytes(&bytes),
-            Err(ProgramError::Decode { index: 0, .. })
-        ));
+        assert!(matches!(Program::from_bytes(&bytes), Err(ProgramError::Decode { index: 0, .. })));
     }
 
     #[test]

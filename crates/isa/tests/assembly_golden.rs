@@ -70,10 +70,7 @@ fn golden_assembly_forms() {
             },
             "req chip1.v2.pg3.pe0, #256, c4",
         ),
-        (
-            Instruction::CJump { cond: CtrlReg::new(1), target: CrfSrc::Imm(5) },
-            "cjump c1, #5",
-        ),
+        (Instruction::CJump { cond: CtrlReg::new(1), target: CrfSrc::Imm(5) }, "cjump c1, #5"),
         (
             Instruction::CalcCrf {
                 op: CrfOp::Lt,

@@ -157,7 +157,13 @@ mod tests {
 
     #[test]
     fn packet_flit_count() {
-        let p = Packet { id: PacketId(1), src: NodeId { x: 0, y: 0 }, dst: NodeId { x: 1, y: 1 }, bytes: 16, payload: () };
+        let p = Packet {
+            id: PacketId(1),
+            src: NodeId { x: 0, y: 0 },
+            dst: NodeId { x: 1, y: 1 },
+            bytes: 16,
+            payload: (),
+        };
         assert_eq!(p.flits(), 1);
         let p2 = Packet { bytes: 17, ..p.clone() };
         assert_eq!(p2.flits(), 2);

@@ -2,21 +2,23 @@
 //! once to its destination, regardless of traffic pattern.
 
 use ipim_noc::{Mesh, MeshConfig, NodeId, Packet, PacketId};
-use proptest::prelude::*;
+use ipim_simkit::check;
+use ipim_simkit::prop::{tuple2, tuple3, u32_in, u8_in, vec_of, Gen};
 use std::collections::HashMap;
 
-fn arb_packets() -> impl Strategy<Value = Vec<((u8, u8), (u8, u8), u32)>> {
-    proptest::collection::vec(
-        ((0u8..4, 0u8..4), (0u8..4, 0u8..4), prop_oneof![Just(16u32), Just(32), Just(64)]),
-        1..50,
-    )
+type PacketSpec = ((u8, u8), (u8, u8), u32);
+
+fn arb_packets() -> Gen<Vec<PacketSpec>> {
+    let coord = || tuple2(u8_in(0, 4), u8_in(0, 4));
+    // Sizes 16/32/64 bytes, generated as an exponent so shrinking stays
+    // within the valid set.
+    let bytes = u32_in(0, 3).map(|e| 16u32 << e);
+    vec_of(tuple3(coord(), coord(), bytes), 1, 50)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn all_packets_delivered_exactly_once(specs in arb_packets()) {
+#[test]
+fn all_packets_delivered_exactly_once() {
+    check("all_packets_delivered_exactly_once", &arb_packets(), |specs| {
         let mut mesh: Mesh<u64> = Mesh::new(MeshConfig::default());
         let mut to_send: std::collections::VecDeque<_> = specs
             .iter()
@@ -40,24 +42,27 @@ proptest! {
             }
             for p in mesh.tick(now) {
                 let prev = received.insert(p.payload, p.dst);
-                prop_assert!(prev.is_none(), "duplicate delivery of {}", p.payload);
+                assert!(prev.is_none(), "duplicate delivery of {}", p.payload);
                 // Delivered at the right node.
                 let want = &specs[p.payload as usize].1;
-                prop_assert_eq!(p.dst, NodeId { x: want.0, y: want.1 });
+                assert_eq!(p.dst, NodeId { x: want.0, y: want.1 });
             }
             now += 1;
-            prop_assert!(now < 100_000, "deliveries stalled");
+            assert!(now < 100_000, "deliveries stalled");
         }
         // Network drains completely.
         for _ in 0..100 {
             mesh.tick(now);
             now += 1;
         }
-        prop_assert!(mesh.is_idle());
-    }
+        assert!(mesh.is_idle());
+    });
+}
 
-    #[test]
-    fn hop_count_bounds_latency(src in (0u8..4, 0u8..4), dst in (0u8..4, 0u8..4)) {
+#[test]
+fn hop_count_bounds_latency() {
+    let endpoints = tuple2(tuple2(u8_in(0, 4), u8_in(0, 4)), tuple2(u8_in(0, 4), u8_in(0, 4)));
+    check("hop_count_bounds_latency", &endpoints, |&(src, dst)| {
         let mut mesh: Mesh<u8> = Mesh::new(MeshConfig::default());
         let p = Packet {
             id: PacketId(0),
@@ -67,17 +72,17 @@ proptest! {
             payload: 9,
         };
         let hops = mesh.hops(p.src, p.dst) as u64;
-        prop_assert!(mesh.inject(p, 0));
+        assert!(mesh.inject(p, 0));
         let mut now = 0u64;
         loop {
             if !mesh.tick(now).is_empty() {
                 break;
             }
             now += 1;
-            prop_assert!(now < 1000);
+            assert!(now < 1000);
         }
         // One hop per cycle plus injection/ejection overhead.
-        prop_assert!(now >= hops, "arrived before traversing {hops} hops");
-        prop_assert!(now <= hops + 4, "uncontended latency too high: {now} vs {hops} hops");
-    }
+        assert!(now >= hops, "arrived before traversing {hops} hops");
+        assert!(now <= hops + 4, "uncontended latency too high: {now} vs {hops} hops");
+    });
 }

@@ -1,0 +1,15 @@
+//! Demo: a deliberately failing property, to show shrinking + seed replay.
+
+use ipim_simkit::check;
+use ipim_simkit::prop::u32_in;
+
+fn main() {
+    let result = std::panic::catch_unwind(|| {
+        check("demo_failing_property", &u32_in(0, 1000), |v| {
+            assert!(*v < 37, "value {v} is not < 37");
+        });
+    });
+    if result.is_err() {
+        println!("(property failed as expected — see message above)");
+    }
+}

@@ -1,0 +1,184 @@
+//! Micro-benchmark timer: warmup, fixed iteration count, robust summary
+//! statistics, and JSON-lines output for the figure harness.
+//!
+//! Replaces `criterion` for `crates/bench/benches/figures.rs`. Each
+//! [`Bench::bench`] call runs the closure `warmup` times untimed, then
+//! `iters` timed iterations, and records min/median/p95/mean wall-clock
+//! nanoseconds. Results append to `results/<suite>.jsonl`, one JSON
+//! object per line, so successive runs can be diffed by later perf PRs.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::hint::black_box;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Iteration counts for one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Untimed iterations run first to warm caches and the allocator.
+    pub warmup: u32,
+    /// Timed iterations contributing to the statistics.
+    pub iters: u32,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig { warmup: 3, iters: 20 }
+    }
+}
+
+/// Summary statistics over per-iteration wall-clock times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stats {
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: u64,
+    /// Median iteration, nanoseconds.
+    pub median_ns: u64,
+    /// 95th-percentile iteration, nanoseconds.
+    pub p95_ns: u64,
+    /// Mean iteration, nanoseconds.
+    pub mean_ns: u64,
+    /// Number of timed iterations.
+    pub iters: u32,
+}
+
+impl Stats {
+    /// Computes summary statistics from raw per-iteration samples.
+    ///
+    /// Panics on an empty sample set.
+    pub fn from_samples(samples_ns: &[u64]) -> Stats {
+        assert!(!samples_ns.is_empty(), "no samples");
+        let mut sorted = samples_ns.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        // Nearest-rank (ceiling) quantiles: p95 of few samples is the max.
+        let pick = |q_num: usize, q_den: usize| sorted[((n - 1) * q_num).div_ceil(q_den)];
+        Stats {
+            min_ns: sorted[0],
+            median_ns: pick(1, 2),
+            p95_ns: pick(95, 100),
+            mean_ns: (sorted.iter().sum::<u64>() / n as u64),
+            iters: n as u32,
+        }
+    }
+}
+
+/// A benchmark suite writing JSON-lines results under `results/`.
+pub struct Bench {
+    suite: String,
+    config: BenchConfig,
+    out_path: PathBuf,
+    lines: Vec<String>,
+}
+
+/// Locates the workspace `results/` directory: honors `IPIM_RESULTS_DIR`,
+/// else walks up from the current directory looking for an existing
+/// `results/`, else uses `./results`.
+fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("IPIM_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    let mut cur = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let candidate = cur.join("results");
+        if candidate.is_dir() {
+            return candidate;
+        }
+        if !cur.pop() {
+            return PathBuf::from("results");
+        }
+    }
+}
+
+impl Bench {
+    /// Creates a suite; results go to `results/<suite>.jsonl`.
+    pub fn new(suite: &str) -> Bench {
+        Bench {
+            suite: suite.to_string(),
+            config: BenchConfig::default(),
+            out_path: results_dir().join(format!("{suite}.jsonl")),
+            lines: Vec::new(),
+        }
+    }
+
+    /// Overrides the default iteration counts for subsequent benchmarks.
+    pub fn with_config(mut self, config: BenchConfig) -> Bench {
+        self.config = config;
+        self
+    }
+
+    /// Runs one benchmark with the suite's current config.
+    pub fn bench<R>(&mut self, name: &str, f: impl FnMut() -> R) -> Stats {
+        let cfg = self.config;
+        self.bench_with(cfg, name, f)
+    }
+
+    /// Runs one benchmark with an explicit config (e.g. fewer iterations
+    /// for expensive cycle-accurate simulations).
+    pub fn bench_with<R>(
+        &mut self,
+        config: BenchConfig,
+        name: &str,
+        mut f: impl FnMut() -> R,
+    ) -> Stats {
+        for _ in 0..config.warmup {
+            black_box(f());
+        }
+        let mut samples = Vec::with_capacity(config.iters as usize);
+        for _ in 0..config.iters.max(1) {
+            let t0 = Instant::now();
+            black_box(f());
+            samples.push(t0.elapsed().as_nanos() as u64);
+        }
+        let stats = Stats::from_samples(&samples);
+        let mut line = String::new();
+        write!(
+            line,
+            r#"{{"suite":"{}","name":"{}","iters":{},"min_ns":{},"median_ns":{},"p95_ns":{},"mean_ns":{}}}"#,
+            escape(&self.suite),
+            escape(name),
+            stats.iters,
+            stats.min_ns,
+            stats.median_ns,
+            stats.p95_ns,
+            stats.mean_ns
+        )
+        .expect("write to String");
+        println!(
+            "{:<40} min {:>12} ns   median {:>12} ns   p95 {:>12} ns",
+            name, stats.min_ns, stats.median_ns, stats.p95_ns
+        );
+        self.lines.push(line);
+        stats
+    }
+
+    /// Flushes all recorded lines, appending to `results/<suite>.jsonl`.
+    /// Called automatically on drop; explicit calls surface IO errors.
+    pub fn finish(&mut self) -> std::io::Result<()> {
+        if self.lines.is_empty() {
+            return Ok(());
+        }
+        if let Some(parent) = self.out_path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut file = fs::OpenOptions::new().create(true).append(true).open(&self.out_path)?;
+        for line in self.lines.drain(..) {
+            writeln!(file, "{line}")?;
+        }
+        println!("[simkit] wrote results to {}", self.out_path.display());
+        Ok(())
+    }
+}
+
+impl Drop for Bench {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}
+
+/// Minimal JSON string escaping (quotes and backslashes; names are ASCII).
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}

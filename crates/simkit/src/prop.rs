@@ -1,0 +1,393 @@
+//! A minimal property-testing harness: generator combinators, greedy
+//! shrinking, and failure-seed replay.
+//!
+//! Replaces `proptest` for the workspace's property tests (DESIGN.md §7).
+//! A property is an ordinary closure over a generated value that panics
+//! (via `assert!`/`assert_eq!`) when the property is violated. The runner
+//! draws `Config::cases` values from independently-seeded PRNG streams;
+//! on failure it greedily shrinks the counterexample and panics with the
+//! case seed, which can be replayed exactly:
+//!
+//! ```text
+//! IPIM_PROP_REPLAY=<seed> cargo test -p <crate> <test_name>
+//! ```
+//!
+//! Environment knobs: `IPIM_PROP_CASES` overrides the case count,
+//! `IPIM_PROP_SEED` overrides the base seed (both decimal u64),
+//! `IPIM_PROP_REPLAY` re-runs a single reported case seed.
+
+use crate::rng::{splitmix64, Rng};
+use std::fmt::Debug;
+use std::panic::{self, AssertUnwindSafe};
+use std::rc::Rc;
+
+/// Harness configuration: how many cases to draw and from which seed.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of generated cases per property (default 64).
+    pub cases: u32,
+    /// Base seed of the run; case `i` uses a SplitMix64-derived stream.
+    pub seed: u64,
+    /// Cap on greedy shrink iterations (default 1000).
+    pub max_shrinks: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases =
+            std::env::var("IPIM_PROP_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+        let seed = std::env::var("IPIM_PROP_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0x1B1A_57ED_5EED_0001);
+        Config { cases, seed, max_shrinks: 1000 }
+    }
+}
+
+type GenFn<T> = dyn Fn(&mut Rng) -> T;
+type ShrinkFn<T> = dyn Fn(&T) -> Vec<T>;
+
+/// A value generator: draws values from a PRNG and proposes smaller
+/// variants of a failing value (greedy shrinking).
+///
+/// `Gen` is cheaply clonable (internally reference-counted), so derived
+/// generators can be built up combinator-style.
+pub struct Gen<T> {
+    gen: Rc<GenFn<T>>,
+    shrink: Rc<ShrinkFn<T>>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen { gen: Rc::clone(&self.gen), shrink: Rc::clone(&self.shrink) }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// A generator from a raw sampling function, with no shrinking.
+    pub fn from_fn(f: impl Fn(&mut Rng) -> T + 'static) -> Self {
+        Gen { gen: Rc::new(f), shrink: Rc::new(|_| Vec::new()) }
+    }
+
+    /// Attaches a shrink function proposing candidate smaller values.
+    ///
+    /// Candidates must themselves be values the generator could produce,
+    /// otherwise a "shrunk" counterexample may not correspond to any seed.
+    pub fn with_shrink(self, f: impl Fn(&T) -> Vec<T> + 'static) -> Self {
+        Gen { gen: self.gen, shrink: Rc::new(f) }
+    }
+
+    /// Draws one value.
+    pub fn sample(&self, rng: &mut Rng) -> T {
+        (self.gen)(rng)
+    }
+
+    /// Proposes shrink candidates for a failing value.
+    pub fn shrinks(&self, value: &T) -> Vec<T> {
+        (self.shrink)(value)
+    }
+
+    /// Maps generated values through `f`. The mapped generator does not
+    /// shrink (there is no inverse); prefer generating the primitive
+    /// representation and mapping inside the property when shrinking
+    /// matters.
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        let g = self.gen;
+        Gen::from_fn(move |rng| f(g(rng)))
+    }
+
+    /// Always produces `value`.
+    pub fn just(value: T) -> Self
+    where
+        T: Clone,
+    {
+        Gen::from_fn(move |_| value.clone())
+    }
+
+    /// Picks one of the given generators uniformly per draw.
+    ///
+    /// Does not shrink across variants: a candidate from the wrong
+    /// variant's shrinker could leave the generator's support.
+    pub fn one_of(choices: Vec<Gen<T>>) -> Self {
+        assert!(!choices.is_empty(), "one_of needs at least one generator");
+        Gen::from_fn(move |rng| {
+            let i = rng.range_usize(0, choices.len());
+            choices[i].sample(rng)
+        })
+    }
+}
+
+/// Integer shrink candidates: toward `lo`, by jump-to-lo then halving.
+fn shrink_integer_toward(lo: i64, v: i64) -> Vec<i64> {
+    if v == lo {
+        return Vec::new();
+    }
+    let mut out = vec![lo];
+    let half = lo + (v - lo) / 2;
+    if half != lo && half != v {
+        out.push(half);
+    }
+    let dec = v - 1;
+    if dec != lo && dec != half {
+        out.push(dec);
+    }
+    out
+}
+
+/// Uniform `u8` in `[lo, hi)`, shrinking toward `lo`.
+pub fn u8_in(lo: u8, hi: u8) -> Gen<u8> {
+    Gen::from_fn(move |rng| rng.range_u32(lo as u32, hi as u32) as u8).with_shrink(move |&v| {
+        shrink_integer_toward(lo as i64, v as i64).into_iter().map(|x| x as u8).collect()
+    })
+}
+
+/// Any `u8`, shrinking toward zero.
+pub fn u8_any() -> Gen<u8> {
+    Gen::from_fn(|rng| rng.next_u32() as u8)
+        .with_shrink(|&v| shrink_integer_toward(0, v as i64).into_iter().map(|x| x as u8).collect())
+}
+
+/// Uniform `u32` in `[lo, hi)`, shrinking toward `lo`.
+pub fn u32_in(lo: u32, hi: u32) -> Gen<u32> {
+    Gen::from_fn(move |rng| rng.range_u32(lo, hi)).with_shrink(move |&v| {
+        shrink_integer_toward(lo as i64, v as i64).into_iter().map(|x| x as u32).collect()
+    })
+}
+
+/// Any `u32`, shrinking toward zero.
+pub fn u32_any() -> Gen<u32> {
+    Gen::from_fn(|rng| rng.next_u32()).with_shrink(|&v| {
+        shrink_integer_toward(0, v as i64).into_iter().map(|x| x as u32).collect()
+    })
+}
+
+/// Any `u64`, shrinking toward zero (halving only, to stay in range).
+pub fn u64_any() -> Gen<u64> {
+    Gen::from_fn(|rng| rng.next_u64()).with_shrink(|&v| {
+        let mut out = Vec::new();
+        if v != 0 {
+            out.push(0);
+            if v / 2 != 0 {
+                out.push(v / 2);
+            }
+            if v - 1 != v / 2 && v - 1 != 0 {
+                out.push(v - 1);
+            }
+        }
+        out
+    })
+}
+
+/// Uniform `i32` in `[lo, hi)`, shrinking toward the in-range point
+/// closest to zero.
+pub fn i32_in(lo: i32, hi: i32) -> Gen<i32> {
+    let target = if lo > 0 {
+        lo
+    } else if hi <= 0 {
+        hi - 1
+    } else {
+        0
+    };
+    Gen::from_fn(move |rng| rng.range_i32(lo, hi)).with_shrink(move |&v| {
+        shrink_integer_toward(target as i64, v as i64).into_iter().map(|x| x as i32).collect()
+    })
+}
+
+/// Any `i32`, shrinking toward zero.
+pub fn i32_any() -> Gen<i32> {
+    Gen::from_fn(|rng| rng.next_u32() as i32).with_shrink(|&v| {
+        shrink_integer_toward(0, v as i64).into_iter().map(|x| x as i32).collect()
+    })
+}
+
+/// Uniform `usize` in `[lo, hi)`, shrinking toward `lo`.
+pub fn usize_in(lo: usize, hi: usize) -> Gen<usize> {
+    Gen::from_fn(move |rng| rng.range_usize(lo, hi)).with_shrink(move |&v| {
+        shrink_integer_toward(lo as i64, v as i64).into_iter().map(|x| x as usize).collect()
+    })
+}
+
+/// Uniform `bool`, shrinking `true` to `false`.
+pub fn bool_any() -> Gen<bool> {
+    Gen::from_fn(|rng| rng.next_bool()).with_shrink(|&v| if v { vec![false] } else { Vec::new() })
+}
+
+/// Uniform `f32` in `[lo, hi)`, shrinking toward `lo`.
+pub fn f32_in(lo: f32, hi: f32) -> Gen<f32> {
+    Gen::from_fn(move |rng| rng.range_f32(lo, hi)).with_shrink(move |&v| {
+        let mut out = Vec::new();
+        if v != lo {
+            out.push(lo);
+            let mid = lo + (v - lo) * 0.5;
+            if mid != lo && mid != v {
+                out.push(mid);
+            }
+        }
+        out
+    })
+}
+
+/// Vectors of `elem` with length in `[min_len, max_len)`.
+///
+/// Shrinks by dropping the front/back half, dropping single elements
+/// (respecting `min_len`), and shrinking individual elements.
+pub fn vec_of<T: Clone + 'static>(elem: Gen<T>, min_len: usize, max_len: usize) -> Gen<Vec<T>> {
+    assert!(min_len < max_len, "vec_of: empty length range");
+    let sampler = elem.clone();
+    Gen::from_fn(move |rng| {
+        let n = rng.range_usize(min_len, max_len);
+        (0..n).map(|_| sampler.sample(rng)).collect()
+    })
+    .with_shrink(move |v: &Vec<T>| {
+        let mut out: Vec<Vec<T>> = Vec::new();
+        let n = v.len();
+        // Halves first: the biggest structural reductions.
+        if n / 2 >= min_len && n > 1 {
+            out.push(v[..n / 2].to_vec());
+            out.push(v[n - n / 2..].to_vec());
+        }
+        // Single-element drops.
+        if n > min_len {
+            for i in 0..n {
+                let mut smaller = v.clone();
+                smaller.remove(i);
+                out.push(smaller);
+            }
+        }
+        // Element-wise shrinks (first candidate each, to bound fan-out).
+        for i in 0..n {
+            for cand in elem.shrinks(&v[i]).into_iter().take(2) {
+                let mut e = v.clone();
+                e[i] = cand;
+                out.push(e);
+            }
+        }
+        out
+    })
+}
+
+macro_rules! tuple_gen {
+    ($fname:ident, $($g:ident: $T:ident @ $idx:tt),+) => {
+        /// Zips component generators into a tuple generator; shrinks one
+        /// component at a time.
+        #[allow(clippy::too_many_arguments)]
+        pub fn $fname<$($T: Clone + 'static),+>($($g: Gen<$T>),+) -> Gen<($($T,)+)> {
+            let samplers = ($($g.clone(),)+);
+            let shrinkers = ($($g,)+);
+            Gen::from_fn(move |rng| ($(samplers.$idx.sample(rng),)+))
+                .with_shrink(move |v| {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in shrinkers.$idx.shrinks(&v.$idx) {
+                            let mut t = v.clone();
+                            t.$idx = cand;
+                            out.push(t);
+                        }
+                    )+
+                    out
+                })
+        }
+    };
+}
+
+tuple_gen!(tuple2, a: A @ 0, b: B @ 1);
+tuple_gen!(tuple3, a: A @ 0, b: B @ 1, c: C @ 2);
+tuple_gen!(tuple4, a: A @ 0, b: B @ 1, c: C @ 2, d: D @ 3);
+tuple_gen!(tuple5, a: A @ 0, b: B @ 1, c: C @ 2, d: D @ 3, e: E @ 4);
+tuple_gen!(tuple6, a: A @ 0, b: B @ 1, c: C @ 2, d: D @ 3, e: E @ 4, f: F @ 5);
+tuple_gen!(tuple7, a: A @ 0, b: B @ 1, c: C @ 2, d: D @ 3, e: E @ 4, f: F @ 5, g: G @ 6);
+tuple_gen!(tuple8, a: A @ 0, b: B @ 1, c: C @ 2, d: D @ 3, e: E @ 4, f: F @ 5, g: G @ 6, h: H @ 7);
+
+/// Mixes the property name into the base seed so distinct properties
+/// explore independent streams under the same configuration.
+fn name_hash(name: &str) -> u64 {
+    // FNV-1a.
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn run_case<T>(prop: &impl Fn(&T), value: &T) -> Result<(), String> {
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| prop(value)));
+    match outcome {
+        Ok(()) => Ok(()),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+            Err(msg)
+        }
+    }
+}
+
+/// Checks `prop` over `Config::cases` values drawn from `gen`, using the
+/// default (environment-derived) configuration. Panics with a replayable
+/// seed on failure.
+pub fn check<T: Clone + Debug + 'static>(name: &str, gen: &Gen<T>, prop: impl Fn(&T)) {
+    check_with(Config::default(), name, gen, prop);
+}
+
+/// [`check`] with an explicit configuration.
+pub fn check_with<T: Clone + Debug + 'static>(
+    config: Config,
+    name: &str,
+    gen: &Gen<T>,
+    prop: impl Fn(&T),
+) {
+    // Replay mode: run exactly one case, loudly, without catching.
+    if let Ok(replay) = std::env::var("IPIM_PROP_REPLAY") {
+        let case_seed: u64 = replay
+            .parse()
+            .unwrap_or_else(|_| panic!("IPIM_PROP_REPLAY must be a decimal u64, got {replay:?}"));
+        let value = gen.sample(&mut Rng::new(case_seed));
+        eprintln!("[simkit] replaying property {name:?} with seed {case_seed}:\n  {value:?}");
+        prop(&value);
+        return;
+    }
+
+    let mut stream = config.seed ^ name_hash(name);
+    // Quiet the default panic hook while we probe cases: shrinking relies
+    // on catching many expected panics.
+    let prev_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let mut failure: Option<(u64, T, String)> = None;
+    for _ in 0..config.cases {
+        let case_seed = splitmix64(&mut stream);
+        let value = gen.sample(&mut Rng::new(case_seed));
+        if let Err(msg) = run_case(&prop, &value) {
+            // Greedy shrink: take the first failing candidate, repeat.
+            let mut best = value;
+            let mut best_msg = msg;
+            let mut iters = 0;
+            'outer: while iters < config.max_shrinks {
+                for cand in gen.shrinks(&best) {
+                    iters += 1;
+                    if let Err(m) = run_case(&prop, &cand) {
+                        best = cand;
+                        best_msg = m;
+                        continue 'outer;
+                    }
+                    if iters >= config.max_shrinks {
+                        break;
+                    }
+                }
+                break;
+            }
+            failure = Some((case_seed, best, best_msg));
+            break;
+        }
+    }
+    panic::set_hook(prev_hook);
+    if let Some((case_seed, value, msg)) = failure {
+        panic!(
+            "property {name:?} failed.\n  minimal counterexample: {value:?}\n  \
+             cause: {msg}\n  replay exactly (shrunk case shown, original seed below):\n  \
+             IPIM_PROP_REPLAY={case_seed} cargo test {name}"
+        );
+    }
+}

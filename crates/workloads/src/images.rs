@@ -7,8 +7,7 @@
 //! this preserves the workloads' behaviour (see DESIGN.md §2).
 
 use ipim_frontend::Image;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use ipim_simkit::Rng;
 
 /// Generates a `width × height` natural-image-like test image.
 ///
@@ -21,8 +20,8 @@ pub fn synthetic_image(width: u32, height: u32, seed: u64) -> Image {
     for (i, (cell, weight)) in octaves.iter().enumerate() {
         let gw = width.div_ceil(*cell) + 2;
         let gh = height.div_ceil(*cell) + 2;
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64 * 0x9E37_79B9));
-        let grid: Vec<f32> = (0..gw * gh).map(|_| rng.random::<f32>()).collect();
+        let mut rng = Rng::new(seed.wrapping_add(i as u64 * 0x9E37_79B9));
+        let grid: Vec<f32> = (0..gw * gh).map(|_| rng.next_f32()).collect();
         layers.push((*cell, *weight, gw, grid));
     }
     for y in 0..height {

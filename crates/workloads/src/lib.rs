@@ -155,20 +155,10 @@ mod tests {
     #[test]
     fn inputs_match_pipeline_declarations() {
         for w in all_workloads(WorkloadScale::tiny()) {
-            assert_eq!(
-                w.inputs.len(),
-                w.pipeline.inputs().len(),
-                "{} input count",
-                w.name
-            );
+            assert_eq!(w.inputs.len(), w.pipeline.inputs().len(), "{} input count", w.name);
             for (def, (src, img)) in w.pipeline.inputs().iter().zip(&w.inputs) {
                 assert_eq!(def.source, *src, "{} input order", w.name);
-                assert_eq!(
-                    def.extent,
-                    (img.width(), img.height()),
-                    "{} input extent",
-                    w.name
-                );
+                assert_eq!(def.extent, (img.width(), img.height()), "{} input extent", w.name);
             }
         }
     }

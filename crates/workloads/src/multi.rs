@@ -46,10 +46,7 @@ pub fn bilateral_grid(scale: WorkloadScale) -> Workload {
     let out = p.func("slice", w, h);
     let base = gy.at(x() / 2, y() / 2);
     let weight = lut.at((input.at(x(), y()) * 63.9).cast_i32(), 0);
-    p.define(
-        out,
-        base.clone() * weight.clone() + input.at(x(), y()) * (1.0 - weight),
-    );
+    p.define(out, base.clone() * weight.clone() + input.at(x(), y()) * (1.0 - weight));
     p.schedule(out).compute_root().ipim_tile(8, 8).vectorize(4);
 
     let pipeline = p.build(out).expect("bilateral grid pipeline");
@@ -58,10 +55,7 @@ pub fn bilateral_grid(scale: WorkloadScale) -> Workload {
         multi_stage: true,
         stages: 4,
         pipeline,
-        inputs: vec![
-            (input.id(), synthetic_image(w, h, 7)),
-            (lut.id(), lut_gaussian(64, 0.25)),
-        ],
+        inputs: vec![(input.id(), synthetic_image(w, h, 7)), (lut.id(), lut_gaussian(64, 0.25))],
         scale,
         flops_per_pixel: 14.0,
         gpu_bytes_per_pixel: 14.0, // fused grid mostly cached; gather traffic

@@ -45,10 +45,7 @@ pub fn blur(scale: WorkloadScale) -> Workload {
     let mut p = PipelineBuilder::new();
     let input = p.input("in", w, h);
     let bx = p.func("blur_x", w, h);
-    p.define(
-        bx,
-        (input.at(x(), y()) + input.at(x() + 1, y()) + input.at(x() + 2, y())) / 3.0,
-    );
+    p.define(bx, (input.at(x(), y()) + input.at(x() + 1, y()) + input.at(x() + 2, y())) / 3.0);
     let t = simple_tile(w);
     p.schedule(bx).compute_root().ipim_tile(t.0, t.1).load_pgsm().vectorize(4);
     let out = p.func("blur_y", w, h);

@@ -45,9 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "index calc share: {:.1}%",
         100.0
-            * outcome.report.stats.by_category.fraction(
-                outcome.report.stats.by_category.index_calc
-            )
+            * outcome
+                .report
+                .stats
+                .by_category
+                .fraction(outcome.report.stats.by_category.index_calc)
     );
     println!("AddrRF accesses : {}", outcome.report.stats.addr_rf_accesses);
     for (gx, gy) in [(0u32, 0u32), (64, 64), (127, 127)] {

@@ -10,10 +10,7 @@ use ipim_core::{workload_by_name, MachineConfig, Session, WorkloadScale};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = WorkloadScale { width: 256, height: 256 };
     let w = workload_by_name("Interpolate", scale).expect("interpolate workload");
-    println!(
-        "== {} ({} pipeline stages, {}x{}) ==",
-        w.name, w.stages, scale.width, scale.height
-    );
+    println!("== {} ({} pipeline stages, {}x{}) ==", w.name, w.stages, scale.width, scale.height);
 
     let session = Session::new(MachineConfig::vault_slice(1));
     let outcome = session.run_workload(&w, 4_000_000_000)?;

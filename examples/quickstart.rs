@@ -11,15 +11,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut p = PipelineBuilder::new();
     let input = p.input("in", 256, 256);
     let blurx = p.func("blurx", 256, 256);
-    p.define(
-        blurx,
-        (input.at(x() - 1, y()) + input.at(x(), y()) + input.at(x() + 1, y())) / 3.0,
-    );
+    p.define(blurx, (input.at(x() - 1, y()) + input.at(x(), y()) + input.at(x() + 1, y())) / 3.0);
     let out = p.func("out", 256, 256);
-    p.define(
-        out,
-        (blurx.at(x(), y() - 1) + blurx.at(x(), y()) + blurx.at(x(), y() + 1)) / 3.0,
-    );
+    p.define(out, (blurx.at(x(), y() - 1) + blurx.at(x(), y()) + blurx.at(x(), y() + 1)) / 3.0);
 
     // --- Schedule (paper Listing 1): tile over the PE hierarchy, stage
     //     tiles in the process-group scratchpad, vectorize by 4 lanes. ---
@@ -48,10 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("energy              : {:.2} µJ", outcome.report.energy.total_j() * 1e6);
     println!("energy per pixel    : {:.1} pJ", outcome.energy_pj_per_pixel());
-    println!(
-        "throughput (slice)  : {:.2} Gpixel/s",
-        outcome.pixels_per_second() / 1e9
-    );
+    println!("throughput (slice)  : {:.2} Gpixel/s", outcome.pixels_per_second() / 1e9);
     println!("output[128,128]     : {:.4}", outcome.output.get(128, 128));
     Ok(())
 }

@@ -3,15 +3,24 @@
 
 use ipim_core::frontend::{x, y, Expr, Image, PipelineBuilder};
 use ipim_core::{MachineConfig, Session};
-use proptest::prelude::*;
+use ipim_simkit::check_with;
+use ipim_simkit::prop::{f32_in, i32_in, tuple3, vec_of, Config, Gen};
+
+type Tap = (i32, i32, f32);
 
 /// A random elementwise/stencil expression over one input.
-fn arb_stencil_expr() -> impl Strategy<Value = Vec<(i32, i32, f32)>> {
+fn arb_stencil_expr() -> Gen<Vec<Tap>> {
     // Up to 5 taps with offsets in [-2, 2] and small weights.
-    proptest::collection::vec(((-2i32..=2), (-2i32..=2), 0.1f32..2.0), 1..5)
+    vec_of(tuple3(i32_in(-2, 3), i32_in(-2, 3), f32_in(0.1, 2.0)), 1, 5)
 }
 
-fn build_pipeline(taps: &[(i32, i32, f32)]) -> (ipim_core::frontend::Pipeline, Image) {
+/// Cycle-accurate simulation dominates the cost of each case; run the
+/// workspace-minimum 64 cases rather than the default-or-more.
+fn config() -> Config {
+    Config { cases: 64, ..Config::default() }
+}
+
+fn build_pipeline(taps: &[Tap]) -> (ipim_core::frontend::Pipeline, Image) {
     let mut p = PipelineBuilder::new();
     let input = p.input("in", 64, 64);
     let mut e: Option<Expr> = None;
@@ -28,35 +37,30 @@ fn build_pipeline(taps: &[(i32, i32, f32)]) -> (ipim_core::frontend::Pipeline, I
     (p.build(out).expect("valid pipeline"), Image::gradient(64, 64))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn random_stencils_match_reference(taps in arb_stencil_expr()) {
-        let (pipeline, img) = build_pipeline(&taps);
+#[test]
+fn random_stencils_match_reference() {
+    check_with(config(), "random_stencils_match_reference", &arb_stencil_expr(), |taps| {
+        let (pipeline, img) = build_pipeline(taps);
         let session = Session::new(MachineConfig::vault_slice(1));
         let input_src = pipeline.inputs()[0].source;
-        let outcome = session
-            .run_pipeline(&pipeline, &[(input_src, img.clone())], 500_000_000)
-            .expect("run");
-        let expected =
-            ipim_core::frontend::interpret(&pipeline, &[img]).expect("reference");
+        let outcome =
+            session.run_pipeline(&pipeline, &[(input_src, img.clone())], 500_000_000).expect("run");
+        let expected = ipim_core::frontend::interpret(&pipeline, &[img]).expect("reference");
         let diff = expected.max_abs_diff(&outcome.output);
-        prop_assert!(diff <= 1e-3, "diverges by {diff} for taps {taps:?}");
-    }
+        assert!(diff <= 1e-3, "diverges by {diff} for taps {taps:?}");
+    });
+}
 
-    #[test]
-    fn random_affine_programs_are_deterministic(taps in arb_stencil_expr()) {
-        let (pipeline, img) = build_pipeline(&taps);
+#[test]
+fn random_affine_programs_are_deterministic() {
+    check_with(config(), "random_affine_programs_are_deterministic", &arb_stencil_expr(), |taps| {
+        let (pipeline, img) = build_pipeline(taps);
         let session = Session::new(MachineConfig::vault_slice(1));
         let input_src = pipeline.inputs()[0].source;
-        let a = session
-            .run_pipeline(&pipeline, &[(input_src, img.clone())], 500_000_000)
-            .expect("run");
-        let b = session
-            .run_pipeline(&pipeline, &[(input_src, img)], 500_000_000)
-            .expect("run");
-        prop_assert_eq!(a.report.cycles, b.report.cycles, "non-deterministic timing");
-        prop_assert_eq!(a.output.max_abs_diff(&b.output), 0.0);
-    }
+        let a =
+            session.run_pipeline(&pipeline, &[(input_src, img.clone())], 500_000_000).expect("run");
+        let b = session.run_pipeline(&pipeline, &[(input_src, img)], 500_000_000).expect("run");
+        assert_eq!(a.report.cycles, b.report.cycles, "non-deterministic timing");
+        assert_eq!(a.output.max_abs_diff(&b.output), 0.0);
+    });
 }

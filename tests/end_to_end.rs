@@ -13,9 +13,8 @@ fn scale() -> WorkloadScale {
 fn all_single_stage_workloads_run_and_verify() {
     let session = Session::new(MachineConfig::vault_slice(1));
     for w in all_workloads(scale()).into_iter().filter(|w| !w.multi_stage) {
-        let outcome = session
-            .run_workload(&w, 2_000_000_000)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let outcome =
+            session.run_workload(&w, 2_000_000_000).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         verify_against_reference(&w, &outcome);
         assert!(outcome.report.stats.issued > 0, "{}", w.name);
         assert!(outcome.report.energy.total_pj() > 0.0, "{}", w.name);
@@ -27,9 +26,8 @@ fn bilateral_grid_and_interpolate_run_and_verify() {
     let session = Session::new(MachineConfig::vault_slice(1));
     for name in ["BilateralGrid", "Interpolate"] {
         let w = ipim_core::workload_by_name(name, scale()).unwrap();
-        let outcome = session
-            .run_workload(&w, 2_000_000_000)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let outcome =
+            session.run_workload(&w, 2_000_000_000).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         verify_against_reference(&w, &outcome);
     }
 }

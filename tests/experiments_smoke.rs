@@ -40,8 +40,7 @@ fn suite_wide_figures_have_paper_shapes() {
     assert_eq!(speedup("Histogram"), max, "histogram should lead");
     assert!(speedup("Brighten") > speedup("Interpolate"));
     assert!(speedup("Brighten") > speedup("LocalLaplacian"));
-    let mean_saving: f64 =
-        cmp.iter().map(|r| r.energy_saving).sum::<f64>() / cmp.len() as f64;
+    let mean_saving: f64 = cmp.iter().map(|r| r.energy_saving).sum::<f64>() / cmp.len() as f64;
     assert!(mean_saving > 0.5, "mean energy saving {mean_saving}");
 
     // Fig. 9: most energy is spent on the PIM dies.
@@ -52,15 +51,14 @@ fn suite_wide_figures_have_paper_shapes() {
             row.name,
             row.pim_die_fraction
         );
-        let sum = row.dram + row.simd + row.int_alu + row.addr_rf + row.data_rf + row.pgsm
-            + row.others;
+        let sum =
+            row.dram + row.simd + row.int_alu + row.addr_rf + row.data_rf + row.pgsm + row.others;
         assert!((sum - 1.0).abs() < 1e-6, "{}: fractions sum to {sum}", row.name);
     }
 
     // Fig. 11: index calculation is a large share; inter-vault is small.
     let inst = fig11(&suite);
-    let mean_index: f64 =
-        inst.iter().map(|r| r.index_calc).sum::<f64>() / inst.len() as f64;
+    let mean_index: f64 = inst.iter().map(|r| r.index_calc).sum::<f64>() / inst.len() as f64;
     assert!(mean_index > 0.10, "mean index share {mean_index}");
     for r in &inst {
         assert!(r.inter_vault < 0.10, "{}: inter-vault share {}", r.name, r.inter_vault);
@@ -75,8 +73,8 @@ fn suite_wide_figures_have_paper_shapes() {
 #[test]
 fn table4_area_matches_paper() {
     assert!((ipim_core::area::total_overhead_pct() - 10.71).abs() < 0.05);
-    let ratio = ipim_core::area::naive_per_bank_core_overhead_pct()
-        / ipim_core::area::total_overhead_pct();
+    let ratio =
+        ipim_core::area::naive_per_bank_core_overhead_pct() / ipim_core::area::total_overhead_pct();
     assert!(ratio > 10.0);
 }
 
@@ -107,8 +105,5 @@ fn slice_scale_out_is_near_linear() {
         .report
         .cycles as f64;
     let ratio = one / two;
-    assert!(
-        (1.6..=2.4).contains(&ratio),
-        "2-vault slice should be ~2x faster, got {ratio:.2}x"
-    );
+    assert!((1.6..=2.4).contains(&ratio), "2-vault slice should be ~2x faster, got {ratio:.2}x");
 }
