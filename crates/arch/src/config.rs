@@ -13,6 +13,23 @@ pub enum Placement {
     BaseDie,
 }
 
+/// Which cycle engine [`Machine::run`](crate::Machine::run) uses.
+///
+/// Both engines produce bit-identical results (cycles, statistics, energy,
+/// bank contents) — `tests/engine_equivalence.rs` enforces this across the
+/// full workload suite. The legacy engine exists for differential testing
+/// and as the reference semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Tick every component every cycle (the reference semantics).
+    Legacy,
+    /// Advance time directly to the next scheduled event when every
+    /// component proves itself quiescent via its `next_event` bound,
+    /// replaying per-cycle accounting (stall/busy/idle counters) in bulk.
+    #[default]
+    SkipAhead,
+}
+
 /// Functional-unit and interconnect latencies in cycles (Table III).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyParams {
@@ -105,6 +122,9 @@ pub struct MachineConfig {
     pub latency: LatencyParams,
     /// Whether DRAM refresh is simulated.
     pub refresh: bool,
+    /// Cycle-engine selection (skip-ahead by default; legacy for
+    /// differential testing).
+    pub engine: Engine,
 }
 
 impl Default for MachineConfig {
@@ -128,6 +148,7 @@ impl Default for MachineConfig {
             placement: Placement::NearBank,
             latency: LatencyParams::default(),
             refresh: true,
+            engine: Engine::default(),
         }
     }
 }

@@ -10,7 +10,7 @@ use ipim_noc::{Mesh, MeshConfig, NodeId, Packet, PacketId};
 
 use crate::stats::VaultStats;
 use crate::vault::{InMsg, OutMsg, Vault, VaultId};
-use crate::{EnergyBook, EnergyParams, MachineConfig};
+use crate::{EnergyBook, EnergyParams, Engine, MachineConfig};
 
 /// Fixed latency of an inter-cube SERDES traversal in cycles (link + both
 /// gateways; Table III's 0.08 ns/hop link delay is dominated by
@@ -199,6 +199,15 @@ impl Machine {
     /// program).
     pub fn run(&mut self, max_cycles: u64) -> Result<ExecutionReport, SimTimeout> {
         let deadline = self.now + max_cycles;
+        // `quiet_streak` counts consecutive cycles with no observable work;
+        // while work happens, ticking again is almost certainly cheaper than
+        // computing the machine-wide event bound, and a single quiet cycle
+        // sandwiched between busy ones (a bursting memory controller, say)
+        // would waste the probe too. Only a second consecutive quiet cycle
+        // triggers the skip-ahead probe. The counter is a pure scheduling
+        // heuristic: it decides *when* to look for a jump, never whether one
+        // is sound.
+        let mut quiet_streak = 0u32;
         while !self.quiesced() {
             if self.now >= deadline {
                 let stuck = self
@@ -210,9 +219,70 @@ impl Machine {
                     .collect();
                 return Err(SimTimeout { max_cycles, stuck_vaults: stuck });
             }
-            self.tick();
+            match self.config.engine {
+                Engine::Legacy => {
+                    self.tick();
+                }
+                Engine::SkipAhead if quiet_streak < 2 => {
+                    quiet_streak = if self.tick() { 0 } else { quiet_streak + 1 };
+                }
+                Engine::SkipAhead => {
+                    // Advance directly to the earliest cycle any component
+                    // can act. A bound of `now` (or an event already due)
+                    // means this cycle is live: fall back to a real tick.
+                    // With no event at all (a wedged machine) skip straight
+                    // to the deadline so the timeout path stays identical.
+                    let target = self.next_event().unwrap_or(deadline).min(deadline);
+                    if target > self.now {
+                        let delta = target - self.now;
+                        for v in &mut self.vaults {
+                            v.skip(self.now, delta);
+                        }
+                        self.now = target;
+                        quiet_streak = 0;
+                    } else {
+                        quiet_streak = if self.tick() { 0 } else { quiet_streak + 1 };
+                    }
+                }
+            }
         }
         Ok(self.report())
+    }
+
+    /// Sound lower bound on the next cycle `>= now` at which [`tick`]
+    /// (Self::tick) can change machine state: the minimum over the SERDES
+    /// head-of-queue delivery, the pending barrier release, and every mesh's
+    /// and vault's own bound. `None` means the machine is fully quiescent.
+    fn next_event(&self) -> Option<u64> {
+        let now = self.now;
+        let mut t = u64::MAX;
+        // Deliveries only ever pop from the SERDES queue head, so the head's
+        // timestamp (not the queue minimum) is the next delivery.
+        if let Some(&(at, _, _)) = self.serdes.front() {
+            t = t.min(at.max(now));
+        }
+        if let Some(at) = self.barrier_release_at {
+            t = t.min(at.max(now));
+        }
+        for m in &self.meshes {
+            if let Some(e) = m.next_event(now) {
+                t = t.min(e);
+            }
+        }
+        for v in &self.vaults {
+            if t <= now {
+                // Already clamped to `now`; later vaults cannot lower it.
+                return Some(now);
+            }
+            if let Some(e) = v.next_event(now) {
+                t = t.min(e);
+            }
+        }
+        if t == u64::MAX {
+            None
+        } else {
+            Some(t)
+        }
     }
 
     fn quiesced(&self) -> bool {
@@ -222,18 +292,26 @@ impl Machine {
     }
 
     /// Advances the whole machine one cycle.
-    pub fn tick(&mut self) {
+    ///
+    /// Returns whether the cycle did observable work anywhere in the
+    /// machine. The skip-ahead engine only computes [`next_event`]
+    /// (Self::next_event) after a quiet cycle — a heuristic, so a
+    /// pessimistic `true` is always safe.
+    pub fn tick(&mut self) -> bool {
         let now = self.now;
+        let mut progress = false;
 
         // 1. SERDES deliveries.
         while self.serdes.front().is_some_and(|e| e.0 <= now) {
             let (_, v, msg) = self.serdes.pop_front().expect("front checked");
             self.vaults[v].deliver(msg, now);
+            progress = true;
         }
 
         // 2. Mesh deliveries.
         for cube in 0..self.meshes.len() {
             for packet in self.meshes[cube].tick(now) {
+                progress = true;
                 let vault_local =
                     packet.dst.y as usize * self.mesh_shape.0 as usize + packet.dst.x as usize;
                 let v = cube * self.config.vaults_per_cube + vault_local;
@@ -253,7 +331,7 @@ impl Machine {
 
         // 3. Vault execution.
         for v in &mut self.vaults {
-            v.tick(now);
+            progress |= v.tick(now);
         }
 
         // 4. Functional fills for newly issued remote requests: snapshot the
@@ -276,13 +354,17 @@ impl Machine {
         for vi in 0..self.vaults.len() {
             for msg in self.vaults[vi].take_outbox() {
                 self.route(vi, msg, now);
+                progress = true;
             }
         }
 
         // 6. Barrier coordination.
-        self.coordinate_barrier(now);
+        progress |= self.coordinate_barrier(now);
 
         self.now += 1;
+        // Flits still in flight keep the machine hot even on cycles where
+        // none crossed a hop boundary (e.g. all blocked on back-pressure).
+        progress || self.meshes.iter().any(|m| !m.is_idle())
     }
 
     fn route(&mut self, from: usize, msg: OutMsg, now: u64) {
@@ -335,15 +417,17 @@ impl Machine {
         }
     }
 
-    fn coordinate_barrier(&mut self, now: u64) {
+    /// Returns whether barrier state changed this cycle.
+    fn coordinate_barrier(&mut self, now: u64) -> bool {
         if let Some(at) = self.barrier_release_at {
             if now >= at {
                 for v in &mut self.vaults {
                     v.release_barrier();
                 }
                 self.barrier_release_at = None;
+                return true;
             }
-            return;
+            return false;
         }
         let mut waiting = 0;
         let mut running = 0;
@@ -367,7 +451,9 @@ impl Machine {
             // two mesh traversals plus bookkeeping.
             let diameter = (self.mesh_shape.0 + self.mesh_shape.1) as u64;
             self.barrier_release_at = Some(now + 2 * diameter + 4);
+            return true;
         }
+        false
     }
 
     /// Builds the final execution report (also usable mid-run).

@@ -21,7 +21,7 @@ pub enum StallReason {
 }
 
 /// Per-vault execution counters.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct VaultStats {
     /// Cycles this vault was active (until halt).
     pub cycles: u64,
@@ -143,13 +143,20 @@ pub struct StallCounts {
 impl StallCounts {
     /// Records one stall cycle of the given kind.
     pub fn bump(&mut self, reason: StallReason) {
+        self.bump_by(reason, 1);
+    }
+
+    /// Records `n` stall cycles of the given kind (skip-ahead accrual: the
+    /// engine proves the stall reason constant across a jumped window and
+    /// accounts the whole span at once).
+    pub fn bump_by(&mut self, reason: StallReason, n: u64) {
         match reason {
-            StallReason::Hazard => self.hazard += 1,
-            StallReason::QueueFull => self.queue_full += 1,
-            StallReason::Tsv => self.tsv += 1,
-            StallReason::Branch => self.branch += 1,
-            StallReason::Sync => self.sync += 1,
-            StallReason::VsmInterlock => self.vsm_interlock += 1,
+            StallReason::Hazard => self.hazard += n,
+            StallReason::QueueFull => self.queue_full += n,
+            StallReason::Tsv => self.tsv += n,
+            StallReason::Branch => self.branch += n,
+            StallReason::Sync => self.sync += n,
+            StallReason::VsmInterlock => self.vsm_interlock += n,
         }
     }
 

@@ -105,15 +105,18 @@ impl Unit {
         }
     }
 
-    /// Starts the next queued op if the pipeline can initiate this cycle.
-    fn start(&mut self, now: u64) {
+    /// Starts the next queued op if the pipeline can initiate this cycle;
+    /// returns whether an op started.
+    fn start(&mut self, now: u64) -> bool {
         if self.last_start == Some(now) {
-            return;
+            return false;
         }
         if let Some((id, lat)) = self.queue.pop_front() {
             self.in_flight.push_back((id, now + lat));
             self.last_start = Some(now);
+            return true;
         }
+        false
     }
 }
 
@@ -178,6 +181,24 @@ enum CoreState {
     /// Reached `sync phase` and waits for the machine-wide barrier release.
     AtBarrier(u32),
     Halted,
+}
+
+/// What the control core would do on a given cycle, computed without side
+/// effects. [`Vault::try_issue`] acts on it; the skip-ahead engine uses the
+/// same classification to prove a stall reason constant across a jumped
+/// window, so the two can never disagree on which counter a cycle bumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IssueDecision {
+    /// Core halted: the issue stage does nothing.
+    Halted,
+    /// Program exhausted but in-flight work remains: no counter moves.
+    Drained,
+    /// Exactly one stall counter would be bumped.
+    Stall(StallReason),
+    /// `sync` is ready: the core would park at barrier `phase`.
+    Park(u32),
+    /// The instruction at `pc` would issue.
+    Issue,
 }
 
 /// One vault of the iPIM machine.
@@ -429,15 +450,23 @@ impl Vault {
     }
 
     /// Advances the vault one cycle.
-    pub fn tick(&mut self, now: u64) {
+    ///
+    /// Returns whether the cycle did observable work (an op started or
+    /// completed, a request moved, an instruction issued, the core halted).
+    /// The skip-ahead engine uses a `false` return as its cue to compute
+    /// [`next_event`](Self::next_event) — purely a scheduling heuristic, so
+    /// a pessimistic `true` is always safe.
+    pub fn tick(&mut self, now: u64) -> bool {
         if self.is_halted() && self.outbox.is_empty() && self.pending_serves.is_empty() {
-            return;
+            return false;
         }
         self.stats.cycles += 1;
         self.tsv_free = true;
+        let mut progress = false;
 
         // Retry parked remote serves.
         if !self.pending_serves.is_empty() {
+            progress = true;
             let mut parked = std::mem::take(&mut self.pending_serves);
             parked.retain(|(pg, req)| !self.mcs[*pg].enqueue(*req, now));
             self.pending_serves = parked;
@@ -448,7 +477,7 @@ impl Vault {
         for pe in &mut self.pes {
             for unit in [&mut pe.simd, &mut pe.alu, &mut pe.pgsm_port] {
                 unit.complete(now, &mut finished);
-                unit.start(now);
+                progress |= unit.start(now);
             }
             // VSM port needs the TSV slot to start.
             pe.vsm_port.complete(now, &mut finished);
@@ -461,14 +490,18 @@ impl Vault {
                     pe.vsm_port.start(now);
                     self.tsv_free = false;
                     self.stats.tsv_transfers += 1;
+                    progress = true;
                     break;
                 }
             }
         }
 
-        // 2. Memory controllers.
+        // 2. Memory controllers. A refresh sequence steps every cycle, so
+        // it keeps the vault hot: probing for a jump mid-refresh is wasted
+        // work (the bound is always `now`).
         for pg in 0..self.mcs.len() {
             let completions = self.mcs[pg].tick(now);
+            progress |= !completions.is_empty() || self.mcs[pg].is_refreshing();
             for c in completions {
                 self.on_mc_completion(pg, c, now);
             }
@@ -487,6 +520,7 @@ impl Vault {
                 }
                 self.pes[g].mem.queue.pop_front();
                 self.pes[g].mem.outstanding += 1;
+                progress = true;
             }
         }
 
@@ -510,6 +544,7 @@ impl Vault {
             }
         }
 
+        progress |= !finished.is_empty();
         for id in finished {
             self.finish(id);
         }
@@ -528,7 +563,7 @@ impl Vault {
         }
 
         // 7. Control core issue.
-        self.try_issue(now);
+        progress |= self.try_issue(now);
 
         // 8. Halt detection.
         if matches!(self.state, CoreState::Running)
@@ -537,6 +572,124 @@ impl Vault {
         {
             self.state = CoreState::Halted;
             self.halted_at = Some(now);
+            progress = true;
+        }
+        progress
+    }
+
+    /// Sound lower bound on the next cycle `>= now` at which [`tick`]
+    /// (Self::tick) could change vault state (beyond the per-cycle counters
+    /// that [`skip`](Self::skip) replays in bulk), assuming no interconnect
+    /// message is delivered in between — the machine folds message arrival
+    /// times into its own minimum.
+    ///
+    /// Contract (see DESIGN.md §"Two-engine architecture"): returning a
+    /// bound earlier than the true next event is always safe; returning a
+    /// later one is a bug. `None` means the vault will never act again
+    /// without outside input.
+    pub(crate) fn next_event(&self, now: u64) -> Option<u64> {
+        // Mirror of tick()'s early return: a drained vault is clock-gated.
+        if self.is_halted() && self.outbox.is_empty() && self.pending_serves.is_empty() {
+            return None;
+        }
+        // Work that tick() acts on unconditionally forces a live tick.
+        if !self.pending_serves.is_empty() || !self.outbox.is_empty() || !self.ponb_wait.is_empty()
+        {
+            return Some(now);
+        }
+        let mut t = u64::MAX;
+        let max_outstanding = self.config.dram_req_queue.max(1);
+        for (g, pe) in self.pes.iter().enumerate() {
+            for unit in [&pe.simd, &pe.alu, &pe.pgsm_port, &pe.vsm_port] {
+                if !unit.queue.is_empty() {
+                    // A queued op can start on the very next tick (the VSM
+                    // port always wins arbitration when nothing else moves).
+                    return Some(now);
+                }
+                for &(_, done_at) in &unit.in_flight {
+                    t = t.min(done_at);
+                }
+            }
+            if let Some(op) = pe.mem.queue.front() {
+                // The queued request moves only when the MC can take it;
+                // while back-pressured (MC queue full, or the per-PE
+                // outstanding cap hit) the next chance to move is an MC
+                // state change — a command issue or a completion — and the
+                // MC bound below covers both.
+                let pg = g / self.config.pes_per_pg;
+                if pe.mem.outstanding < max_outstanding && self.mcs[pg].can_accept(op.req.kind) {
+                    return Some(now);
+                }
+            }
+        }
+        for &(done_at, _) in &self.delayed {
+            t = t.min(done_at);
+        }
+        for mc in &self.mcs {
+            if t <= now {
+                // The bound below is clamped to `now`; nothing can lower it.
+                return Some(now);
+            }
+            if let Some(e) = mc.next_event(now) {
+                t = t.min(e);
+            }
+        }
+        if t <= now {
+            return Some(now);
+        }
+        // The issue stage: with every queue above empty the TSV slot is
+        // provably free, so probe the decision with `tsv_free = true`.
+        match self.issue_decision(now, true) {
+            IssueDecision::Issue | IssueDecision::Park(_) => return Some(now),
+            IssueDecision::Stall(StallReason::Branch) => t = t.min(self.branch_bubble_until),
+            IssueDecision::Drained => {
+                if self.issued.is_empty() {
+                    // The halt transition in tick() step 8 fires this cycle.
+                    return Some(now);
+                }
+            }
+            // Remaining stalls clear only when one of the completion events
+            // already folded into `t` (or a machine-level event: barrier
+            // release, `ReqDone` delivery) fires.
+            IssueDecision::Halted | IssueDecision::Stall(_) => {}
+        }
+        if t == u64::MAX {
+            None
+        } else {
+            Some(t.max(now))
+        }
+    }
+
+    /// Replays the per-cycle accounting of `delta` ticks skipped under the
+    /// [`next_event`](Self::next_event) contract, covering cycles
+    /// `now..now + delta`. In such a window every queue is empty and no
+    /// completion fires, so each legacy tick would only have advanced the
+    /// cycle counter, the busy/idle integrators, and exactly one stall
+    /// counter — all replayed here in O(1) per component.
+    pub(crate) fn skip(&mut self, now: u64, delta: u64) {
+        if self.is_halted() && self.outbox.is_empty() && self.pending_serves.is_empty() {
+            return;
+        }
+        self.stats.cycles += delta;
+        for pe in &self.pes {
+            if pe.simd.busy() {
+                self.stats.simd_busy += delta;
+            }
+            if pe.alu.busy() {
+                self.stats.int_alu_busy += delta;
+            }
+            if pe.mem.outstanding > 0 || !pe.mem.queue.is_empty() {
+                self.stats.mem_busy += delta;
+            }
+        }
+        for mc in &mut self.mcs {
+            mc.skip_idle(delta);
+        }
+        // The stall classification is constant across the window: every
+        // state it reads (pc, issued set, in-flight requests, barrier state,
+        // branch bubble) only changes at an event `next_event` reports.
+        if let IssueDecision::Stall(reason) = self.issue_decision(now, true) {
+            self.stats.stalls.bump_by(reason, delta);
         }
     }
 
@@ -581,29 +734,28 @@ impl Vault {
         }
     }
 
-    /// Attempts to issue the instruction at `pc`.
-    fn try_issue(&mut self, now: u64) {
+    /// Classifies what the issue stage would do at `now`, without side
+    /// effects. `tsv_free` is passed in because during a real tick the TSV
+    /// slot may already have been consumed by a VSM-port grant or a PonB
+    /// drain, while the skip-ahead engine only probes windows in which both
+    /// are provably idle (so the slot is free).
+    fn issue_decision(&self, now: u64, tsv_free: bool) -> IssueDecision {
         match self.state {
-            CoreState::Halted => return,
-            CoreState::AtBarrier(_) => {
-                self.stats.stalls.bump(StallReason::Sync);
-                return;
-            }
+            CoreState::Halted => return IssueDecision::Halted,
+            CoreState::AtBarrier(_) => return IssueDecision::Stall(StallReason::Sync),
             CoreState::Running => {}
         }
         if self.pc >= self.program.len() {
-            return;
+            return IssueDecision::Drained;
         }
         if now < self.branch_bubble_until {
-            self.stats.stalls.bump(StallReason::Branch);
-            return;
+            return IssueDecision::Stall(StallReason::Branch);
         }
         let inst = self.program.instructions()[self.pc];
 
         // Structural hazard: issued-inst-queue capacity.
         if self.issued.len() >= self.config.inst_queue {
-            self.stats.stalls.bump(StallReason::QueueFull);
-            return;
+            return IssueDecision::Stall(StallReason::QueueFull);
         }
         // Data hazards against in-flight instructions (paper Sec. IV-B 2).
         let reads = inst.reads();
@@ -613,34 +765,50 @@ impl Vault {
             let war = writes.iter().any(|w| e.reads.contains(w));
             let waw = writes.iter().any(|w| e.writes.contains(w));
             if raw || war || waw {
-                self.stats.stalls.bump(StallReason::Hazard);
-                return;
+                return IssueDecision::Stall(StallReason::Hazard);
             }
         }
         // Conservative VSM interlock: reads of the VSM wait for pending
         // remote requests (their data lands in the VSM asynchronously).
         if matches!(inst, Instruction::RdVsm { .. }) && !self.reqs_in_flight.is_empty() {
-            self.stats.stalls.bump(StallReason::VsmInterlock);
-            return;
+            return IssueDecision::Stall(StallReason::VsmInterlock);
         }
         // `sync` waits for the vault to quiesce, then parks at the barrier.
         if let Instruction::Sync { phase_id } = inst {
             if !self.issued.is_empty() || !self.reqs_in_flight.is_empty() {
-                self.stats.stalls.bump(StallReason::Sync);
-                return;
+                return IssueDecision::Stall(StallReason::Sync);
             }
-            self.state = CoreState::AtBarrier(phase_id);
-            self.pc += 1;
-            self.stats.issued += 1;
-            self.stats.by_category.bump(Category::Synchronization);
-            return;
+            return IssueDecision::Park(phase_id);
         }
         // Broadcast instructions need this cycle's TSV slot.
-        let needs_tsv = inst.simb_mask().is_some();
-        if needs_tsv && !self.tsv_free {
-            self.stats.stalls.bump(StallReason::Tsv);
-            return;
+        if inst.simb_mask().is_some() && !tsv_free {
+            return IssueDecision::Stall(StallReason::Tsv);
         }
+        IssueDecision::Issue
+    }
+
+    /// Attempts to issue the instruction at `pc`; returns whether the core
+    /// made progress (issued or parked at a barrier).
+    fn try_issue(&mut self, now: u64) -> bool {
+        match self.issue_decision(now, self.tsv_free) {
+            IssueDecision::Halted | IssueDecision::Drained => return false,
+            IssueDecision::Stall(reason) => {
+                self.stats.stalls.bump(reason);
+                return false;
+            }
+            IssueDecision::Park(phase_id) => {
+                self.state = CoreState::AtBarrier(phase_id);
+                self.pc += 1;
+                self.stats.issued += 1;
+                self.stats.by_category.bump(Category::Synchronization);
+                return true;
+            }
+            IssueDecision::Issue => {}
+        }
+        let inst = self.program.instructions()[self.pc];
+        let reads = inst.reads();
+        let writes = inst.writes();
+        let needs_tsv = inst.simb_mask().is_some();
 
         // --- Issue. ---
         if needs_tsv {
@@ -710,6 +878,7 @@ impl Vault {
             }
         }
         self.pc = next_pc;
+        true
     }
 
     fn crf_value(&self, src: CrfSrc) -> i32 {

@@ -10,7 +10,7 @@
 
 use ipim_core::experiments::{fig1, ExperimentConfig};
 use ipim_core::{
-    all_workloads, area, compile, power, workload_by_name, CompileOptions, EnergyParams,
+    all_workloads, area, compile, power, workload_by_name, CompileOptions, EnergyParams, Engine,
     MachineConfig, Session, WorkloadScale,
 };
 use ipim_simkit::{Bench, BenchConfig};
@@ -124,6 +124,21 @@ fn fig12(b: &mut Bench) {
     }
 }
 
+/// The `tests/end_to_end.rs` hot path: compile+simulate+verify of the
+/// deepest pipeline under each cycle engine, so perf PRs can diff the
+/// skip-ahead engine's wall-clock (and its margin over legacy) run-to-run.
+fn end_to_end(b: &mut Bench) {
+    let w = workload_by_name("StencilChain", bench_scale()).unwrap();
+    for (label, engine) in [("legacy", Engine::Legacy), ("skip_ahead", Engine::SkipAhead)] {
+        let session = Session::new(MachineConfig { engine, ..MachineConfig::vault_slice(1) });
+        b.bench_with(BenchConfig { warmup: 1, iters: 3 }, &format!("end_to_end/{label}"), || {
+            let o = session.run_workload(&w, 4_000_000_000).unwrap();
+            ipim_core::experiments::verify_against_reference(&w, &o);
+            o.report.cycles
+        });
+    }
+}
+
 /// Compiler-only throughput: how fast the full backend compiles Table II.
 fn compiler_throughput(b: &mut Bench) {
     let cfg = MachineConfig::vault_slice(1);
@@ -148,6 +163,7 @@ fn main() {
     fig09_11_13(&mut b);
     fig10(&mut b);
     fig12(&mut b);
+    end_to_end(&mut b);
     compiler_throughput(&mut b);
     b.finish().expect("write results");
 }

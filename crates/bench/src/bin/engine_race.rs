@@ -1,0 +1,50 @@
+//! Skip-ahead vs. legacy engine race on StencilChain (the deepest
+//! pipeline in Table II, and the workload the skip-ahead engine was sized
+//! against — see DESIGN.md §"Two-engine architecture").
+//!
+//! Prints one line per engine plus the speedup, and exits non-zero if the
+//! skip-ahead engine is not strictly faster; CI runs this as a perf
+//! regression gate. Pass `--scale N` for an N×N input (default 128, the
+//! smallest scale StencilChain compiles at).
+
+use std::time::Instant;
+
+use ipim_core::{workload_by_name, Engine, MachineConfig, Session, WorkloadScale};
+
+fn main() {
+    let mut scale = 128u32;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--scale needs a number"));
+            }
+            other => panic!("unknown argument {other:?} (supported: --scale N)"),
+        }
+    }
+    let w = workload_by_name("StencilChain", WorkloadScale { width: scale, height: scale })
+        .expect("StencilChain is a Table II workload");
+
+    let mut seconds = [0.0f64; 2];
+    let mut cycles = [0u64; 2];
+    for (i, engine) in [Engine::Legacy, Engine::SkipAhead].into_iter().enumerate() {
+        let session = Session::new(MachineConfig { engine, ..MachineConfig::vault_slice(1) });
+        // One warmup to fault in the program and touch the banks.
+        session.run_workload(&w, 4_000_000_000).expect("warmup");
+        let start = Instant::now();
+        let outcome = session.run_workload(&w, 4_000_000_000).expect("run");
+        seconds[i] = start.elapsed().as_secs_f64();
+        cycles[i] = outcome.report.cycles;
+        println!("{engine:?}: {:.3} s wall, {} simulated cycles", seconds[i], cycles[i]);
+    }
+    assert_eq!(cycles[0], cycles[1], "engines disagree on simulated cycles");
+    let speedup = seconds[0] / seconds[1];
+    println!("skip-ahead speedup over legacy: {speedup:.2}x");
+    if speedup <= 1.0 {
+        eprintln!("FAIL: skip-ahead must be strictly faster than the legacy engine");
+        std::process::exit(1);
+    }
+}

@@ -57,7 +57,8 @@ mod session;
 pub use session::{RunOutcome, Session, SessionError};
 
 pub use ipim_arch::{
-    area, power, EnergyBook, EnergyParams, ExecutionReport, Machine, MachineConfig, Placement,
+    area, power, EnergyBook, EnergyParams, Engine, ExecutionReport, Machine, MachineConfig,
+    Placement,
 };
 pub use ipim_compiler::{compile, host, CompileOptions, CompiledPipeline, MemoryMap};
 pub use ipim_workloads::{all_workloads, workload_by_name, Workload, WorkloadScale};

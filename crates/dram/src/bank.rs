@@ -165,6 +165,18 @@ impl Bank {
         }
     }
 
+    /// Earliest cycle at which *any* legal command could issue to this bank
+    /// — the bank's `next_event` lower bound for the skip-ahead engine. No
+    /// bank state transition can occur strictly before the returned cycle,
+    /// because every legal command's [`earliest`](Self::earliest) is at
+    /// least this value.
+    pub fn next_event(&self) -> u64 {
+        match self.state {
+            BankState::Precharged => self.next_act,
+            BankState::Active { .. } => self.next_pre.min(self.next_col),
+        }
+    }
+
     /// The row currently open, if any.
     pub fn open_row(&self) -> Option<u32> {
         match self.state {

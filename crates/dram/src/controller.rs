@@ -210,12 +210,113 @@ impl MemController {
         self.queue.len()
     }
 
+    /// Whether [`enqueue`](Self::enqueue) would currently accept a request
+    /// of `kind` (reads and posted writes queue separately).
+    pub fn can_accept(&self, kind: AccessKind) -> bool {
+        match kind {
+            AccessKind::Read => !self.is_full(),
+            AccessKind::Write => self.write_buffer.len() < self.write_capacity,
+        }
+    }
+
+    /// Whether a refresh sequence is in progress (it steps once per cycle).
+    pub fn is_refreshing(&self) -> bool {
+        self.refreshing
+    }
+
     /// Whether the controller has no queued or in-flight work.
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty()
             && self.in_flight.is_empty()
             && self.write_buffer.is_empty()
             && self.write_acks.is_empty()
+    }
+
+    /// Sound lower bound on the next cycle `>= now` at which a call to
+    /// [`tick`](Self::tick) could do anything beyond the per-cycle idle
+    /// bookkeeping that [`skip_idle`](Self::skip_idle) replays in bulk.
+    ///
+    /// The contract (see DESIGN.md §"Two-engine architecture"): for every
+    /// cycle `t` in `now..T` (with `T` the returned bound), `tick(t)` issues
+    /// no DRAM command, returns no completion, and changes no state other
+    /// than the read-idle counter. Returning a bound *earlier* than the true
+    /// next event is always safe (the engine just ticks through it);
+    /// returning a later one would desynchronise the skip-ahead engine, so
+    /// every branch below under-approximates. `None` means the controller
+    /// is fully drained and (with refresh disabled) will never act again.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        // Mid-refresh sequences step once per cycle (drains, PREs, REFs).
+        if self.refreshing {
+            return Some(now);
+        }
+        let mut t = u64::MAX;
+        for a in &self.write_acks {
+            t = t.min(a.finished_at);
+        }
+        for f in &self.in_flight {
+            t = t.min(f.finish_at);
+        }
+        if self.refresh_enabled {
+            t = t.min(self.next_refresh.max(now));
+        }
+        // Queued reads: the earliest cycle any of them could receive a
+        // command, ignoring scheduling-policy gating (which only delays).
+        for p in &self.queue {
+            t = t.min(self.request_bound(&p.req));
+        }
+        if !self.write_buffer.is_empty() {
+            // Drain-mode entry can flip at any tick the moment a write
+            // becomes issuable, so always include the raw write bounds.
+            for p in &self.write_buffer {
+                t = t.min(self.request_bound(&p.req));
+            }
+            // The idle-read hysteresis (`read_idle_cycles > 150`) is the
+            // one time-driven drain trigger; compute its crossing cycle.
+            if self.queue.is_empty()
+                && !self.draining_writes
+                && self.write_buffer.len() < self.write_capacity * 3 / 4
+            {
+                t = t.min(now + 150u64.saturating_sub(self.read_idle_cycles as u64));
+            }
+        }
+        if self.page_policy == PagePolicy::Close {
+            for b in &self.banks {
+                if let Some(pre) = b.earliest(BankCmd::Pre) {
+                    t = t.min(pre);
+                }
+            }
+        }
+        if t == u64::MAX {
+            None
+        } else {
+            Some(t.max(now))
+        }
+    }
+
+    /// Earliest cycle `req` could receive *any* DRAM command given only its
+    /// bank's timing state (a lower bound: inter-bank constraints and
+    /// scheduling gates can only push the real issue later).
+    fn request_bound(&self, req: &Request) -> u64 {
+        let bank = &self.banks[req.bank];
+        match bank.state() {
+            BankState::Active { row } if row == bank.map().row(req.addr) => {
+                bank.earliest(BankCmd::Rd(0)).expect("column legal on open row")
+            }
+            BankState::Active { .. } => bank.earliest(BankCmd::Pre).expect("PRE legal on open row"),
+            BankState::Precharged => {
+                bank.earliest(BankCmd::Act(0)).expect("ACT legal when precharged")
+            }
+        }
+    }
+
+    /// Replays the idle bookkeeping of `delta` ticks skipped under the
+    /// [`next_event`](Self::next_event) contract: the only per-cycle state a
+    /// quiescent tick mutates is the read-idle hysteresis counter.
+    pub fn skip_idle(&mut self, delta: u64) {
+        if self.queue.is_empty() {
+            self.read_idle_cycles =
+                self.read_idle_cycles.saturating_add(delta.min(u32::MAX as u64) as u32);
+        }
     }
 
     /// Enqueues a request; returns `false` (rejecting it) when the queue is

@@ -180,6 +180,20 @@ impl<P: Clone> Mesh<P> {
         self.routers.iter().all(|r| r.queued_flits() == 0) && self.delivered.is_empty()
     }
 
+    /// Sound lower bound on the next cycle `>= now` at which a
+    /// [`tick`](Mesh::tick) can change mesh state. An idle mesh never acts
+    /// spontaneously (`None`); a mesh with flits in flight moves them every
+    /// cycle, so the bound is `now` itself — routers have no timers, which
+    /// keeps this exact rather than conservative.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        let routers = self.routers.iter().filter_map(|r| r.next_event(now)).min();
+        match routers {
+            Some(t) => Some(t),
+            None if !self.delivered.is_empty() => Some(now),
+            None => None,
+        }
+    }
+
     /// Total link traversals (flit-hops), for interconnect energy.
     pub fn flit_hops(&self) -> u64 {
         self.flit_hops

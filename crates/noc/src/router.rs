@@ -149,6 +149,18 @@ impl<P> Router<P> {
     pub fn queued_flits(&self) -> usize {
         self.inputs.iter().map(VecDeque::len).sum()
     }
+
+    /// Sound lower bound on the next cycle `>= now` at which this router
+    /// can act: `None` when no flit is queued (nothing to move, ever,
+    /// without new injections), otherwise `now` (a queued flit may advance
+    /// on the very next tick).
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        if self.queued_flits() == 0 {
+            None
+        } else {
+            Some(now)
+        }
+    }
 }
 
 #[cfg(test)]

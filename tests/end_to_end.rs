@@ -1,62 +1,63 @@
 //! Cross-crate integration: every Table II workload compiles, runs on the
 //! cycle-accurate slice, and matches the reference interpreter.
+//!
+//! These are the suite's slow cases (full 128×128 sweeps, tagged with the
+//! `slow_` prefix); the fast pre-commit loop is `cargo test -q engine_`,
+//! which runs only the engine-equivalence differential suite.
 
 use ipim_core::experiments::verify_against_reference;
-use ipim_core::{all_workloads, MachineConfig, Session, WorkloadScale};
+use ipim_core::{all_workloads, MachineConfig, RunOutcome, Session, Workload, WorkloadScale};
 
 /// Small scale keeps the full 10-benchmark sweep tractable in debug builds.
 fn scale() -> WorkloadScale {
     WorkloadScale { width: 128, height: 128 }
 }
 
+/// Runs `w` on a `vaults`-vault slice and checks it against the reference
+/// interpreter, returning the outcome for test-specific assertions.
+fn run_and_verify(w: &Workload, vaults: usize, max_cycles: u64) -> RunOutcome {
+    let session = Session::new(MachineConfig::vault_slice(vaults));
+    let outcome = session.run_workload(w, max_cycles).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    verify_against_reference(w, &outcome);
+    outcome
+}
+
 #[test]
-fn all_single_stage_workloads_run_and_verify() {
-    let session = Session::new(MachineConfig::vault_slice(1));
+fn slow_all_single_stage_workloads_run_and_verify() {
     for w in all_workloads(scale()).into_iter().filter(|w| !w.multi_stage) {
-        let outcome =
-            session.run_workload(&w, 2_000_000_000).unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        verify_against_reference(&w, &outcome);
+        let outcome = run_and_verify(&w, 1, 2_000_000_000);
         assert!(outcome.report.stats.issued > 0, "{}", w.name);
         assert!(outcome.report.energy.total_pj() > 0.0, "{}", w.name);
     }
 }
 
 #[test]
-fn bilateral_grid_and_interpolate_run_and_verify() {
-    let session = Session::new(MachineConfig::vault_slice(1));
+fn slow_bilateral_grid_and_interpolate_run_and_verify() {
     for name in ["BilateralGrid", "Interpolate"] {
         let w = ipim_core::workload_by_name(name, scale()).unwrap();
-        let outcome =
-            session.run_workload(&w, 2_000_000_000).unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        verify_against_reference(&w, &outcome);
+        run_and_verify(&w, 1, 2_000_000_000);
     }
 }
 
 #[test]
-fn local_laplacian_runs_and_verifies() {
-    let session = Session::new(MachineConfig::vault_slice(1));
+fn slow_local_laplacian_runs_and_verifies() {
     let w = ipim_core::workload_by_name("LocalLaplacian", scale()).unwrap();
-    let outcome = session.run_workload(&w, 2_000_000_000).expect("run");
-    verify_against_reference(&w, &outcome);
+    run_and_verify(&w, 1, 2_000_000_000);
     assert_eq!(w.stages, 23);
 }
 
 #[test]
-fn stencil_chain_runs_and_verifies() {
-    let session = Session::new(MachineConfig::vault_slice(1));
+fn slow_stencil_chain_runs_and_verifies() {
     let w = ipim_core::workload_by_name("StencilChain", scale()).unwrap();
-    let outcome = session.run_workload(&w, 4_000_000_000).expect("run");
-    verify_against_reference(&w, &outcome);
+    run_and_verify(&w, 1, 4_000_000_000);
     assert_eq!(w.stages, 32);
 }
 
 #[test]
-fn histogram_runs_on_a_multi_vault_machine() {
+fn slow_histogram_runs_on_a_multi_vault_machine() {
     // Two vaults exercise the cross-vault all-gather (`req` + `sync`).
-    let session = Session::new(MachineConfig::vault_slice(2));
     let w = ipim_core::workload_by_name("Histogram", scale()).unwrap();
-    let outcome = session.run_workload(&w, 2_000_000_000).expect("run");
-    verify_against_reference(&w, &outcome);
+    let outcome = run_and_verify(&w, 2, 2_000_000_000);
     assert!(outcome.report.stats.remote_reqs > 0);
     assert!(outcome.report.stats.by_category.synchronization >= 4);
     // Every pixel counted exactly once.

@@ -1,0 +1,157 @@
+//! Differential test: the skip-ahead engine must be bit-identical to the
+//! legacy per-cycle engine (see DESIGN.md §"Two-engine architecture").
+//!
+//! Every workload runs twice — once per engine — and the suite asserts the
+//! observables agree exactly: wall-clock cycles, issued-instruction count,
+//! the full stall/busy/access counter set, DRAM command counters, total
+//! energy, and the output image bit-for-bit. Any divergence means a
+//! `next_event` bound was unsound or a skipped window's accounting replay
+//! drifted.
+//!
+//! All tests here are prefixed `engine_` so `cargo test -q engine_` runs
+//! just this fast suite as a pre-commit loop.
+
+use ipim_core::{Engine, MachineConfig, Session, Workload, WorkloadScale};
+
+/// 64×64 keeps each pair of runs comfortably sub-second in debug builds.
+fn scale() -> WorkloadScale {
+    WorkloadScale { width: 64, height: 64 }
+}
+
+fn config(engine: Engine, vaults: usize) -> MachineConfig {
+    MachineConfig { engine, ..MachineConfig::vault_slice(vaults) }
+}
+
+/// Re-instantiates `w` at 128×128 for the resampling workloads whose tile
+/// count at 64×64 falls below the 32 static SIMB lanes (a compiler limit,
+/// not an engine concern).
+fn at_supported_scale(w: Workload) -> Workload {
+    let probe = Session::new(config(Engine::Legacy, 1));
+    match probe.run_workload(&w, 1) {
+        Err(e) if e.to_string().contains("unsupported") => {
+            ipim_core::workload_by_name(w.name, WorkloadScale { width: 128, height: 128 })
+                .expect("known workload")
+        }
+        _ => w,
+    }
+}
+
+/// Runs `w` under both engines on a `vaults`-vault slice and asserts every
+/// observable matches exactly.
+fn assert_engines_agree(w: &Workload, vaults: usize) {
+    let legacy = Session::new(config(Engine::Legacy, vaults))
+        .run_workload(w, 2_000_000_000)
+        .unwrap_or_else(|e| panic!("{} (legacy): {e}", w.name));
+    let skip = Session::new(config(Engine::SkipAhead, vaults))
+        .run_workload(w, 2_000_000_000)
+        .unwrap_or_else(|e| panic!("{} (skip-ahead): {e}", w.name));
+
+    let (l, s) = (&legacy.report, &skip.report);
+    assert_eq!(l.cycles, s.cycles, "{}: cycles diverge", w.name);
+    assert_eq!(l.stats.issued, s.stats.issued, "{}: issued diverge", w.name);
+    assert_eq!(l.stats, s.stats, "{}: statistics diverge", w.name);
+    assert_eq!(l.bank_stats, s.bank_stats, "{}: DRAM commands diverge", w.name);
+    assert_eq!(
+        format!("{:?}", l.locality),
+        format!("{:?}", s.locality),
+        "{}: row locality diverges",
+        w.name
+    );
+    // Energy is a pure function of the counters, so exact equality (not an
+    // epsilon) is the right assertion: any drift is a counter bug.
+    assert_eq!(
+        l.energy.total_pj().to_bits(),
+        s.energy.total_pj().to_bits(),
+        "{}: energy diverges ({} pJ vs {} pJ)",
+        w.name,
+        l.energy.total_pj(),
+        s.energy.total_pj()
+    );
+    assert_eq!(legacy.output.data(), skip.output.data(), "{}: output buffers diverge", w.name);
+}
+
+#[test]
+fn engine_equivalence_single_stage_workloads() {
+    for w in ipim_core::all_workloads(scale()).into_iter().filter(|w| !w.multi_stage) {
+        assert_engines_agree(&at_supported_scale(w), 1);
+    }
+}
+
+#[test]
+fn engine_equivalence_bilateral_grid() {
+    let w = ipim_core::workload_by_name("BilateralGrid", scale()).unwrap();
+    assert_engines_agree(&w, 1);
+}
+
+#[test]
+fn engine_equivalence_interpolate() {
+    let w = ipim_core::workload_by_name("Interpolate", scale()).unwrap();
+    assert_engines_agree(&at_supported_scale(w), 1);
+}
+
+#[test]
+fn engine_equivalence_multi_vault_histogram() {
+    // Two vaults exercise the cross-vault path: mesh flits, SERDES retries,
+    // `req`/`sync` barriers — every machine-level `next_event` term.
+    let w = ipim_core::workload_by_name("Histogram", scale()).unwrap();
+    assert_engines_agree(&w, 2);
+}
+
+#[test]
+fn engine_equivalence_base_die_placement() {
+    // PonB placement exercises the TSV-blocked completion queue
+    // (`ponb_wait`), which must force live ticks while draining.
+    let w = ipim_core::workload_by_name("Blur", scale()).unwrap();
+    for engine in [Engine::Legacy, Engine::SkipAhead] {
+        let mut c = config(engine, 1);
+        c.placement = ipim_core::Placement::BaseDie;
+        // Just assert it runs; the cross-engine comparison follows.
+        Session::new(c).run_workload(&w, 2_000_000_000).expect("ponb run");
+    }
+    let mut lc = config(Engine::Legacy, 1);
+    lc.placement = ipim_core::Placement::BaseDie;
+    let mut sc = config(Engine::SkipAhead, 1);
+    sc.placement = ipim_core::Placement::BaseDie;
+    let l = Session::new(lc).run_workload(&w, 2_000_000_000).expect("legacy ponb");
+    let s = Session::new(sc).run_workload(&w, 2_000_000_000).expect("skip ponb");
+    assert_eq!(l.report.cycles, s.report.cycles, "PonB cycles diverge");
+    assert_eq!(l.report.stats, s.report.stats, "PonB stats diverge");
+    assert_eq!(l.output.data(), s.output.data(), "PonB output diverges");
+}
+
+#[test]
+fn engine_determinism_two_vault_histogram() {
+    // Two identically configured runs must agree byte-for-byte: the
+    // skip-ahead engine's event selection (min over vaults, meshes, SERDES)
+    // must not introduce ordering nondeterminism. The Debug rendering of
+    // the report covers every counter, including ones without PartialEq.
+    let w = ipim_core::workload_by_name("Histogram", scale()).unwrap();
+    let run = || {
+        Session::new(config(Engine::SkipAhead, 2))
+            .run_workload(&w, 2_000_000_000)
+            .expect("histogram run")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(
+        format!("{:?}", a.report),
+        format!("{:?}", b.report),
+        "reports diverge across identical runs"
+    );
+    assert_eq!(a.output.data(), b.output.data(), "outputs diverge across identical runs");
+}
+
+#[test]
+fn engine_equivalence_refresh_disabled() {
+    // With refresh off, `next_event` loses its periodic tREFI term and
+    // windows get much longer — a different stress pattern for the bounds.
+    let w = ipim_core::workload_by_name("Blur", scale()).unwrap();
+    let mut lc = config(Engine::Legacy, 1);
+    lc.refresh = false;
+    let mut sc = config(Engine::SkipAhead, 1);
+    sc.refresh = false;
+    let l = Session::new(lc).run_workload(&w, 2_000_000_000).expect("legacy");
+    let s = Session::new(sc).run_workload(&w, 2_000_000_000).expect("skip");
+    assert_eq!(l.report.cycles, s.report.cycles, "refresh-off cycles diverge");
+    assert_eq!(l.report.stats, s.report.stats, "refresh-off stats diverge");
+    assert_eq!(l.output.data(), s.output.data(), "refresh-off output diverges");
+}
