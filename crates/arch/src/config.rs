@@ -30,6 +30,29 @@ pub enum Engine {
     SkipAhead,
 }
 
+/// Trace-capture configuration.
+///
+/// Tracing defaults to off; a disabled config leaves every instrumented
+/// component with a detached [`Tracer`](ipim_trace::Tracer), whose emit
+/// path is a single branch (see `crates/trace` docs for the overhead
+/// contract). `ipim_core::Session` reads this to decide whether to wire a
+/// ring sink through the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Whether to capture structured trace events during the run.
+    pub enabled: bool,
+    /// Ring-buffer capacity in records; the oldest records are evicted
+    /// once the buffer fills (the `dropped` count in the capture reports
+    /// how many).
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self { enabled: false, ring_capacity: 1 << 20 }
+    }
+}
+
 /// Functional-unit and interconnect latencies in cycles (Table III).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyParams {
@@ -125,6 +148,8 @@ pub struct MachineConfig {
     /// Cycle-engine selection (skip-ahead by default; legacy for
     /// differential testing).
     pub engine: Engine,
+    /// Structured trace capture (off by default).
+    pub trace: TraceConfig,
 }
 
 impl Default for MachineConfig {
@@ -149,6 +174,7 @@ impl Default for MachineConfig {
             latency: LatencyParams::default(),
             refresh: true,
             engine: Engine::default(),
+            trace: TraceConfig::default(),
         }
     }
 }

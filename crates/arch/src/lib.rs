@@ -50,7 +50,7 @@ mod scratchpad;
 mod stats;
 mod vault;
 
-pub use config::{Engine, LatencyParams, MachineConfig, Placement};
+pub use config::{Engine, LatencyParams, MachineConfig, Placement, TraceConfig};
 pub use energy::{EnergyBook, EnergyParams};
 pub use machine::{ExecutionReport, Machine, SimTimeout};
 pub use scratchpad::Scratchpad;

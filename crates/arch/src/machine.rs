@@ -7,6 +7,7 @@ use std::fmt;
 use ipim_dram::ACCESS_BYTES;
 use ipim_isa::{Program, RemoteTarget};
 use ipim_noc::{Mesh, MeshConfig, NodeId, Packet, PacketId};
+use ipim_trace::{CompId, CompRegistry, MetricsRegistry, SharedSink, TraceEvent, Tracer};
 
 use crate::stats::VaultStats;
 use crate::vault::{InMsg, OutMsg, Vault, VaultId};
@@ -99,6 +100,9 @@ pub struct Machine {
     now: u64,
     next_packet: u64,
     barrier_release_at: Option<u64>,
+    tracer: Tracer,
+    comp_engine: CompId,
+    comp_serdes: CompId,
 }
 
 impl Machine {
@@ -133,7 +137,48 @@ impl Machine {
             now: 0,
             next_packet: 0,
             barrier_release_at: None,
+            tracer: Tracer::default(),
+            comp_engine: CompId::default(),
+            comp_serdes: CompId::default(),
         }
+    }
+
+    /// Wires `sink` through every instrumented component — the cycle
+    /// engine, the SERDES gateway, each cube's mesh routers, and each
+    /// vault's control core, memory controllers, and banks — and returns
+    /// the registry mapping component ids to hierarchical paths (e.g.
+    /// `cube0/vault3/pg1/bank2`).
+    ///
+    /// Components register in deterministic machine-construction order, so
+    /// two identically configured runs assign identical ids — the property
+    /// the engine-equivalence tests rely on when comparing event streams.
+    /// Call before [`run`](Self::run); without a call, every tracer stays
+    /// detached and emit sites cost a single branch.
+    pub fn attach_trace(&mut self, sink: SharedSink) -> CompRegistry {
+        let tracer = Tracer::attached(sink);
+        let mut registry = CompRegistry::default();
+        self.comp_engine = registry.register("machine/engine");
+        self.comp_serdes = registry.register("machine/serdes");
+        let (w, _) = self.mesh_shape;
+        for (c, mesh) in self.meshes.iter_mut().enumerate() {
+            let comps = (0..mesh.config().width as usize * mesh.config().height as usize)
+                .map(|i| {
+                    registry.register(&format!(
+                        "cube{c}/router{}_{}",
+                        i % w as usize,
+                        i / w as usize
+                    ))
+                })
+                .collect();
+            mesh.attach_trace(tracer.clone(), comps);
+        }
+        for v in &mut self.vaults {
+            let id = v.id();
+            let prefix = format!("cube{}/vault{}", id.cube, id.vault);
+            v.attach_trace(&tracer, &mut registry, &prefix);
+        }
+        self.tracer = tracer;
+        registry
     }
 
     /// The machine configuration.
@@ -235,6 +280,8 @@ impl Machine {
                     let target = self.next_event().unwrap_or(deadline).min(deadline);
                     if target > self.now {
                         let delta = target - self.now;
+                        self.tracer
+                            .emit(self.now, self.comp_engine, || TraceEvent::SkipWindow { delta });
                         for v in &mut self.vaults {
                             v.skip(self.now, delta);
                         }
@@ -406,6 +453,7 @@ impl Machine {
             // (detailed per-hop routing is modelled intra-cube, where >98 %
             // of traffic lives; see DESIGN.md).
             self.serdes_bits += bytes as u64 * 8;
+            self.tracer.emit(now, self.comp_serdes, || TraceEvent::SerdesSend { bytes });
             let diameter = (self.mesh_shape.0 + self.mesh_shape.1) as u64;
             let at = now + SERDES_LATENCY + diameter;
             self.serdes.push_back((at, to, to_in_msg(payload)));
@@ -422,7 +470,7 @@ impl Machine {
         if let Some(at) = self.barrier_release_at {
             if now >= at {
                 for v in &mut self.vaults {
-                    v.release_barrier();
+                    v.release_barrier(now);
                 }
                 self.barrier_release_at = None;
                 return true;
@@ -456,35 +504,11 @@ impl Machine {
         false
     }
 
-    /// Builds the final execution report (also usable mid-run).
-    pub fn report(&self) -> ExecutionReport {
-        let mut stats = VaultStats::default();
+    /// Summed DRAM command and row-locality counters across every bank.
+    fn dram_totals(&self) -> (ipim_dram::BankStats, ipim_dram::RowLocality) {
         let mut bank_stats = ipim_dram::BankStats::default();
         let mut locality = ipim_dram::RowLocality::default();
-        let mut max_cycles = 0;
         for v in &self.vaults {
-            let s = &v.stats;
-            max_cycles = max_cycles.max(s.cycles);
-            stats.issued += s.issued;
-            stats.by_category = stats.by_category + s.by_category;
-            stats.stalls.hazard += s.stalls.hazard;
-            stats.stalls.queue_full += s.stalls.queue_full;
-            stats.stalls.tsv += s.stalls.tsv;
-            stats.stalls.branch += s.stalls.branch;
-            stats.stalls.sync += s.stalls.sync;
-            stats.stalls.vsm_interlock += s.stalls.vsm_interlock;
-            stats.simd_ops += s.simd_ops;
-            stats.int_alu_ops += s.int_alu_ops;
-            stats.simd_busy += s.simd_busy;
-            stats.int_alu_busy += s.int_alu_busy;
-            stats.mem_busy += s.mem_busy;
-            stats.addr_rf_accesses += s.addr_rf_accesses;
-            stats.data_rf_accesses += s.data_rf_accesses;
-            stats.pgsm_accesses += s.pgsm_accesses;
-            stats.vsm_accesses += s.vsm_accesses;
-            stats.tsv_transfers += s.tsv_transfers;
-            stats.remote_reqs += s.remote_reqs;
-            stats.dram_accesses += s.dram_accesses;
             for mc in &v.mcs {
                 let b = mc.total_bank_stats();
                 bank_stats.acts += b.acts;
@@ -497,7 +521,17 @@ impl Machine {
                 locality.row_conflicts += mc.locality.row_conflicts;
             }
         }
-        stats.cycles = max_cycles;
+        (bank_stats, locality)
+    }
+
+    /// Builds the final execution report (also usable mid-run).
+    pub fn report(&self) -> ExecutionReport {
+        let mut stats = VaultStats::default();
+        for v in &self.vaults {
+            stats.absorb(&v.stats);
+        }
+        let (bank_stats, locality) = self.dram_totals();
+        let max_cycles = stats.cycles;
         let energy = self.energy(&stats, &bank_stats, max_cycles);
         ExecutionReport {
             cycles: max_cycles,
@@ -508,6 +542,42 @@ impl Machine {
             vaults: self.vaults.len(),
             pes: self.config.total_pes(),
         }
+    }
+
+    /// Snapshots every counter in the machine into a fresh metrics
+    /// registry, under the same hierarchical paths the trace uses
+    /// (per-vault `cube{c}/vault{v}/...`, per-cube mesh counters, and a
+    /// `machine/...` aggregate). Deterministic for a deterministic run, so
+    /// the engine-equivalence tests compare whole registries.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::default();
+        reg.counter_add("machine/cycles", self.now);
+        reg.counter_add("machine/serdes_bits", self.serdes_bits);
+        for (c, mesh) in self.meshes.iter().enumerate() {
+            let s = mesh.total_stats();
+            reg.counter_add(&format!("cube{c}/mesh/flits_forwarded"), s.flits_forwarded);
+            reg.counter_add(&format!("cube{c}/mesh/credit_stalls"), s.stall_cycles);
+            reg.counter_add(&format!("cube{c}/mesh/flit_hops"), mesh.flit_hops());
+        }
+        let mut total = VaultStats::default();
+        for v in &self.vaults {
+            let id = v.id();
+            let prefix = format!("cube{}/vault{}", id.cube, id.vault);
+            v.stats.record_into(&mut reg, &prefix);
+            reg.histogram_observe("machine/vault_cycles", v.stats.cycles);
+            total.absorb(&v.stats);
+        }
+        total.record_into(&mut reg, "machine/total");
+        let (bank, locality) = self.dram_totals();
+        reg.counter_add("dram/acts", bank.acts);
+        reg.counter_add("dram/pres", bank.pres);
+        reg.counter_add("dram/reads", bank.reads);
+        reg.counter_add("dram/writes", bank.writes);
+        reg.counter_add("dram/refs", bank.refs);
+        reg.counter_add("dram/row_hits", locality.row_hits);
+        reg.counter_add("dram/row_misses", locality.row_misses);
+        reg.counter_add("dram/row_conflicts", locality.row_conflicts);
+        reg
     }
 
     fn energy(

@@ -2,6 +2,7 @@
 //! component utilization and IPC — the raw material of Figs. 11–13.
 
 use ipim_isa::Category;
+use ipim_trace::MetricsRegistry;
 
 /// Why the control core could not issue on a given cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +19,32 @@ pub enum StallReason {
     Sync,
     /// Conservative VSM interlock against in-flight `req`s.
     VsmInterlock,
+}
+
+impl StallReason {
+    /// Every stall cause, in the order `StallCounts` stores them. The single
+    /// source of truth for iterating the stall taxonomy — reports and metrics
+    /// exporters walk this instead of hand-listing the fields.
+    pub const ALL: [StallReason; 6] = [
+        StallReason::Hazard,
+        StallReason::QueueFull,
+        StallReason::Tsv,
+        StallReason::Branch,
+        StallReason::Sync,
+        StallReason::VsmInterlock,
+    ];
+
+    /// Stable lower-case label, usable as a metrics/trace key.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallReason::Hazard => "hazard",
+            StallReason::QueueFull => "queue_full",
+            StallReason::Tsv => "tsv",
+            StallReason::Branch => "branch",
+            StallReason::Sync => "sync",
+            StallReason::VsmInterlock => "vsm_interlock",
+        }
+    }
 }
 
 /// Per-vault execution counters.
@@ -75,6 +102,28 @@ pub struct CategoryCounts {
 }
 
 impl CategoryCounts {
+    /// Every ISA category, in field order — for iterating the mix.
+    pub const ALL: [Category; 6] = [
+        Category::Computation,
+        Category::IndexCalc,
+        Category::IntraVault,
+        Category::InterVault,
+        Category::ControlFlow,
+        Category::Synchronization,
+    ];
+
+    /// The count for one category.
+    pub fn get(&self, cat: Category) -> u64 {
+        match cat {
+            Category::Computation => self.computation,
+            Category::IndexCalc => self.index_calc,
+            Category::IntraVault => self.intra_vault,
+            Category::InterVault => self.inter_vault,
+            Category::ControlFlow => self.control_flow,
+            Category::Synchronization => self.synchronization,
+        }
+    }
+
     /// Increments the counter for `cat`.
     pub fn bump(&mut self, cat: Category) {
         match cat {
@@ -160,9 +209,28 @@ impl StallCounts {
         }
     }
 
+    /// The count for one stall cause.
+    pub fn get(&self, reason: StallReason) -> u64 {
+        match reason {
+            StallReason::Hazard => self.hazard,
+            StallReason::QueueFull => self.queue_full,
+            StallReason::Tsv => self.tsv,
+            StallReason::Branch => self.branch,
+            StallReason::Sync => self.sync,
+            StallReason::VsmInterlock => self.vsm_interlock,
+        }
+    }
+
+    /// Accumulates another vault's stall counts into this one.
+    pub fn merge(&mut self, other: &StallCounts) {
+        for reason in StallReason::ALL {
+            self.bump_by(reason, other.get(reason));
+        }
+    }
+
     /// Total stall cycles.
     pub fn total(&self) -> u64 {
-        self.hazard + self.queue_full + self.tsv + self.branch + self.sync + self.vsm_interlock
+        StallReason::ALL.iter().map(|&r| self.get(r)).sum()
     }
 }
 
@@ -174,6 +242,51 @@ impl VaultStats {
         } else {
             self.issued as f64 / self.cycles as f64
         }
+    }
+
+    /// Accumulates another vault's counters into this one. `cycles` takes
+    /// the max rather than the sum: an aggregate over vaults runs for as
+    /// long as its slowest member, not the sum of their lifetimes.
+    pub fn absorb(&mut self, other: &VaultStats) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.issued += other.issued;
+        self.by_category = self.by_category + other.by_category;
+        self.stalls.merge(&other.stalls);
+        self.simd_ops += other.simd_ops;
+        self.int_alu_ops += other.int_alu_ops;
+        self.simd_busy += other.simd_busy;
+        self.int_alu_busy += other.int_alu_busy;
+        self.mem_busy += other.mem_busy;
+        self.addr_rf_accesses += other.addr_rf_accesses;
+        self.data_rf_accesses += other.data_rf_accesses;
+        self.pgsm_accesses += other.pgsm_accesses;
+        self.vsm_accesses += other.vsm_accesses;
+        self.tsv_transfers += other.tsv_transfers;
+        self.remote_reqs += other.remote_reqs;
+        self.dram_accesses += other.dram_accesses;
+    }
+
+    /// Records every counter into `reg` under `prefix` (e.g. `vault3`).
+    /// This is the single path from per-vault counters to exported metrics,
+    /// so stall causes and instruction categories appear under one naming
+    /// scheme instead of being re-listed by each reporter.
+    pub fn record_into(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.counter_add(&format!("{prefix}/cycles"), self.cycles);
+        reg.counter_add(&format!("{prefix}/issued"), self.issued);
+        for cat in CategoryCounts::ALL {
+            reg.counter_add(&format!("{prefix}/inst/{}", cat.name()), self.by_category.get(cat));
+        }
+        for reason in StallReason::ALL {
+            reg.counter_add(&format!("{prefix}/stall/{}", reason.name()), self.stalls.get(reason));
+        }
+        reg.counter_add(&format!("{prefix}/simd_ops"), self.simd_ops);
+        reg.counter_add(&format!("{prefix}/int_alu_ops"), self.int_alu_ops);
+        reg.counter_add(&format!("{prefix}/spad/pgsm"), self.pgsm_accesses);
+        reg.counter_add(&format!("{prefix}/spad/vsm"), self.vsm_accesses);
+        reg.counter_add(&format!("{prefix}/tsv_transfers"), self.tsv_transfers);
+        reg.counter_add(&format!("{prefix}/remote_reqs"), self.remote_reqs);
+        reg.counter_add(&format!("{prefix}/dram_accesses"), self.dram_accesses);
+        reg.gauge_set(&format!("{prefix}/ipc"), self.ipc());
     }
 
     /// Utilization of a component given its busy PE-cycles and PE count.
@@ -226,6 +339,53 @@ mod tests {
         let s = VaultStats { cycles: 100, issued: 63, simd_busy: 160, ..VaultStats::default() };
         assert!((s.ipc() - 0.63).abs() < 1e-12);
         assert!((s.utilization(s.simd_busy, 32) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_maxes_cycles() {
+        let mut a =
+            VaultStats { cycles: 100, issued: 10, pgsm_accesses: 3, ..VaultStats::default() };
+        a.stalls.bump(StallReason::Tsv);
+        let mut b = VaultStats { cycles: 80, issued: 5, pgsm_accesses: 4, ..VaultStats::default() };
+        b.stalls.bump_by(StallReason::Tsv, 2);
+        b.stalls.bump(StallReason::Hazard);
+        a.absorb(&b);
+        assert_eq!(a.cycles, 100);
+        assert_eq!(a.issued, 15);
+        assert_eq!(a.pgsm_accesses, 7);
+        assert_eq!(a.stalls.tsv, 3);
+        assert_eq!(a.stalls.hazard, 1);
+        assert_eq!(a.stalls.total(), 4);
+    }
+
+    #[test]
+    fn record_into_registry_covers_stalls_and_categories() {
+        let mut s = VaultStats { cycles: 10, issued: 5, ..VaultStats::default() };
+        s.by_category.bump(Category::Computation);
+        s.stalls.bump_by(StallReason::Sync, 7);
+        let mut reg = MetricsRegistry::default();
+        s.record_into(&mut reg, "vault0");
+        assert_eq!(reg.counter("vault0/inst/computation"), 1);
+        assert_eq!(reg.counter("vault0/stall/sync"), 7);
+        assert_eq!(reg.counter("vault0/stall/hazard"), 0);
+        assert_eq!(reg.counter("vault0/cycles"), 10);
+        // One entry per stall cause, per category, plus the scalar counters
+        // and the IPC gauge.
+        assert_eq!(reg.len(), 2 + 6 + 6 + 7 + 1);
+    }
+
+    #[test]
+    fn stall_get_matches_fields_for_all_reasons() {
+        let mut s = StallCounts::default();
+        for (i, reason) in StallReason::ALL.into_iter().enumerate() {
+            s.bump_by(reason, i as u64 + 1);
+        }
+        assert_eq!(s.get(StallReason::Hazard), 1);
+        assert_eq!(s.get(StallReason::VsmInterlock), 6);
+        assert_eq!(s.total(), 21);
+        let mut names: Vec<&str> = StallReason::ALL.iter().map(|r| r.name()).collect();
+        names.dedup();
+        assert_eq!(names.len(), 6, "stall names must be distinct");
     }
 
     #[test]

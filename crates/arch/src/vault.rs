@@ -15,6 +15,7 @@ use ipim_isa::{
     AddrOperand, ArfSrc, Category, CompMode, CompOp, CrfSrc, DataType, Instruction, Program,
     RegRef, RemoteTarget, SimbMask, ARF_CHIP_ID, ARF_PE_ID, ARF_PG_ID, ARF_VAULT_ID,
 };
+use ipim_trace::{CompId, CompRegistry, SpadKind, TraceEvent, Tracer};
 
 use crate::stats::{StallReason, VaultStats};
 use crate::{MachineConfig, Placement, Scratchpad};
@@ -241,6 +242,11 @@ pub struct Vault {
     /// Execution counters.
     pub stats: VaultStats,
     halted_at: Option<u64>,
+    tracer: Tracer,
+    comp_core: CompId,
+    // Last stall classification the issue stage reported, for
+    // edge-triggered `SimbStall` emission (see `TraceEvent::SimbStall`).
+    last_stall: Option<StallReason>,
 }
 
 impl Vault {
@@ -290,9 +296,31 @@ impl Vault {
             pending_req_fills: Vec::new(),
             stats: VaultStats::default(),
             halted_at: None,
+            tracer: Tracer::default(),
+            comp_core: CompId::default(),
+            last_stall: None,
         };
         vault.reset_identity_registers();
         vault
+    }
+
+    /// Attaches a tracer, registering this vault's components (core, one
+    /// memory controller and its banks per process group) under `prefix`.
+    pub(crate) fn attach_trace(
+        &mut self,
+        tracer: &Tracer,
+        registry: &mut CompRegistry,
+        prefix: &str,
+    ) {
+        self.tracer = tracer.clone();
+        self.comp_core = registry.register(&format!("{prefix}/core"));
+        for (pg, mc) in self.mcs.iter_mut().enumerate() {
+            let mc_comp = registry.register(&format!("{prefix}/pg{pg}/mc"));
+            let bank_comps = (0..self.config.pes_per_pg)
+                .map(|b| registry.register(&format!("{prefix}/pg{pg}/bank{b}")))
+                .collect();
+            mc.attach_trace(tracer.clone(), mc_comp, bank_comps);
+        }
     }
 
     fn reset_identity_registers(&mut self) {
@@ -340,6 +368,7 @@ impl Vault {
             pe.mem = MemUnit::default();
         }
         self.halted_at = None;
+        self.last_stall = None;
         self.reset_identity_registers();
     }
 
@@ -366,9 +395,10 @@ impl Vault {
     }
 
     /// Releases the vault from its barrier (machine-wide sync reached).
-    pub fn release_barrier(&mut self) {
+    pub fn release_barrier(&mut self, now: u64) {
         if matches!(self.state, CoreState::AtBarrier(_)) {
             self.state = CoreState::Running;
+            self.tracer.emit(now, self.comp_core, || TraceEvent::BarrierRelease);
         }
     }
 
@@ -420,6 +450,10 @@ impl Vault {
                 // The read is buffered in this vault's VSM before the link
                 // traversal (paper Sec. IV-D): count the access.
                 self.stats.vsm_accesses += 1;
+                self.tracer.emit(now, self.comp_core, || TraceEvent::SpadAccess {
+                    kind: SpadKind::Vsm,
+                    count: 1,
+                });
                 let req = Request {
                     id: RequestId(REMOTE_SERVE_BASE + serve_id),
                     bank: pe,
@@ -439,6 +473,10 @@ impl Vault {
                     let inst_id = REQ_TAG_BASE + tag;
                     self.finish(inst_id);
                     self.stats.vsm_accesses += 1;
+                    self.tracer.emit(now, self.comp_core, || TraceEvent::SpadAccess {
+                        kind: SpadKind::Vsm,
+                        count: 1,
+                    });
                 }
             }
         }
@@ -790,20 +828,32 @@ impl Vault {
     /// Attempts to issue the instruction at `pc`; returns whether the core
     /// made progress (issued or parked at a barrier).
     fn try_issue(&mut self, now: u64) -> bool {
-        match self.issue_decision(now, self.tsv_free) {
+        let decision = self.issue_decision(now, self.tsv_free);
+        match decision {
             IssueDecision::Halted | IssueDecision::Drained => return false,
             IssueDecision::Stall(reason) => {
                 self.stats.stalls.bump(reason);
+                if self.last_stall != Some(reason) {
+                    self.last_stall = Some(reason);
+                    self.tracer.emit(now, self.comp_core, || TraceEvent::SimbStall {
+                        reason: reason.name(),
+                    });
+                }
                 return false;
             }
             IssueDecision::Park(phase_id) => {
+                self.last_stall = None;
                 self.state = CoreState::AtBarrier(phase_id);
                 self.pc += 1;
                 self.stats.issued += 1;
                 self.stats.by_category.bump(Category::Synchronization);
+                self.tracer
+                    .emit(now, self.comp_core, || TraceEvent::BarrierEnter { phase: phase_id });
                 return true;
             }
-            IssueDecision::Issue => {}
+            IssueDecision::Issue => {
+                self.last_stall = None;
+            }
         }
         let inst = self.program.instructions()[self.pc];
         let reads = inst.reads();
@@ -817,7 +867,12 @@ impl Vault {
         }
         self.stats.issued += 1;
         self.stats.by_category.bump(inst.category());
-        self.account_accesses(&inst);
+        if self.tracer.enabled() {
+            let pc = self.pc as u32;
+            let category = inst.category().name();
+            self.tracer.emit(now, self.comp_core, || TraceEvent::SimbIssue { pc, category });
+        }
+        self.account_accesses(&inst, now);
 
         let mut next_pc = self.pc + 1;
         match inst {
@@ -1091,9 +1146,13 @@ impl Vault {
         n
     }
 
-    /// Updates register-file / scratchpad access counters for energy.
-    fn account_accesses(&mut self, inst: &Instruction) {
+    /// Updates register-file / scratchpad access counters for energy, and
+    /// mirrors scratchpad traffic into the trace.
+    fn account_accesses(&mut self, inst: &Instruction, now: u64) {
         let n = inst.simb_mask().map_or(0, |m| m.count() as u64);
+        // Scratchpad traffic this instruction generates, mirrored into the
+        // trace after the counter update.
+        let mut spad: Option<(SpadKind, u64)> = None;
         match inst {
             Instruction::Comp { .. } => {
                 self.stats.simd_ops += n;
@@ -1117,6 +1176,7 @@ impl Vault {
             Instruction::LdPgsm { dram_addr, pgsm_addr, .. }
             | Instruction::StPgsm { dram_addr, pgsm_addr, .. } => {
                 self.stats.pgsm_accesses += n;
+                spad = Some((SpadKind::Pgsm, n));
                 let indirect =
                     [dram_addr, pgsm_addr].iter().filter(|a| a.addr_reg().is_some()).count() as u64;
                 self.stats.addr_rf_accesses += indirect * n;
@@ -1124,6 +1184,7 @@ impl Vault {
             Instruction::RdPgsm { pgsm_addr, drf: _, .. }
             | Instruction::WrPgsm { pgsm_addr, drf: _, .. } => {
                 self.stats.pgsm_accesses += n;
+                spad = Some((SpadKind::Pgsm, n));
                 self.stats.data_rf_accesses += n;
                 if pgsm_addr.addr_reg().is_some() {
                     self.stats.addr_rf_accesses += n;
@@ -1131,6 +1192,7 @@ impl Vault {
             }
             Instruction::RdVsm { vsm_addr, .. } | Instruction::WrVsm { vsm_addr, .. } => {
                 self.stats.vsm_accesses += n;
+                spad = Some((SpadKind::Vsm, n));
                 self.stats.data_rf_accesses += n;
                 if vsm_addr.addr_reg().is_some() {
                     self.stats.addr_rf_accesses += n;
@@ -1141,8 +1203,13 @@ impl Vault {
             }
             Instruction::SetiVsm { .. } => {
                 self.stats.vsm_accesses += 1;
+                spad = Some((SpadKind::Vsm, 1));
             }
             _ => {}
+        }
+        if let Some((kind, count)) = spad {
+            let count = count.min(u32::MAX as u64) as u32;
+            self.tracer.emit(now, self.comp_core, || TraceEvent::SpadAccess { kind, count });
         }
     }
 

@@ -1,0 +1,154 @@
+//! CI perf-regression gate for the cycle engines.
+//!
+//! Re-measures the `end_to_end/legacy` and `end_to_end/skip_ahead` kernels
+//! (the same compile+simulate+verify loop `benches/figures.rs` records) and
+//! diffs their `min_ns` against the committed baseline in
+//! `results/figures.jsonl`. Because CI machines differ from the machine
+//! that recorded the baseline, both sides are normalized by the
+//! `fig01_gpu_profile` entry — a pure-computation kernel that tracks
+//! machine speed but not simulator regressions.
+//!
+//! Exits non-zero when a gated entry's normalized `min_ns` regresses by
+//! more than the threshold (default 25 %).
+//!
+//! ```text
+//! cargo run --release -p ipim-bench --bin bench_regress -- \
+//!     --baseline results/figures.jsonl [--threshold 25] [--fresh new.jsonl]
+//! ```
+//!
+//! With `--fresh`, no measurement runs: the two files are diffed directly
+//! (useful for comparing two recorded runs).
+
+use std::time::Instant;
+
+use ipim_core::experiments::{fig1, verify_against_reference};
+use ipim_core::trace::json;
+use ipim_core::{workload_by_name, Engine, MachineConfig, Session, WorkloadScale};
+
+/// The entries the gate enforces.
+const GATED: [&str; 2] = ["end_to_end/legacy", "end_to_end/skip_ahead"];
+/// The machine-speed normalizer entry.
+const NORMALIZER: &str = "fig01_gpu_profile";
+
+/// Parses a `results/figures.jsonl` file into `(name, min_ns)` pairs.
+fn parse_jsonl(path: &str) -> Vec<(String, u64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path:?}: {e}"));
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).unwrap_or_else(|e| panic!("{path}:{}: bad JSON: {e}", i + 1));
+        let name = v
+            .get("name")
+            .and_then(json::Value::as_str)
+            .unwrap_or_else(|| panic!("{path}:{}: no name", i + 1));
+        let min_ns = v
+            .get("min_ns")
+            .and_then(json::Value::as_f64)
+            .unwrap_or_else(|| panic!("{path}:{}: no min_ns", i + 1));
+        out.push((name.to_string(), min_ns as u64));
+    }
+    out
+}
+
+fn lookup(entries: &[(String, u64)], name: &str) -> Option<u64> {
+    entries.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+}
+
+/// Minimum wall-clock of `iters` calls after `warmup` discarded calls.
+fn min_ns_of<R>(warmup: u32, iters: u32, mut f: impl FnMut() -> R) -> u64 {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut min = u64::MAX;
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        min = min.min(start.elapsed().as_nanos() as u64);
+    }
+    min
+}
+
+/// Measures fresh `min_ns` for the normalizer and both gated entries.
+fn measure_fresh() -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    out.push((NORMALIZER.to_string(), min_ns_of(3, 10, fig1)));
+    let scale = WorkloadScale { width: 128, height: 128 };
+    let w = workload_by_name("StencilChain", scale).expect("Table II workload");
+    for (label, engine) in [("legacy", Engine::Legacy), ("skip_ahead", Engine::SkipAhead)] {
+        let session = Session::new(MachineConfig { engine, ..MachineConfig::vault_slice(1) });
+        let min = min_ns_of(1, 2, || {
+            let o = session.run_workload(&w, 4_000_000_000).expect("run");
+            verify_against_reference(&w, &o);
+            o.report.cycles
+        });
+        out.push((format!("end_to_end/{label}"), min));
+    }
+    out
+}
+
+fn main() {
+    let mut baseline_path = "results/figures.jsonl".to_string();
+    let mut fresh_path: Option<String> = None;
+    let mut threshold_pct = 25.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |flag: &str| args.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match a.as_str() {
+            "--baseline" => baseline_path = val("--baseline"),
+            "--fresh" => fresh_path = Some(val("--fresh")),
+            "--threshold" => {
+                threshold_pct = val("--threshold").parse().expect("--threshold needs a number");
+            }
+            other => panic!(
+                "unknown argument {other:?} (supported: --baseline FILE --fresh FILE \
+                 --threshold PCT)"
+            ),
+        }
+    }
+
+    let baseline = parse_jsonl(&baseline_path);
+    let fresh = match &fresh_path {
+        Some(p) => parse_jsonl(p),
+        None => measure_fresh(),
+    };
+
+    // Normalize out machine-speed differences when both sides carry the
+    // normalizer entry; otherwise compare raw.
+    let norm = match (lookup(&baseline, NORMALIZER), lookup(&fresh, NORMALIZER)) {
+        (Some(b), Some(f)) if b > 0 && f > 0 => f as f64 / b as f64,
+        _ => {
+            eprintln!("warning: no {NORMALIZER} entry on both sides; comparing raw min_ns");
+            1.0
+        }
+    };
+    println!("machine-speed normalizer ({NORMALIZER}): {norm:.3}x baseline");
+
+    let mut failed = false;
+    for name in GATED {
+        let Some(base) = lookup(&baseline, name) else {
+            eprintln!("warning: baseline has no {name:?} entry; skipping");
+            continue;
+        };
+        let Some(new) = lookup(&fresh, name) else {
+            eprintln!("FAIL: fresh results have no {name:?} entry");
+            failed = true;
+            continue;
+        };
+        let expected = base as f64 * norm;
+        let delta_pct = (new as f64 / expected - 1.0) * 100.0;
+        let verdict = if delta_pct > threshold_pct { "FAIL" } else { "ok" };
+        println!(
+            "{verdict}: {name}: min_ns {new} vs normalized baseline {:.0} ({delta_pct:+.1} %, \
+             gate +{threshold_pct:.0} %)",
+            expected
+        );
+        failed |= delta_pct > threshold_pct;
+    }
+    if failed {
+        eprintln!("bench_regress: performance gate failed");
+        std::process::exit(1);
+    }
+}

@@ -58,7 +58,7 @@ pub use session::{RunOutcome, Session, SessionError};
 
 pub use ipim_arch::{
     area, power, EnergyBook, EnergyParams, Engine, ExecutionReport, Machine, MachineConfig,
-    Placement,
+    Placement, TraceConfig,
 };
 pub use ipim_compiler::{compile, host, CompileOptions, CompiledPipeline, MemoryMap};
 pub use ipim_workloads::{all_workloads, workload_by_name, Workload, WorkloadScale};
@@ -86,4 +86,10 @@ pub mod dram {
 /// Re-export of the interconnect model.
 pub mod noc {
     pub use ipim_noc::*;
+}
+
+/// Re-export of the observability subsystem (event tracing, metrics,
+/// Chrome-trace export).
+pub mod trace {
+    pub use ipim_trace::*;
 }

@@ -1,10 +1,13 @@
 //! The high-level compile-and-run API.
 
+use std::cell::RefCell;
 use std::fmt;
+use std::rc::Rc;
 
 use ipim_arch::{ExecutionReport, Machine, MachineConfig, SimTimeout};
 use ipim_compiler::{compile, host, CompileError, CompileOptions, CompiledPipeline};
 use ipim_frontend::{Image, Pipeline, SourceId};
+use ipim_trace::{MetricsRegistry, RingSink, TraceCapture};
 use ipim_workloads::Workload;
 
 /// Error produced by a session run.
@@ -49,6 +52,10 @@ pub struct RunOutcome {
     pub report: ExecutionReport,
     /// The compiled program and memory map.
     pub compiled: CompiledPipeline,
+    /// Hierarchical counter/gauge/histogram snapshot of the finished run.
+    pub metrics: MetricsRegistry,
+    /// Captured trace events, when `MachineConfig::trace.enabled` was set.
+    pub trace: Option<TraceCapture>,
 }
 
 impl RunOutcome {
@@ -141,13 +148,32 @@ impl Session {
     ) -> Result<RunOutcome, SessionError> {
         let compiled = compile(pipeline, &self.config, &self.options)?;
         let mut machine = Machine::new(self.config.clone());
+        // When tracing is on, wire a shared ring through every component;
+        // otherwise every tracer stays detached (one-branch emit path).
+        let capture = if self.config.trace.enabled {
+            let sink = Rc::new(RefCell::new(RingSink::new(self.config.trace.ring_capacity)));
+            let components = machine.attach_trace(sink.clone());
+            Some((sink, components))
+        } else {
+            None
+        };
         for (src, img) in inputs {
             host::upload(&mut machine, &compiled.map, *src, img);
         }
         machine.load_program_all(&compiled.program);
         let report = machine.run(max_cycles)?;
         let output = host::read_back(&machine, &compiled.map, pipeline.output().source);
-        Ok(RunOutcome { output, report, compiled })
+        let metrics = machine.metrics();
+        let trace = capture.map(|(sink, components)| {
+            let mut ring = sink.borrow_mut();
+            TraceCapture {
+                records: ring.drain(),
+                components,
+                dropped: ring.dropped(),
+                total: ring.total(),
+            }
+        });
+        Ok(RunOutcome { output, report, compiled, metrics, trace })
     }
 
     /// Runs a Table II workload.

@@ -11,6 +11,8 @@
 
 use std::collections::VecDeque;
 
+use ipim_trace::{CompId, DramCmdKind, TraceEvent, Tracer};
+
 use crate::{Bank, BankCmd, BankState, DramTiming};
 
 /// Identifier the caller uses to match completions to requests.
@@ -137,6 +139,10 @@ pub struct MemController {
     act_window: VecDeque<u64>,
     /// Row-buffer locality statistics.
     pub locality: RowLocality,
+    // Observability (detached by default; see `attach_trace`).
+    tracer: Tracer,
+    comp: CompId,
+    bank_comps: Vec<CompId>,
 }
 
 impl MemController {
@@ -169,7 +175,50 @@ impl MemController {
             last_act: None,
             act_window: VecDeque::with_capacity(4),
             locality: RowLocality::default(),
+            tracer: Tracer::default(),
+            comp: CompId::default(),
+            bank_comps: Vec::new(),
         }
+    }
+
+    /// Attaches a tracer: `comp` identifies the controller itself (refresh
+    /// windows, burst completions) and `bank_comps` its banks in index
+    /// order (per-command and row open/close events).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank_comps` does not provide one id per bank.
+    pub fn attach_trace(&mut self, tracer: Tracer, comp: CompId, bank_comps: Vec<CompId>) {
+        assert_eq!(bank_comps.len(), self.banks.len(), "one component id per bank");
+        self.tracer = tracer;
+        self.comp = comp;
+        self.bank_comps = bank_comps;
+    }
+
+    /// Issues `cmd` to bank `b` and emits the command (and any row
+    /// open/close transition) on the bank's trace component. All command
+    /// issue paths funnel through here so the trace can never miss one.
+    fn issue_cmd(&mut self, b: usize, cmd: BankCmd, now: u64) -> u64 {
+        let finish = self.banks[b].issue(cmd, now);
+        if self.tracer.enabled() {
+            let comp = self.bank_comps[b];
+            let kind = match cmd {
+                BankCmd::Act(_) => DramCmdKind::Act,
+                BankCmd::Pre => DramCmdKind::Pre,
+                BankCmd::Rd(_) => DramCmdKind::Rd,
+                BankCmd::Wr(_) => DramCmdKind::Wr,
+                BankCmd::Ref => DramCmdKind::Ref,
+            };
+            self.tracer.emit(now, comp, || TraceEvent::DramCmd { kind });
+            match cmd {
+                BankCmd::Act(row) => {
+                    self.tracer.emit(now, comp, || TraceEvent::RowOpen { row });
+                }
+                BankCmd::Pre => self.tracer.emit(now, comp, || TraceEvent::RowClose),
+                _ => {}
+            }
+        }
+        finish
     }
 
     /// Disables refresh scheduling (useful for deterministic unit tests).
@@ -390,6 +439,9 @@ impl MemController {
         while i < self.in_flight.len() {
             if self.in_flight[i].finish_at <= now {
                 let f = self.in_flight.swap_remove(i);
+                self.tracer.emit(now, self.comp, || TraceEvent::BurstDone {
+                    read: matches!(f.kind, AccessKind::Read),
+                });
                 done.push(Completion {
                     id: f.id,
                     kind: f.kind,
@@ -401,8 +453,9 @@ impl MemController {
             }
         }
 
-        if self.refresh_enabled && now >= self.next_refresh {
+        if self.refresh_enabled && now >= self.next_refresh && !self.refreshing {
             self.refreshing = true;
+            self.tracer.emit(now, self.comp, || TraceEvent::RefreshBegin);
         }
         if self.refreshing {
             if self.do_refresh_step(now) {
@@ -411,6 +464,7 @@ impl MemController {
             }
             self.refreshing = false;
             self.next_refresh = now + self.timing.t_refi;
+            self.tracer.emit(now, self.comp, || TraceEvent::RefreshEnd);
         }
 
         self.issue_one(now);
@@ -433,7 +487,7 @@ impl MemController {
             if matches!(self.banks[b].state(), BankState::Active { .. }) {
                 if let Some(t) = self.banks[b].earliest(BankCmd::Pre) {
                     if t <= now {
-                        self.banks[b].issue(BankCmd::Pre, now);
+                        self.issue_cmd(b, BankCmd::Pre, now);
                     }
                 }
                 return true;
@@ -444,7 +498,7 @@ impl MemController {
         // issuing them on consecutive cycles; tRFC dominates).
         for b in 0..self.banks.len() {
             if self.banks[b].earliest(BankCmd::Act(0)).is_some_and(|t| t <= now) {
-                self.banks[b].issue(BankCmd::Ref, now);
+                self.issue_cmd(b, BankCmd::Ref, now);
                 return b + 1 < self.banks.len();
             }
         }
@@ -519,10 +573,9 @@ impl MemController {
         });
         if let Some(i) = hit {
             let p = self.write_buffer[i];
-            let bank = &mut self.banks[p.req.bank];
-            let col = bank.map().col(p.req.addr);
-            bank.issue(BankCmd::Wr(col), now);
-            bank.array_mut().write(p.req.addr, &p.req.data);
+            let col = self.banks[p.req.bank].map().col(p.req.addr);
+            self.issue_cmd(p.req.bank, BankCmd::Wr(col), now);
+            self.banks[p.req.bank].array_mut().write(p.req.addr, &p.req.data);
             if p.saw_pre {
                 self.locality.row_conflicts += 1;
             } else if p.saw_act {
@@ -547,7 +600,7 @@ impl MemController {
             }
             BankState::Active { .. } => {
                 if self.banks[p.req.bank].earliest(BankCmd::Pre).is_some_and(|t| t <= now) {
-                    self.banks[p.req.bank].issue(BankCmd::Pre, now);
+                    self.issue_cmd(p.req.bank, BankCmd::Pre, now);
                     self.write_buffer[idx0].saw_pre = true;
                     return true;
                 }
@@ -557,7 +610,7 @@ impl MemController {
                 let ok =
                     self.banks[p.req.bank].earliest(BankCmd::Act(row)).is_some_and(|t| t <= now);
                 if ok && self.act_allowed(now) {
-                    self.banks[p.req.bank].issue(BankCmd::Act(row), now);
+                    self.issue_cmd(p.req.bank, BankCmd::Act(row), now);
                     self.record_act(now);
                     self.write_buffer[idx0].saw_act = true;
                     return true;
@@ -583,16 +636,16 @@ impl MemController {
             self.draining_writes = true;
             return false;
         }
-        let bank = &mut self.banks[req.bank];
+        let bank = &self.banks[req.bank];
         match bank.state() {
             BankState::Active { row } if row == bank.map().row(req.addr) => {
                 // Row hit: issue the column command.
                 let col = bank.map().col(req.addr);
                 let cmd = BankCmd::Rd(col);
                 if bank.earliest(cmd).is_some_and(|t| t <= now) {
-                    let finish = bank.issue(cmd, now);
+                    let finish = self.issue_cmd(req.bank, cmd, now);
                     let mut data = [0u8; crate::ACCESS_BYTES];
-                    bank.array().read(req.addr, &mut data);
+                    self.banks[req.bank].array().read(req.addr, &mut data);
                     if pending.saw_pre {
                         self.locality.row_conflicts += 1;
                     } else if pending.saw_act {
@@ -621,7 +674,7 @@ impl MemController {
                     return false;
                 }
                 if self.banks[req.bank].earliest(BankCmd::Pre).is_some_and(|t| t <= now) {
-                    self.banks[req.bank].issue(BankCmd::Pre, now);
+                    self.issue_cmd(req.bank, BankCmd::Pre, now);
                     self.queue[idx].saw_pre = true;
                     return true;
                 }
@@ -636,7 +689,7 @@ impl MemController {
                 let bank_ok =
                     self.banks[req.bank].earliest(BankCmd::Act(row)).is_some_and(|t| t <= now);
                 if bank_ok && self.act_allowed(now) {
-                    self.banks[req.bank].issue(BankCmd::Act(row), now);
+                    self.issue_cmd(req.bank, BankCmd::Act(row), now);
                     self.record_act(now);
                     self.queue[idx].saw_act = true;
                     return true;
@@ -659,7 +712,7 @@ impl MemController {
             if matches!(self.banks[b].state(), BankState::Active { .. })
                 && self.banks[b].earliest(BankCmd::Pre).is_some_and(|t| t <= now)
             {
-                self.banks[b].issue(BankCmd::Pre, now);
+                self.issue_cmd(b, BankCmd::Pre, now);
                 return; // one command per cycle
             }
         }

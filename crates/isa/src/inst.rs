@@ -107,17 +107,23 @@ pub enum Category {
     Synchronization,
 }
 
-impl fmt::Display for Category {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl Category {
+    /// Stable lower-case label, usable as a metrics/trace key.
+    pub fn name(self) -> &'static str {
+        match self {
             Category::Computation => "computation",
             Category::IndexCalc => "index-calc",
             Category::IntraVault => "intra-vault",
             Category::InterVault => "inter-vault",
             Category::ControlFlow => "control-flow",
             Category::Synchronization => "synchronization",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 

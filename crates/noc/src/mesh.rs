@@ -2,6 +2,8 @@
 
 use std::collections::VecDeque;
 
+use ipim_trace::{CompId, TraceEvent, Tracer};
+
 use crate::router::{Flit, Port, PORTS};
 use crate::{NodeId, Packet, Router};
 
@@ -34,6 +36,8 @@ pub struct Mesh<P> {
     routers: Vec<Router<P>>,
     delivered: VecDeque<Packet<P>>,
     flit_hops: u64,
+    tracer: Tracer,
+    router_comps: Vec<CompId>,
 }
 
 impl<P: Clone> Mesh<P> {
@@ -44,12 +48,31 @@ impl<P: Clone> Mesh<P> {
             .flat_map(|y| (0..config.width).map(move |x| NodeId { x, y }))
             .map(|id| Router::new(id, config.queue_capacity))
             .collect();
-        Self { config, routers, delivered: VecDeque::new(), flit_hops: 0 }
+        Self {
+            config,
+            routers,
+            delivered: VecDeque::new(),
+            flit_hops: 0,
+            tracer: Tracer::default(),
+            router_comps: Vec::new(),
+        }
     }
 
     /// The construction parameters.
     pub fn config(&self) -> &MeshConfig {
         &self.config
+    }
+
+    /// Attaches a tracer, with one component id per router (row-major, the
+    /// same order as [`MeshConfig`] node indexing).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one component id is supplied per router.
+    pub fn attach_trace(&mut self, tracer: Tracer, router_comps: Vec<CompId>) {
+        assert_eq!(router_comps.len(), self.routers.len(), "one component id per router");
+        self.tracer = tracer;
+        self.router_comps = router_comps;
     }
 
     fn index(&self, n: NodeId) -> usize {
@@ -134,6 +157,10 @@ impl<P: Clone> Mesh<P> {
                         let mut flit = self.routers[r].inputs[input].pop_front().expect("head");
                         flit.moved_at = now;
                         self.routers[r].stats.flits_forwarded += 1;
+                        if self.tracer.enabled() {
+                            let comp = self.router_comps[r];
+                            self.tracer.emit(now, comp, || TraceEvent::FlitHop { delivered: true });
+                        }
                         let is_tail = flit.is_tail;
                         if let Some(p) = flit.payload.take() {
                             self.delivered.push_back(p);
@@ -158,6 +185,10 @@ impl<P: Clone> Mesh<P> {
                             >= self.routers[next_idx].capacity
                         {
                             self.routers[r].stats.stall_cycles += 1;
+                            if self.tracer.enabled() {
+                                let comp = self.router_comps[r];
+                                self.tracer.emit(now, comp, || TraceEvent::CreditStall);
+                            }
                             self.routers[r].alloc[out] = Some(input);
                             continue;
                         }
@@ -167,6 +198,11 @@ impl<P: Clone> Mesh<P> {
                         self.routers[next_idx].inputs[downstream_port].push_back(flit);
                         self.routers[r].stats.flits_forwarded += 1;
                         self.flit_hops += 1;
+                        if self.tracer.enabled() {
+                            let comp = self.router_comps[r];
+                            self.tracer
+                                .emit(now, comp, || TraceEvent::FlitHop { delivered: false });
+                        }
                         self.routers[r].alloc[out] = if is_tail { None } else { Some(input) };
                     }
                 }

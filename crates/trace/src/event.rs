@@ -1,0 +1,231 @@
+//! Event taxonomy and the component registry.
+//!
+//! Components are identified on the hot path by a dense [`CompId`]; the
+//! id-to-path mapping ([`CompRegistry`]) is built once at attach time so an
+//! emit site never formats a string.
+
+/// Dense identifier of one instrumented component.
+///
+/// Ids are assigned by [`CompRegistry::register`] in deterministic
+/// (machine-construction) order, so two identically configured runs assign
+/// identical ids — the property the engine-equivalence tests rely on when
+/// comparing raw event streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct CompId(pub u32);
+
+/// Maps [`CompId`]s to hierarchical path strings such as
+/// `cube0/vault0/pg3/bank1`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompRegistry {
+    names: Vec<String>,
+}
+
+impl CompRegistry {
+    /// Registers `path` and returns its id.
+    pub fn register(&mut self, path: &str) -> CompId {
+        let id = CompId(self.names.len() as u32);
+        self.names.push(path.to_string());
+        id
+    }
+
+    /// The path registered for `id`, or `"?"` for an unknown id.
+    pub fn name(&self, id: CompId) -> &str {
+        self.names.get(id.0 as usize).map_or("?", String::as_str)
+    }
+
+    /// Number of registered components.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no component has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, path)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (CompId, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (CompId(i as u32), n.as_str()))
+    }
+}
+
+/// Kind of DRAM command issued to a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DramCmdKind {
+    /// Row activate.
+    Act,
+    /// Precharge.
+    Pre,
+    /// Column read.
+    Rd,
+    /// Column write.
+    Wr,
+    /// Refresh.
+    Ref,
+}
+
+impl DramCmdKind {
+    /// Short lowercase mnemonic.
+    pub fn name(self) -> &'static str {
+        match self {
+            DramCmdKind::Act => "act",
+            DramCmdKind::Pre => "pre",
+            DramCmdKind::Rd => "rd",
+            DramCmdKind::Wr => "wr",
+            DramCmdKind::Ref => "ref",
+        }
+    }
+}
+
+/// Which scratchpad an access touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpadKind {
+    /// Process-group scratchpad.
+    Pgsm,
+    /// Vault scratchpad.
+    Vsm,
+}
+
+impl SpadKind {
+    /// Short lowercase mnemonic.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpadKind::Pgsm => "pgsm",
+            SpadKind::Vsm => "vsm",
+        }
+    }
+}
+
+/// One structured trace event.
+///
+/// Events are `Copy` and carry only small scalar payloads (labels are
+/// `&'static str`), so recording one is a few machine words into the ring —
+/// no allocation, no formatting. Stall and category labels are strings
+/// rather than cross-crate enum types to keep `ipim-trace` a leaf crate
+/// every simulator layer can depend on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A DRAM command issued to a bank (instant, bank component).
+    DramCmd {
+        /// Command kind.
+        kind: DramCmdKind,
+    },
+    /// A row opened in a bank (span begin, bank component).
+    RowOpen {
+        /// Row index.
+        row: u32,
+    },
+    /// The open row closed (span end, bank component).
+    RowClose,
+    /// A refresh sequence began (span begin, controller component).
+    RefreshBegin,
+    /// The refresh sequence finished (span end, controller component).
+    RefreshEnd,
+    /// A burst completed and data left the controller (instant, controller
+    /// component).
+    BurstDone {
+        /// Whether the burst was a read.
+        read: bool,
+    },
+    /// A flit traversed one hop (instant, router component).
+    FlitHop {
+        /// Whether the flit was ejected at its destination this hop.
+        delivered: bool,
+    },
+    /// A flit wanted to move but the downstream queue was full (instant,
+    /// router component).
+    CreditStall,
+    /// The control core issued the instruction at `pc` (instant, core
+    /// component).
+    SimbIssue {
+        /// Program counter of the issued instruction.
+        pc: u32,
+        /// Table I category label of the instruction.
+        category: &'static str,
+    },
+    /// The issue stage's stall classification *changed* to `reason`
+    /// (instant, core component). Emission is edge-triggered — one event
+    /// per transition, not per stalled cycle — which is what keeps legacy
+    /// and skip-ahead event streams identical (a skipped window has a
+    /// provably constant classification, so neither engine emits inside
+    /// one).
+    SimbStall {
+        /// Stall reason label (see `ipim-arch`'s `StallReason`).
+        reason: &'static str,
+    },
+    /// A scratchpad access (instant, core component).
+    SpadAccess {
+        /// Which scratchpad.
+        kind: SpadKind,
+        /// Accesses performed (one per active PE for SIMB ops).
+        count: u32,
+    },
+    /// The control core parked at a `sync` barrier (span begin, core
+    /// component).
+    BarrierEnter {
+        /// Barrier phase id.
+        phase: u32,
+    },
+    /// The machine released this core from its barrier (span end, core
+    /// component).
+    BarrierRelease,
+    /// Bytes crossed an inter-cube SERDES link (instant, serdes component).
+    SerdesSend {
+        /// Payload bytes serialized.
+        bytes: u32,
+    },
+    /// The skip-ahead engine jumped a dead window of `delta` cycles
+    /// (complete event with duration, engine component). Filtered out when
+    /// comparing engines: it is the one event class the legacy engine can
+    /// never produce.
+    SkipWindow {
+        /// Width of the jumped window in cycles.
+        delta: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Short name used as the Chrome trace event name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::DramCmd { kind } => kind.name(),
+            TraceEvent::RowOpen { .. } | TraceEvent::RowClose => "row_open",
+            TraceEvent::RefreshBegin | TraceEvent::RefreshEnd => "refresh",
+            TraceEvent::BurstDone { .. } => "burst_done",
+            TraceEvent::FlitHop { .. } => "flit_hop",
+            TraceEvent::CreditStall => "credit_stall",
+            TraceEvent::SimbIssue { .. } => "simb_issue",
+            TraceEvent::SimbStall { .. } => "simb_stall",
+            TraceEvent::SpadAccess { kind, .. } => kind.name(),
+            TraceEvent::BarrierEnter { .. } | TraceEvent::BarrierRelease => "barrier",
+            TraceEvent::SerdesSend { .. } => "serdes_send",
+            TraceEvent::SkipWindow { .. } => "skip_window",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_assigns_dense_ids_in_order() {
+        let mut reg = CompRegistry::default();
+        let a = reg.register("cube0/vault0/core");
+        let b = reg.register("cube0/vault0/pg0/bank0");
+        assert_eq!((a, b), (CompId(0), CompId(1)));
+        assert_eq!(reg.name(a), "cube0/vault0/core");
+        assert_eq!(reg.name(CompId(99)), "?");
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.iter().count(), 2);
+    }
+
+    #[test]
+    fn event_names_are_stable() {
+        assert_eq!(TraceEvent::DramCmd { kind: DramCmdKind::Act }.name(), "act");
+        assert_eq!(TraceEvent::RowOpen { row: 3 }.name(), "row_open");
+        assert_eq!(TraceEvent::RowClose.name(), "row_open");
+        assert_eq!(TraceEvent::SpadAccess { kind: SpadKind::Vsm, count: 4 }.name(), "vsm");
+        assert_eq!(TraceEvent::SkipWindow { delta: 12 }.name(), "skip_window");
+    }
+}

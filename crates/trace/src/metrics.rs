@@ -1,0 +1,294 @@
+//! Hierarchical metrics registry: counters, gauges and histograms keyed by
+//! component path.
+//!
+//! The registry is built *after* a run from the simulator's final counters
+//! (never on the hot path), stored in a `BTreeMap` so iteration and the
+//! rendered table are deterministic — which lets the engine-equivalence
+//! tests assert snapshot equality across engines.
+
+use std::collections::BTreeMap;
+
+/// Log2-bucketed histogram of `u64` samples.
+///
+/// Bucket `i` counts samples whose value has bit length `i` (bucket 0 holds
+/// the value 0), which keeps observation O(1) with no configuration while
+/// still answering "what order of magnitude" questions — the resolution
+/// latency distributions actually need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self { buckets: [0; 65], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// Bucket index of `v`: its bit length (0 for 0, 64 for `u64::MAX`).
+    fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (exclusive power of two) of the bucket containing the
+    /// `q`-quantile sample, `q` in `[0, 1]`. Returns 0 when empty.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Bucket i holds values in [2^(i-1), 2^i); bucket 0 holds 0.
+                return if i >= 64 { u64::MAX } else { (1u64 << i).saturating_sub(1) };
+            }
+        }
+        self.max
+    }
+}
+
+/// One metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonic count.
+    Counter(u64),
+    /// Point-in-time value.
+    Gauge(f64),
+    /// Sample distribution (boxed: a `Histogram` is ~0.5 KiB and would
+    /// otherwise dominate the enum's size for every counter entry).
+    Histogram(Box<Histogram>),
+}
+
+/// A deterministic, hierarchical collection of metrics.
+///
+/// Paths use `/` separators mirroring the component hierarchy
+/// (`cube0/vault0/pg3/bank1/acts`). Registering the same path twice merges:
+/// counters add, gauges overwrite, histogram observations accumulate.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    entries: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// Adds `n` to the counter at `path` (creating it at 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` already holds a non-counter metric.
+    pub fn counter_add(&mut self, path: &str, n: u64) {
+        match self.entries.entry(path.to_string()).or_insert(Metric::Counter(0)) {
+            Metric::Counter(c) => *c += n,
+            other => panic!("metric {path} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets the gauge at `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` already holds a non-gauge metric.
+    pub fn gauge_set(&mut self, path: &str, v: f64) {
+        match self.entries.entry(path.to_string()).or_insert(Metric::Gauge(0.0)) {
+            Metric::Gauge(g) => *g = v,
+            other => panic!("metric {path} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Records `v` into the histogram at `path` (creating it empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` already holds a non-histogram metric.
+    pub fn histogram_observe(&mut self, path: &str, v: u64) {
+        match self
+            .entries
+            .entry(path.to_string())
+            .or_insert_with(|| Metric::Histogram(Box::default()))
+        {
+            Metric::Histogram(h) => h.observe(v),
+            other => panic!("metric {path} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// The metric at `path`, if present.
+    pub fn get(&self, path: &str) -> Option<&Metric> {
+        self.entries.get(path)
+    }
+
+    /// Convenience: the counter value at `path`, or 0.
+    pub fn counter(&self, path: &str) -> u64 {
+        match self.entries.get(path) {
+            Some(Metric::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(path, metric)` in sorted path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Renders an aligned plain-text table, one metric per line, sorted by
+    /// path. Deterministic: equal registries render identical tables.
+    pub fn render_table(&self) -> String {
+        let path_w = self.entries.keys().map(String::len).max().unwrap_or(4).max(4);
+        let mut out = String::new();
+        out.push_str(&format!("{:<path_w$}  {:<9}  value\n", "path", "type"));
+        for (path, metric) in &self.entries {
+            let (kind, value) = match metric {
+                Metric::Counter(c) => ("counter", c.to_string()),
+                Metric::Gauge(g) => ("gauge", format!("{g:.6}")),
+                Metric::Histogram(h) => (
+                    "histogram",
+                    format!(
+                        "count={} min={} mean={:.1} p50<={} max={}",
+                        h.count(),
+                        h.min(),
+                        h.mean(),
+                        h.quantile_bound(0.5),
+                        h.max()
+                    ),
+                ),
+            };
+            out.push_str(&format!("{path:<path_w$}  {kind:<9}  {value}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::default();
+        m.counter_add("a/b", 2);
+        m.counter_add("a/b", 3);
+        assert_eq!(m.counter("a/b"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        assert!(matches!(m.get("a/b"), Some(Metric::Counter(5))));
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = MetricsRegistry::default();
+        m.gauge_set("ipc", 0.5);
+        m.gauge_set("ipc", 0.63);
+        assert!(matches!(m.get("ipc"), Some(Metric::Gauge(g)) if (*g - 0.63).abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn type_confusion_panics() {
+        let mut m = MetricsRegistry::default();
+        m.gauge_set("x", 1.0);
+        m.counter_add("x", 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 10, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.sum(), 1116);
+        // p50: rank ceil(0.5*7)=4 → the sample 3 → bucket bound 3.
+        assert_eq!(h.quantile_bound(0.5), 3);
+        assert!(h.quantile_bound(1.0) >= 1000);
+        assert_eq!(Histogram::default().quantile_bound(0.5), 0);
+        assert_eq!(Histogram::default().min(), 0);
+        assert_eq!(Histogram::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_extreme_values() {
+        let mut h = Histogram::default();
+        h.observe(u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile_bound(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn table_is_sorted_and_deterministic() {
+        let mut m = MetricsRegistry::default();
+        m.counter_add("z/last", 1);
+        m.counter_add("a/first", 2);
+        m.gauge_set("m/middle", 1.5);
+        m.histogram_observe("h/hist", 7);
+        let t1 = m.render_table();
+        let t2 = m.clone().render_table();
+        assert_eq!(t1, t2);
+        let a = t1.find("a/first").unwrap();
+        let mm = t1.find("m/middle").unwrap();
+        let z = t1.find("z/last").unwrap();
+        assert!(a < mm && mm < z, "{t1}");
+        assert!(t1.contains("1.500000"));
+        assert!(t1.contains("count=1"));
+        assert_eq!(m.len(), 4);
+        assert!(!m.is_empty());
+        assert_eq!(m.iter().count(), 4);
+    }
+}

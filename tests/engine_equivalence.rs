@@ -11,7 +11,8 @@
 //! All tests here are prefixed `engine_` so `cargo test -q engine_` runs
 //! just this fast suite as a pre-commit loop.
 
-use ipim_core::{Engine, MachineConfig, Session, Workload, WorkloadScale};
+use ipim_core::trace::{Record, TraceEvent};
+use ipim_core::{Engine, MachineConfig, Session, TraceConfig, Workload, WorkloadScale};
 
 /// 64×64 keeps each pair of runs comfortably sub-second in debug builds.
 fn scale() -> WorkloadScale {
@@ -68,6 +69,61 @@ fn assert_engines_agree(w: &Workload, vaults: usize) {
         s.energy.total_pj()
     );
     assert_eq!(legacy.output.data(), skip.output.data(), "{}: output buffers diverge", w.name);
+}
+
+/// Runs `w` under both engines with tracing enabled and asserts that the
+/// metrics snapshots are identical and the event streams match record for
+/// record once the skip-ahead engine's `SkipWindow` markers — the one event
+/// class the legacy engine can never produce — are filtered out.
+///
+/// This is a much stronger claim than counter equality: it says the two
+/// engines issue the same DRAM commands, route the same flits and classify
+/// the same stalls *at the same cycle on the same component*.
+fn assert_traces_agree(w: &Workload, vaults: usize) {
+    let traced = |engine| MachineConfig {
+        engine,
+        trace: TraceConfig { enabled: true, ring_capacity: 1 << 20 },
+        ..MachineConfig::vault_slice(vaults)
+    };
+    let legacy = Session::new(traced(Engine::Legacy))
+        .run_workload(w, 2_000_000_000)
+        .unwrap_or_else(|e| panic!("{} (legacy, traced): {e}", w.name));
+    let skip = Session::new(traced(Engine::SkipAhead))
+        .run_workload(w, 2_000_000_000)
+        .unwrap_or_else(|e| panic!("{} (skip-ahead, traced): {e}", w.name));
+
+    assert_eq!(legacy.metrics, skip.metrics, "{}: metrics snapshots diverge", w.name);
+
+    let lt = legacy.trace.as_ref().expect("legacy trace capture");
+    let st = skip.trace.as_ref().expect("skip-ahead trace capture");
+    assert_eq!(lt.dropped, 0, "{}: legacy ring overflowed; grow ring_capacity", w.name);
+    assert_eq!(st.dropped, 0, "{}: skip-ahead ring overflowed; grow ring_capacity", w.name);
+    assert_eq!(lt.components, st.components, "{}: component registries diverge", w.name);
+
+    let is_skip_window = |r: &&Record| matches!(r.event, TraceEvent::SkipWindow { .. });
+    assert!(
+        !lt.records.iter().any(|r| is_skip_window(&r)),
+        "{}: legacy engine emitted a SkipWindow event",
+        w.name
+    );
+    let skip_filtered: Vec<&Record> = st.records.iter().filter(|r| !is_skip_window(r)).collect();
+    assert_eq!(
+        lt.records.len(),
+        skip_filtered.len(),
+        "{}: event counts diverge ({} legacy vs {} skip-ahead modulo SkipWindow)",
+        w.name,
+        lt.records.len(),
+        skip_filtered.len()
+    );
+    for (i, (l, s)) in lt.records.iter().zip(&skip_filtered).enumerate() {
+        assert_eq!(
+            l,
+            *s,
+            "{}: event streams diverge at record {i} (component {:?})",
+            w.name,
+            lt.components.name(l.comp)
+        );
+    }
 }
 
 #[test]
@@ -138,6 +194,30 @@ fn engine_determinism_two_vault_histogram() {
         "reports diverge across identical runs"
     );
     assert_eq!(a.output.data(), b.output.data(), "outputs diverge across identical runs");
+}
+
+#[test]
+fn engine_trace_equivalence_blur() {
+    // Single-vault Blur covers the DRAM, scratchpad and issue-stage event
+    // sources end to end.
+    let w = ipim_core::workload_by_name("Blur", scale()).unwrap();
+    assert_traces_agree(&w, 1);
+}
+
+#[test]
+fn engine_trace_equivalence_multi_vault_histogram() {
+    // Two vaults add the mesh (FlitHop/CreditStall) and barrier
+    // (BarrierEnter/BarrierRelease) event sources to the comparison.
+    let w = ipim_core::workload_by_name("Histogram", scale()).unwrap();
+    assert_traces_agree(&w, 2);
+}
+
+#[test]
+fn engine_trace_equivalence_bilateral_grid() {
+    // Multi-stage pipeline: distinct programs per stage reset and re-drive
+    // the edge-triggered stall classifier between loads.
+    let w = ipim_core::workload_by_name("BilateralGrid", scale()).unwrap();
+    assert_traces_agree(&w, 1);
 }
 
 #[test]

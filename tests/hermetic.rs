@@ -1,0 +1,44 @@
+//! Hermeticity guard: the dependency graph must contain only workspace
+//! crates (see DESIGN.md §"Hermetic build policy" and the
+//! `CARGO_NET_OFFLINE` setting in CI).
+//!
+//! The build is intentionally zero-dependency — every crate in
+//! `cargo tree` must be one of ours (`ipim-*`). Anyone who reintroduces an
+//! external crate gets this targeted failure instead of a CI job hanging
+//! on a network fetch.
+
+use std::process::Command;
+
+#[test]
+fn dependency_graph_is_workspace_only() {
+    // Cargo exports its own path to test processes; fall back to PATH
+    // lookup when running the binary directly.
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let out = Command::new(cargo)
+        .args(["tree", "--workspace", "--edges", "normal,build", "--prefix", "none"])
+        .current_dir(manifest_dir)
+        .output()
+        .expect("run cargo tree");
+    assert!(out.status.success(), "cargo tree failed:\n{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).expect("cargo tree output is UTF-8");
+
+    let mut offenders: Vec<&str> = text
+        .lines()
+        .filter_map(|line| line.split_whitespace().next())
+        .filter(|name| !name.starts_with("ipim-"))
+        .collect();
+    offenders.sort_unstable();
+    offenders.dedup();
+    assert!(
+        offenders.is_empty(),
+        "non-workspace dependencies found (the build must stay hermetic): {offenders:?}"
+    );
+
+    // Sanity-check the parse actually saw the graph, so a silently empty
+    // `cargo tree` can't green-wash the guard.
+    assert!(
+        text.lines().any(|l| l.starts_with("ipim-core")),
+        "cargo tree output did not mention ipim-core:\n{text}"
+    );
+}
