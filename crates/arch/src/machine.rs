@@ -48,7 +48,12 @@ impl fmt::Display for SimTimeout {
 impl std::error::Error for SimTimeout {}
 
 /// Result of running a program to completion.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every counter and energy term exactly (f64 equality
+/// included): two reports are equal only when the runs were bit-identical,
+/// which is what the engine-equivalence and serve-pool determinism tests
+/// assert.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionReport {
     /// Wall-clock cycles until machine-wide quiescence.
     pub cycles: u64,

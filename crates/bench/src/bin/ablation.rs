@@ -21,7 +21,7 @@ fn main() {
     let scale = cfg.scale;
     banner(
         "Ablations — row policy, scheduler, refresh, slice width",
-        "DESIGN.md §5/§7 design choices",
+        "DESIGN.md §5/§8 design choices",
     );
 
     for bench in ["Brighten", "Blur"] {

@@ -1,0 +1,69 @@
+//! `ipim_served` — the simulation service front-end.
+//!
+//! Speaks the `ipim-serve` ndjson protocol (one `SimRequest` JSON object
+//! per input line, one `SimResponse` line per request, in order) over one
+//! of two transports:
+//!
+//! * **stdin/stdout** (default) — serve one batch and exit. Composes with
+//!   shell pipelines:
+//!   `printf '{"workload":"Blur"}\n' | ipim_served --workers 4`
+//! * **TCP** (`--tcp ADDR`) — bind a `std::net::TcpListener` and serve one
+//!   batch per connection, forever (the client half-closes its write side
+//!   to mark end-of-batch).
+//!
+//! Flags: `--workers N` (default 4) · `--queue-depth N` (default 64) ·
+//! `--cache N` result-cache entries, 0 disables (default 128) ·
+//! `--tcp ADDR` e.g. `127.0.0.1:7199`.
+
+use std::io::{stdin, stdout, BufWriter};
+use std::net::TcpListener;
+
+use ipim_serve::server::{serve_batch, serve_tcp};
+use ipim_serve::{PoolConfig, ServePool};
+
+fn main() {
+    let mut config = PoolConfig::default();
+    let mut tcp_addr: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |flag: &str| args.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match a.as_str() {
+            "--workers" => config.workers = parse(&val("--workers"), "--workers"),
+            "--queue-depth" => config.queue_depth = parse(&val("--queue-depth"), "--queue-depth"),
+            "--cache" => config.cache_capacity = parse(&val("--cache"), "--cache"),
+            "--tcp" => tcp_addr = Some(val("--tcp")),
+            other => panic!(
+                "unknown argument {other:?} (supported: --workers N --queue-depth N --cache N \
+                 --tcp ADDR)"
+            ),
+        }
+    }
+
+    let pool = ServePool::start(&config);
+    match tcp_addr {
+        Some(addr) => {
+            let listener = TcpListener::bind(&addr)
+                .unwrap_or_else(|e| panic!("ipim_served: cannot bind {addr}: {e}"));
+            eprintln!(
+                "ipim_served: listening on {addr} ({} worker(s), cache {})",
+                config.workers, config.cache_capacity
+            );
+            serve_tcp(&listener, &pool).unwrap_or_else(|e| panic!("ipim_served: {e}"));
+        }
+        None => {
+            let summary = serve_batch(stdin().lock(), BufWriter::new(stdout().lock()), &pool)
+                .unwrap_or_else(|e| panic!("ipim_served: {e}"));
+            let metrics = pool.shutdown();
+            eprintln!(
+                "ipim_served: {} request(s), {} parse error(s), {} cache hit(s)",
+                summary.requests,
+                summary.parse_errors,
+                metrics.counter("serve/cache/hits")
+            );
+        }
+    }
+}
+
+fn parse(text: &str, flag: &str) -> usize {
+    text.parse().unwrap_or_else(|_| panic!("{flag} needs an unsigned integer, got {text:?}"))
+}

@@ -1,0 +1,294 @@
+//! `loadgen` — closed-loop load generator for the `ipim-serve` pool.
+//!
+//! Spawns `--clients` closed-loop client threads against an in-process
+//! `ServePool` with `--workers` workers. Each client draws `--requests`
+//! jobs from a seeded simkit PRNG over the chosen `--mix`, submits one at a
+//! time, and records the response latency. At the end it reports throughput
+//! and p50/p95/p99 latency, and (with `--append-figures`) appends a
+//! `serve/throughput/...` JSONL entry compatible with
+//! `results/figures.jsonl` (`min_ns` carries the p50 so `bench_regress` can
+//! parse the file).
+//!
+//! The run **fails** (exit 1) on any `Error` response or any timeout that
+//! is not an explicit deadline shed — a deadlock or a lost reply can only
+//! show up as the watchdog firing (exit 2 after `--watchdog-secs`).
+//!
+//! Flags: `--workers N` (default 4) · `--clients N` (default = workers) ·
+//! `--requests M` per client (default 8) · `--seed S` (default 7) ·
+//! `--mix fast|table2` (default fast) · `--cache N` (default 0: caching off
+//! so throughput numbers are honest) · `--verify` re-run each unique
+//! request serially and compare bit-for-bit · `--watchdog-secs T`
+//! (default 600) · `--append-figures PATH`.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use ipim_serve::{image_hash, PoolConfig, ServePool, SimRequest, SimResponse, TimeoutKind};
+use ipim_simkit::rng::{splitmix64, Rng};
+
+struct Options {
+    pool: PoolConfig,
+    clients: usize,
+    requests: usize,
+    seed: u64,
+    mix: &'static str,
+    verify: bool,
+    watchdog_secs: u64,
+    append_figures: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        pool: PoolConfig { workers: 4, queue_depth: 64, cache_capacity: 0 },
+        clients: 0,
+        requests: 8,
+        seed: 7,
+        mix: "fast",
+        verify: false,
+        watchdog_secs: 600,
+        append_figures: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |flag: &str| args.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        let num = |flag: &str, text: String| -> u64 {
+            text.parse().unwrap_or_else(|_| panic!("{flag} needs an unsigned integer"))
+        };
+        match a.as_str() {
+            "--workers" => opts.pool.workers = num("--workers", val("--workers")) as usize,
+            "--clients" => opts.clients = num("--clients", val("--clients")) as usize,
+            "--requests" => opts.requests = num("--requests", val("--requests")) as usize,
+            "--seed" => opts.seed = num("--seed", val("--seed")),
+            "--cache" => opts.pool.cache_capacity = num("--cache", val("--cache")) as usize,
+            "--watchdog-secs" => {
+                opts.watchdog_secs = num("--watchdog-secs", val("--watchdog-secs"));
+            }
+            "--append-figures" => opts.append_figures = Some(val("--append-figures")),
+            "--verify" => opts.verify = true,
+            "--mix" => {
+                opts.mix = match val("--mix").as_str() {
+                    "fast" => "fast",
+                    "table2" => "table2",
+                    other => panic!("--mix must be fast or table2, got {other:?}"),
+                }
+            }
+            other => panic!(
+                "unknown argument {other:?} (supported: --workers N --clients N --requests M \
+                 --seed S --mix fast|table2 --cache N --verify --watchdog-secs T \
+                 --append-figures PATH)"
+            ),
+        }
+    }
+    if opts.clients == 0 {
+        opts.clients = opts.pool.workers;
+    }
+    opts
+}
+
+/// The workload mixes. `fast` sticks to 64×64 single-stage kernels for CI
+/// soaks; `table2` is the full 10-benchmark suite at 128×128 (Downsample
+/// and Upsample need ≥128 pixels per row to fit the SIMB lanes).
+fn mix_requests(mix: &str) -> Vec<SimRequest> {
+    match mix {
+        "fast" => ["Brighten", "Blur", "Shift", "Histogram"]
+            .iter()
+            .map(|name| SimRequest::named(name, 64, 64))
+            .collect(),
+        "table2" => [
+            "Brighten",
+            "Blur",
+            "Downsample",
+            "Upsample",
+            "Shift",
+            "Histogram",
+            "BilateralGrid",
+            "Interpolate",
+            "LocalLaplacian",
+            "StencilChain",
+        ]
+        .iter()
+        .map(|name| SimRequest { max_cycles: 4_000_000_000, ..SimRequest::named(name, 128, 128) })
+        .collect(),
+        other => panic!("unknown mix {other:?}"),
+    }
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let opts = parse_args();
+    let mix = mix_requests(opts.mix);
+    let total_requests = opts.clients * opts.requests;
+    // Speedup from extra workers is bounded by the machine: simulation is
+    // pure CPU-bound work, so throughput scales with min(workers, cores).
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!(
+        "loadgen: {} client(s) x {} request(s), {} worker(s) on {} core(s), mix {}, cache {}, \
+         seed {}",
+        opts.clients,
+        opts.requests,
+        opts.pool.workers,
+        cores,
+        opts.mix,
+        opts.pool.cache_capacity,
+        opts.seed
+    );
+
+    // The watchdog turns a deadlock into a loud, bounded failure: if the
+    // closed loop hasn't finished after `watchdog_secs`, exit 2.
+    let finished = std::sync::Arc::new(AtomicBool::new(false));
+    {
+        let finished = finished.clone();
+        let secs = opts.watchdog_secs;
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+            if !finished.load(Ordering::SeqCst) {
+                eprintln!("loadgen: WATCHDOG: run did not finish within {secs}s");
+                std::process::exit(2);
+            }
+        });
+    }
+
+    let pool = ServePool::start(&opts.pool);
+    // One representative (request, output_hash) per fingerprint, shared so
+    // cross-client divergence on identical requests is itself a failure.
+    let observed: Mutex<HashMap<u64, (SimRequest, u64)>> = Mutex::new(HashMap::new());
+    let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+    let started = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.clients)
+            .map(|c| {
+                let pool = &pool;
+                let mix = &mix;
+                let observed = &observed;
+                let failures = &failures;
+                let mut rng = Rng::new(splitmix64(&mut (opts.seed ^ c as u64)));
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(opts.requests);
+                    for _ in 0..opts.requests {
+                        let req = mix[(rng.next_u64() % mix.len() as u64) as usize].clone();
+                        let sent = Instant::now();
+                        let resp = pool.submit(req.clone()).wait();
+                        lat.push(sent.elapsed().as_nanos() as u64);
+                        match resp {
+                            SimResponse::Done(done) => {
+                                let mut seen = observed.lock().unwrap();
+                                let entry = seen
+                                    .entry(req.fingerprint())
+                                    .or_insert_with(|| (req.clone(), done.output_hash));
+                                if entry.1 != done.output_hash {
+                                    failures.lock().unwrap().push(format!(
+                                        "{}: output hash diverged across identical requests",
+                                        req.workload
+                                    ));
+                                }
+                            }
+                            SimResponse::Timeout(TimeoutKind::DeadlineBeforeStart) => {}
+                            SimResponse::Timeout(kind) => failures
+                                .lock()
+                                .unwrap()
+                                .push(format!("{}: non-deadline timeout {kind:?}", req.workload)),
+                            SimResponse::Error(msg) => {
+                                failures.lock().unwrap().push(format!("{}: {msg}", req.workload));
+                            }
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client panicked")).collect()
+    });
+    let wall = started.elapsed();
+    finished.store(true, Ordering::SeqCst);
+    let metrics = pool.shutdown();
+
+    latencies.sort_unstable();
+    let p50 = percentile(&latencies, 0.50);
+    let p95 = percentile(&latencies, 0.95);
+    let p99 = percentile(&latencies, 0.99);
+    let mean = latencies.iter().sum::<u64>() / latencies.len().max(1) as u64;
+    let throughput = total_requests as f64 / wall.as_secs_f64();
+    println!(
+        "loadgen: {} response(s) in {:.2}s -> {throughput:.2} req/s; latency p50 {:.1}ms \
+         p95 {:.1}ms p99 {:.1}ms",
+        latencies.len(),
+        wall.as_secs_f64(),
+        p50 as f64 / 1e6,
+        p95 as f64 / 1e6,
+        p99 as f64 / 1e6,
+    );
+    println!(
+        "loadgen: pool completed {} / timeouts {} / errors {} / cache hits {}",
+        metrics.counter("serve/pool/completed"),
+        metrics.counter("serve/pool/timeouts"),
+        metrics.counter("serve/pool/errors"),
+        metrics.counter("serve/cache/hits"),
+    );
+
+    if opts.verify {
+        let seen = observed.lock().unwrap();
+        eprintln!("loadgen: verifying {} unique request(s) against serial runs", seen.len());
+        for (req, pooled_hash) in seen.values() {
+            let (session, workload) =
+                req.instantiate().unwrap_or_else(|e| panic!("{}: {e}", req.workload));
+            match session.run_workload(&workload, req.max_cycles) {
+                Ok(outcome) => {
+                    let serial_hash = image_hash(&outcome.output);
+                    if serial_hash != *pooled_hash {
+                        failures.lock().unwrap().push(format!(
+                            "{}: pooled output hash {pooled_hash:#x} != serial {serial_hash:#x}",
+                            req.workload
+                        ));
+                    }
+                }
+                Err(e) => {
+                    failures.lock().unwrap().push(format!("{}: serial run: {e}", req.workload));
+                }
+            }
+        }
+    }
+
+    if let Some(path) = &opts.append_figures {
+        let line = format!(
+            r#"{{"suite":"serve","name":"serve/throughput/workers{}","iters":{},"min_ns":{},"median_ns":{},"p95_ns":{},"mean_ns":{},"p99_ns":{},"throughput_rps":{:.3},"clients":{},"cores":{},"mix":"{}","seed":{}}}"#,
+            opts.pool.workers,
+            total_requests,
+            p50,
+            p50,
+            p95,
+            mean,
+            p99,
+            throughput,
+            opts.clients,
+            cores,
+            opts.mix,
+            opts.seed,
+        );
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap_or_else(|e| panic!("loadgen: cannot open {path}: {e}"));
+        writeln!(file, "{line}").unwrap_or_else(|e| panic!("loadgen: cannot write {path}: {e}"));
+        println!("loadgen: appended serve/throughput/workers{} to {path}", opts.pool.workers);
+    }
+
+    let failures = failures.into_inner().unwrap();
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("loadgen: FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -92,6 +92,13 @@ pub fn run_suite(cfg: &ExperimentConfig) -> Result<Vec<SuiteRun>, SessionError> 
 /// Panics if the simulated output diverges from the reference interpreter
 /// beyond the boundary band (see DESIGN.md on boundary semantics).
 pub fn verify_against_reference(w: &Workload, outcome: &RunOutcome) {
+    verify_output_against_reference(w, &outcome.output);
+}
+
+/// [`verify_against_reference`] for a bare output image — lets callers that
+/// only hold a serving-layer response (which carries the output pixels but
+/// not the full `RunOutcome`) check it against the reference interpreter.
+pub fn verify_output_against_reference(w: &Workload, output: &ipim_frontend::Image) {
     let images: Vec<_> = w.inputs.iter().map(|(_, img)| img.clone()).collect();
     let expected = ipim_frontend::interpret(&w.pipeline, &images)
         .unwrap_or_else(|e| panic!("{}: reference failed: {e}", w.name));
@@ -99,7 +106,7 @@ pub fn verify_against_reference(w: &Workload, outcome: &RunOutcome) {
     let mut diff = 0.0f32;
     for y in inset..expected.height() - inset {
         for x in inset..expected.width() - inset {
-            diff = diff.max((expected.get(x, y) - outcome.output.get(x, y)).abs());
+            diff = diff.max((expected.get(x, y) - output.get(x, y)).abs());
         }
     }
     assert!(diff <= 2e-3, "{}: simulated output diverges from reference by {diff}", w.name);

@@ -60,7 +60,9 @@ pub use ipim_arch::{
     area, power, EnergyBook, EnergyParams, Engine, ExecutionReport, Machine, MachineConfig,
     Placement, TraceConfig,
 };
-pub use ipim_compiler::{compile, host, CompileOptions, CompiledPipeline, MemoryMap};
+pub use ipim_compiler::{
+    compile, host, CompileOptions, CompiledPipeline, MemoryMap, RegAllocPolicy,
+};
 pub use ipim_workloads::{all_workloads, workload_by_name, Workload, WorkloadScale};
 
 /// Re-export of the Halide-style frontend.

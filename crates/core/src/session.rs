@@ -7,8 +7,21 @@ use std::rc::Rc;
 use ipim_arch::{ExecutionReport, Machine, MachineConfig, SimTimeout};
 use ipim_compiler::{compile, host, CompileError, CompileOptions, CompiledPipeline};
 use ipim_frontend::{Image, Pipeline, SourceId};
-use ipim_trace::{MetricsRegistry, RingSink, TraceCapture};
+use ipim_trace::{MetricsRegistry, SamplingSink, TraceCapture};
 use ipim_workloads::Workload;
+
+// The serving layer moves run results between worker threads; everything a
+// run produces must therefore be plain data. The machine itself is
+// intentionally `!Send` (its tracer shares an `Rc<RefCell<..>>` sink), so
+// these assertions are the compile-time proof that nothing thread-bound
+// leaks into the outputs.
+const fn assert_send<T: Send>() {}
+const _: () = {
+    assert_send::<RunOutcome>();
+    assert_send::<TraceCapture>();
+    assert_send::<ExecutionReport>();
+    assert_send::<SessionError>();
+};
 
 /// Error produced by a session run.
 #[derive(Debug)]
@@ -115,6 +128,14 @@ impl Session {
         Self { config, options }
     }
 
+    /// Cheap per-worker constructor for the serving layer: a session is
+    /// just the configuration pair, so a pool worker can build one per job
+    /// from borrowed specs without threading machines (which are `!Send`)
+    /// across the pool.
+    pub fn for_worker(config: &MachineConfig, options: &CompileOptions) -> Self {
+        Self { config: config.clone(), options: *options }
+    }
+
     /// The machine configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.config
@@ -148,10 +169,16 @@ impl Session {
     ) -> Result<RunOutcome, SessionError> {
         let compiled = compile(pipeline, &self.config, &self.options)?;
         let mut machine = Machine::new(self.config.clone());
-        // When tracing is on, wire a shared ring through every component;
+        // When tracing is on, wire a shared ring through every component
+        // (behind a 1-in-N sampler when `sample_every` asks for one);
         // otherwise every tracer stays detached (one-branch emit path).
         let capture = if self.config.trace.enabled {
-            let sink = Rc::new(RefCell::new(RingSink::new(self.config.trace.ring_capacity)));
+            let t = &self.config.trace;
+            let sink = Rc::new(RefCell::new(SamplingSink::new(
+                t.ring_capacity,
+                t.sample_every,
+                t.sample_seed,
+            )));
             let components = machine.attach_trace(sink.clone());
             Some((sink, components))
         } else {
@@ -165,12 +192,15 @@ impl Session {
         let output = host::read_back(&machine, &compiled.map, pipeline.output().source);
         let metrics = machine.metrics();
         let trace = capture.map(|(sink, components)| {
-            let mut ring = sink.borrow_mut();
+            let mut sampler = sink.borrow_mut();
+            let (sampled_out, total) = (sampler.sampled_out(), sampler.total());
+            let ring = sampler.ring_mut();
             TraceCapture {
                 records: ring.drain(),
                 components,
                 dropped: ring.dropped(),
-                total: ring.total(),
+                sampled_out,
+                total,
             }
         });
         Ok(RunOutcome { output, report, compiled, metrics, trace })

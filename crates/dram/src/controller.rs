@@ -102,7 +102,7 @@ struct InFlight {
 type InFlightSet = Vec<InFlight>;
 
 /// Row-buffer locality statistics kept by the controller.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RowLocality {
     /// Row-buffer hits (column access without a new ACT).
     pub row_hits: u64,

@@ -1,0 +1,194 @@
+//! Content-addressed result cache.
+//!
+//! Keys are [`SimRequest::fingerprint`](crate::SimRequest::fingerprint)
+//! values — a canonical hash of every result-determining field — so two
+//! requests that merely spell their JSON differently (field order, workload
+//! name case, a deadline) share one entry. Values are complete
+//! [`SimResponse`]s; a hit returns a clone that compares exactly equal to
+//! the cold run it memoizes (simulation is deterministic, so memoization is
+//! semantically invisible). Only `Done` responses are cached: timeouts
+//! depend on wall-clock circumstances and errors are cheap to recompute.
+//!
+//! Eviction is least-recently-used via a monotone touch tick, and the
+//! hit/miss/eviction counters export into the `ipim-trace`
+//! [`MetricsRegistry`] under `serve/cache/...`.
+
+use std::collections::HashMap;
+
+use ipim_trace::MetricsRegistry;
+
+use crate::response::SimResponse;
+
+struct Entry {
+    response: SimResponse,
+    touched: u64,
+}
+
+/// An LRU result cache with observable counters.
+pub struct ResultCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<u64, Entry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` responses. A capacity of
+    /// 0 disables caching (every lookup misses, nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, tick: 0, entries: HashMap::new(), hits: 0, misses: 0, evictions: 0 }
+    }
+
+    /// Looks up `fingerprint`, counting a hit or miss and refreshing
+    /// recency on hit.
+    pub fn lookup(&mut self, fingerprint: u64) -> Option<SimResponse> {
+        self.tick += 1;
+        match self.entries.get_mut(&fingerprint) {
+            Some(e) => {
+                e.touched = self.tick;
+                self.hits += 1;
+                Some(e.response.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a `Done` response under `fingerprint`, evicting the
+    /// least-recently-used entry if the cache is full. Non-`Done` responses
+    /// and a zero capacity make this a no-op.
+    pub fn insert(&mut self, fingerprint: u64, response: &SimResponse) {
+        if self.capacity == 0 || !response.is_done() || self.entries.contains_key(&fingerprint) {
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some(&lru) = self.entries.iter().min_by_key(|(_, e)| e.touched).map(|(k, _)| k) {
+                self.entries.remove(&lru);
+                self.evictions += 1;
+            }
+        }
+        self.tick += 1;
+        self.entries.insert(fingerprint, Entry { response: response.clone(), touched: self.tick });
+    }
+
+    /// Cached responses right now.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups that returned a cached response.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries discarded to make room.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Registers the cache counters under `serve/cache/...`.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.counter_add("serve/cache/hits", self.hits);
+        reg.counter_add("serve/cache/misses", self.misses);
+        reg.counter_add("serve/cache/evictions", self.evictions);
+        reg.gauge_set("serve/cache/entries", self.entries.len() as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::{DoneResponse, TimeoutKind};
+    use ipim_core::frontend::Image;
+    use ipim_core::ExecutionReport;
+
+    /// A structurally valid `Done` response distinguishable by `tag`.
+    fn done(tag: u64) -> SimResponse {
+        let report = ExecutionReport {
+            cycles: tag,
+            stats: Default::default(),
+            bank_stats: Default::default(),
+            locality: Default::default(),
+            energy: Default::default(),
+            vaults: 1,
+            pes: 32,
+        };
+        SimResponse::Done(Box::new(DoneResponse {
+            workload: "T".into(),
+            cycles: tag,
+            issued: 0,
+            energy_pj: 0.0,
+            report,
+            output: Image::splat(1, 1, tag as f32),
+            output_hash: tag,
+        }))
+    }
+
+    #[test]
+    fn hit_returns_the_stored_response_exactly() {
+        let mut c = ResultCache::new(4);
+        c.insert(7, &done(7));
+        assert_eq!(c.lookup(7), Some(done(7)));
+        assert_eq!((c.hits(), c.misses()), (1, 0));
+        assert_eq!(c.lookup(8), None);
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, &done(1));
+        c.insert(2, &done(2));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.lookup(1).is_some());
+        c.insert(3, &done(3));
+        assert_eq!(c.evictions(), 1);
+        assert!(c.lookup(1).is_some(), "recently used survives");
+        assert!(c.lookup(2).is_none(), "LRU entry evicted");
+        assert!(c.lookup(3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn non_done_responses_are_not_cached() {
+        let mut c = ResultCache::new(4);
+        c.insert(1, &SimResponse::Error("bad".into()));
+        c.insert(2, &SimResponse::Timeout(TimeoutKind::DeadlineBeforeStart));
+        assert!(c.is_empty(), "errors and timeouts are never memoized");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        c.insert(1, &done(1));
+        assert!(c.is_empty());
+        assert_eq!(c.lookup(1), None);
+    }
+
+    #[test]
+    fn metrics_export_under_serve_cache() {
+        let mut c = ResultCache::new(2);
+        c.lookup(9);
+        c.insert(9, &done(9));
+        c.lookup(9);
+        let mut reg = MetricsRegistry::default();
+        c.export_metrics(&mut reg);
+        assert_eq!(reg.counter("serve/cache/misses"), 1);
+        assert_eq!(reg.counter("serve/cache/hits"), 1);
+        assert!(reg.get("serve/cache/entries").is_some());
+    }
+}

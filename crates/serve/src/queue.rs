@@ -1,0 +1,202 @@
+//! A bounded MPMC job queue on std `Mutex` + `Condvar`.
+//!
+//! Producers block once the queue is full (backpressure: admission control
+//! happens at `submit`, not deep in a worker), consumers block while it is
+//! empty. [`JobQueue::close`] starts a graceful shutdown: producers are
+//! refused, consumers drain what was already admitted and then observe
+//! `None` — no job accepted before the close is ever lost.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+pub struct JobQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    /// Signalled on push and on close (wakes consumers).
+    not_empty: Condvar,
+    /// Signalled on pop and on close (wakes blocked producers).
+    not_full: Condvar,
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue admitting at most `capacity` queued items (min 1).
+    pub fn bounded(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            state: Mutex::new(State { buf: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back if the queue is (or becomes, while waiting)
+    /// closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        while s.buf.len() >= self.capacity && !s.closed {
+            s = self.not_full.wait(s).expect("queue poisoned");
+        }
+        if s.closed {
+            return Err(item);
+        }
+        s.buf.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues `item` only if there is room right now.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back when the queue is full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        if s.closed || s.buf.len() >= self.capacity {
+            return Err(item);
+        }
+        s.buf.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty. Returns
+    /// `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = s.buf.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.not_empty.wait(s).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: subsequent pushes fail, pops drain then end.
+    pub fn close(&self) {
+        let mut s = self.state.lock().expect("queue poisoned");
+        s.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").buf.len()
+    }
+
+    /// Whether nothing is queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue poisoned").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = JobQueue::bounded(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        assert!(q.try_push(99).is_err(), "full queue refuses try_push");
+        assert_eq!((q.pop(), q.pop(), q.pop(), q.pop()), (Some(0), Some(1), Some(2), Some(3)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = JobQueue::bounded(8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(3), "closed queue refuses new work");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn full_push_blocks_until_a_pop() {
+        let q = Arc::new(JobQueue::bounded(1));
+        q.push(0u32).unwrap();
+        let qp = q.clone();
+        let producer = thread::spawn(move || qp.push(1).is_ok());
+        // Give the producer time to block on the full queue.
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(0));
+        assert!(producer.join().unwrap(), "producer completed after space freed");
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn close_unblocks_waiting_consumers() {
+        let q = Arc::new(JobQueue::<u32>::bounded(1));
+        let qc = q.clone();
+        let consumer = thread::spawn(move || qc.pop());
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn mpmc_under_contention_loses_nothing() {
+        const PRODUCERS: usize = 4;
+        const PER_PRODUCER: usize = 250;
+        let q = Arc::new(JobQueue::bounded(8));
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        q.push(p * PER_PRODUCER + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<usize> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..PRODUCERS * PER_PRODUCER).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,351 @@
+//! The wire-level job description and its canonical identity.
+//!
+//! A [`SimRequest`] names everything that determines a simulation's result:
+//! the Table II workload, the image scale, the machine shape, the cycle
+//! engine, the compiler options and the cycle budget. Deliberately *not*
+//! part of the identity: the wall-clock deadline, which changes when an
+//! answer stops being useful but never what the answer is — so it is
+//! excluded from [`SimRequest::canonical_key`] and two requests differing
+//! only in deadline share one cache entry.
+
+use ipim_core::{
+    workload_by_name, CompileOptions, Engine, MachineConfig, RegAllocPolicy, Session, Workload,
+    WorkloadScale,
+};
+use ipim_trace::json;
+
+/// One simulation job, as plain data that crosses threads and the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRequest {
+    /// Table II workload name (case-insensitive lookup).
+    pub workload: String,
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+    /// Vaults in the simulated single-cube slice.
+    pub vaults: usize,
+    /// Cycle engine: `SkipAhead` (default) or `Legacy`.
+    pub engine: Engine,
+    /// Register-allocation policy (`Max` = the paper's `opt`).
+    pub reg_alloc: RegAllocPolicy,
+    /// Run Algorithm 1 instruction reordering.
+    pub reorder: bool,
+    /// Add memory-order-enforcement edges before reordering.
+    pub memory_order: bool,
+    /// Simulation cycle budget; exhausting it yields a `Timeout` response.
+    pub max_cycles: u64,
+    /// Wall-clock deadline in milliseconds from admission (`None` = no
+    /// deadline). Not part of the cache identity.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for SimRequest {
+    fn default() -> Self {
+        Self {
+            workload: "Brighten".to_string(),
+            width: 64,
+            height: 64,
+            vaults: 1,
+            engine: Engine::SkipAhead,
+            reg_alloc: RegAllocPolicy::Max,
+            reorder: true,
+            memory_order: true,
+            max_cycles: 2_000_000_000,
+            deadline_ms: None,
+        }
+    }
+}
+
+impl SimRequest {
+    /// A request for `workload` at `width`×`height` with every other field
+    /// at its default.
+    pub fn named(workload: &str, width: u32, height: u32) -> Self {
+        Self { workload: workload.to_string(), width, height, ..Self::default() }
+    }
+
+    /// The compiler options the request selects.
+    pub fn options(&self) -> CompileOptions {
+        CompileOptions {
+            reg_alloc: self.reg_alloc,
+            reorder: self.reorder,
+            memory_order: self.memory_order,
+        }
+    }
+
+    /// The machine configuration the request selects.
+    pub fn machine_config(&self) -> MachineConfig {
+        MachineConfig { engine: self.engine, ..MachineConfig::vault_slice(self.vaults) }
+    }
+
+    /// Instantiates the workload and a session for it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown workload names or invalid machine
+    /// shapes.
+    pub fn instantiate(&self) -> Result<(Session, Workload), String> {
+        let config = self.machine_config();
+        config.validate()?;
+        let scale = WorkloadScale { width: self.width, height: self.height };
+        let workload = workload_by_name(&self.workload, scale)
+            .ok_or_else(|| format!("unknown workload {:?}", self.workload))?;
+        Ok((Session::for_worker(&config, &self.options()), workload))
+    }
+
+    /// Canonical textual identity: every result-determining field in one
+    /// fixed order. Field order in the incoming JSON, the deadline, and
+    /// workload-name case never change this string.
+    pub fn canonical_key(&self) -> String {
+        format!(
+            "workload={};width={};height={};vaults={};engine={};reg_alloc={};reorder={};\
+             memory_order={};max_cycles={}",
+            self.workload.to_ascii_lowercase(),
+            self.width,
+            self.height,
+            self.vaults,
+            engine_name(self.engine),
+            reg_alloc_name(self.reg_alloc),
+            self.reorder,
+            self.memory_order,
+            self.max_cycles,
+        )
+    }
+
+    /// 64-bit FNV-1a of [`canonical_key`](Self::canonical_key) — the result
+    /// cache's key.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(self.canonical_key().as_bytes())
+    }
+
+    /// Renders the request as a single-line JSON object (canonical field
+    /// order), the ndjson wire format `ipim_served` accepts.
+    pub fn to_json_string(&self) -> String {
+        let deadline =
+            self.deadline_ms.map_or(String::new(), |ms| format!(",\"deadline_ms\":{ms}"));
+        format!(
+            "{{\"workload\":\"{}\",\"width\":{},\"height\":{},\"vaults\":{},\
+             \"engine\":\"{}\",\"reg_alloc\":\"{}\",\"reorder\":{},\"memory_order\":{},\
+             \"max_cycles\":{}{deadline}}}",
+            json_escape(&self.workload),
+            self.width,
+            self.height,
+            self.vaults,
+            engine_name(self.engine),
+            reg_alloc_name(self.reg_alloc),
+            self.reorder,
+            self.memory_order,
+            self.max_cycles,
+        )
+    }
+
+    /// Parses a request from one parsed JSON object. Missing optional
+    /// fields fall back to [`SimRequest::default`]; `workload` is required.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn from_json(v: &json::Value) -> Result<Self, String> {
+        let d = Self::default();
+        let workload = v
+            .get("workload")
+            .and_then(json::Value::as_str)
+            .ok_or("request needs a string \"workload\" field")?
+            .to_string();
+        Ok(Self {
+            workload,
+            width: get_u64(v, "width", d.width as u64)? as u32,
+            height: get_u64(v, "height", d.height as u64)? as u32,
+            vaults: get_u64(v, "vaults", d.vaults as u64)? as usize,
+            engine: match v.get("engine").map(|e| e.as_str().ok_or("engine must be a string")) {
+                None => d.engine,
+                Some(s) => parse_engine(s?)?,
+            },
+            reg_alloc: match v
+                .get("reg_alloc")
+                .map(|e| e.as_str().ok_or("reg_alloc must be a string"))
+            {
+                None => d.reg_alloc,
+                Some(s) => parse_reg_alloc(s?)?,
+            },
+            reorder: get_bool(v, "reorder", d.reorder)?,
+            memory_order: get_bool(v, "memory_order", d.memory_order)?,
+            max_cycles: get_u64(v, "max_cycles", d.max_cycles)?,
+            deadline_ms: match v.get("deadline_ms") {
+                None | Some(json::Value::Null) => None,
+                Some(x) => Some(x.as_f64().ok_or("deadline_ms must be a number")?.max(0.0) as u64),
+            },
+        })
+    }
+
+    /// Parses a request from one ndjson line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON or field errors.
+    pub fn from_json_str(line: &str) -> Result<Self, String> {
+        Self::from_json(&json::parse(line)?)
+    }
+}
+
+fn engine_name(e: Engine) -> &'static str {
+    match e {
+        Engine::Legacy => "legacy",
+        Engine::SkipAhead => "skip_ahead",
+    }
+}
+
+fn parse_engine(s: &str) -> Result<Engine, String> {
+    match s {
+        "legacy" => Ok(Engine::Legacy),
+        "skip_ahead" => Ok(Engine::SkipAhead),
+        other => Err(format!("unknown engine {other:?} (legacy | skip_ahead)")),
+    }
+}
+
+fn reg_alloc_name(p: RegAllocPolicy) -> &'static str {
+    match p {
+        RegAllocPolicy::Min => "min",
+        RegAllocPolicy::Max => "max",
+    }
+}
+
+fn parse_reg_alloc(s: &str) -> Result<RegAllocPolicy, String> {
+    match s {
+        "min" => Ok(RegAllocPolicy::Min),
+        "max" => Ok(RegAllocPolicy::Max),
+        other => Err(format!("unknown reg_alloc {other:?} (min | max)")),
+    }
+}
+
+fn get_u64(v: &json::Value, key: &str, default: u64) -> Result<u64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(x) => {
+            let n = x.as_f64().ok_or_else(|| format!("{key} must be a number"))?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(format!("{key} must be a non-negative integer, got {n}"));
+            }
+            Ok(n as u64)
+        }
+    }
+}
+
+fn get_bool(v: &json::Value, key: &str, default: bool) -> Result<bool, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(json::Value::Bool(b)) => Ok(*b),
+        Some(_) => Err(format!("{key} must be a boolean")),
+    }
+}
+
+/// 64-bit FNV-1a: tiny, dependency-free, and stable across platforms —
+/// exactly what a content-addressed cache key needs.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Escapes a string for a JSON literal (the subset our own field values
+/// need; full unescaping lives in `ipim_trace::json`).
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip_preserves_identity() {
+        let req = SimRequest {
+            workload: "Blur".into(),
+            width: 128,
+            height: 96,
+            vaults: 2,
+            engine: Engine::Legacy,
+            reg_alloc: RegAllocPolicy::Min,
+            reorder: false,
+            memory_order: true,
+            max_cycles: 123_456,
+            deadline_ms: Some(2500),
+        };
+        let back = SimRequest::from_json_str(&req.to_json_string()).unwrap();
+        assert_eq!(req, back);
+        assert_eq!(req.fingerprint(), back.fingerprint());
+    }
+
+    #[test]
+    fn field_order_does_not_change_the_fingerprint() {
+        let a = SimRequest::from_json_str(
+            r#"{"workload":"Blur","width":64,"height":64,"max_cycles":1000}"#,
+        )
+        .unwrap();
+        let b = SimRequest::from_json_str(
+            r#"{"max_cycles":1000,"height":64,"width":64,"workload":"Blur"}"#,
+        )
+        .unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn deadline_and_name_case_are_not_identity() {
+        let mut a = SimRequest::named("Blur", 64, 64);
+        let mut b = SimRequest::named("blur", 64, 64);
+        a.deadline_ms = Some(10);
+        b.deadline_ms = None;
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn result_determining_fields_are_identity() {
+        let base = SimRequest::named("Blur", 64, 64);
+        for other in [
+            SimRequest { width: 128, ..base.clone() },
+            SimRequest { vaults: 2, ..base.clone() },
+            SimRequest { engine: Engine::Legacy, ..base.clone() },
+            SimRequest { reg_alloc: RegAllocPolicy::Min, ..base.clone() },
+            SimRequest { reorder: false, ..base.clone() },
+            SimRequest { max_cycles: 1, ..base.clone() },
+        ] {
+            assert_ne!(base.fingerprint(), other.fingerprint(), "{other:?}");
+        }
+    }
+
+    #[test]
+    fn missing_workload_is_rejected() {
+        assert!(SimRequest::from_json_str(r#"{"width":64}"#).is_err());
+        assert!(SimRequest::from_json_str("not json").is_err());
+        assert!(SimRequest::from_json_str(r#"{"workload":"Blur","width":-3}"#).is_err());
+        assert!(SimRequest::from_json_str(r#"{"workload":"Blur","engine":"warp"}"#).is_err());
+        assert!(SimRequest::from_json_str(r#"{"workload":"Blur","reorder":"yes"}"#).is_err());
+    }
+
+    #[test]
+    fn instantiate_rejects_unknown_workloads() {
+        assert!(SimRequest::named("NoSuchKernel", 64, 64).instantiate().is_err());
+        let (_, w) = SimRequest::named("brighten", 64, 64).instantiate().unwrap();
+        assert_eq!(w.name, "Brighten");
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

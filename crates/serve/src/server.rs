@@ -1,0 +1,149 @@
+//! Newline-delimited-JSON request/response serving.
+//!
+//! The wire protocol is one JSON object per line: each line of the input is
+//! parsed as a [`SimRequest`], submitted to the pool, and answered with one
+//! [`SimResponse`] line in the same order. A malformed line yields an
+//! `{"status":"error",...}` line rather than killing the stream — the
+//! client's line *n* always pairs with response line *n*.
+//!
+//! The same function serves both transports the `ipim_served` binary
+//! offers: stdin/stdout (shell pipelines, test harnesses) and a
+//! `std::net::TcpListener` accept loop (one batch per connection).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+
+use crate::pool::{ServePool, Ticket};
+use crate::request::SimRequest;
+use crate::response::SimResponse;
+
+/// What one served batch did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Request lines read (blank lines are skipped, not counted).
+    pub requests: usize,
+    /// Lines that failed to parse into a request.
+    pub parse_errors: usize,
+}
+
+/// Serves one batch: reads request lines until EOF, fans them out across
+/// `pool`, then writes response lines in request order.
+///
+/// Submission happens while reading — the pool's bounded queue provides the
+/// backpressure — so a batch larger than the queue depth streams through
+/// the workers rather than being buffered whole.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the transport; protocol-level problems
+/// (malformed JSON, unknown workloads) are reported in-band.
+pub fn serve_batch<R: BufRead, W: Write>(
+    input: R,
+    mut output: W,
+    pool: &ServePool,
+) -> std::io::Result<ServeSummary> {
+    let mut summary = ServeSummary::default();
+    // A ticket per line, Err carrying the in-band parse failure.
+    let mut pending: Vec<Result<Ticket, String>> = Vec::new();
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        summary.requests += 1;
+        match SimRequest::from_json_str(&line) {
+            Ok(req) => pending.push(Ok(pool.submit(req))),
+            Err(msg) => {
+                summary.parse_errors += 1;
+                pending.push(Err(msg));
+            }
+        }
+    }
+    for entry in pending {
+        let response = match entry {
+            Ok(ticket) => ticket.wait(),
+            Err(msg) => SimResponse::Error(format!("bad request: {msg}")),
+        };
+        writeln!(output, "{}", response.to_json_string())?;
+    }
+    output.flush()?;
+    Ok(summary)
+}
+
+/// Accepts TCP connections forever, serving each as one ndjson batch (the
+/// client half-closes its write side to mark end-of-batch). Connection
+/// errors are logged to stderr and do not stop the accept loop.
+///
+/// # Errors
+///
+/// Returns only listener-level failures (e.g. the socket was closed).
+pub fn serve_tcp(listener: &TcpListener, pool: &ServePool) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".into());
+        let reader = BufReader::new(stream.try_clone()?);
+        match serve_batch(reader, &stream, pool) {
+            Ok(s) => eprintln!(
+                "ipim_served: {peer}: {} request(s), {} parse error(s)",
+                s.requests, s.parse_errors
+            ),
+            Err(e) => eprintln!("ipim_served: {peer}: {e}"),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolConfig;
+    use ipim_trace::json;
+
+    #[test]
+    fn batch_answers_in_request_order_with_inband_errors() {
+        let pool = ServePool::start(&PoolConfig { workers: 2, queue_depth: 8, cache_capacity: 8 });
+        let input = "\
+{\"workload\":\"Brighten\"}\n\
+\n\
+this is not json\n\
+{\"workload\":\"Shift\",\"width\":64,\"height\":64}\n";
+        let mut out = Vec::new();
+        let summary = serve_batch(input.as_bytes(), &mut out, &pool).unwrap();
+        assert_eq!(summary, ServeSummary { requests: 3, parse_errors: 1 });
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().trim().lines().collect();
+        assert_eq!(lines.len(), 3, "one response line per request line");
+        let statuses: Vec<String> = lines
+            .iter()
+            .map(|l| json::parse(l).unwrap().get("status").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(statuses, ["done", "error", "done"]);
+        let first = json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("workload").unwrap().as_str(), Some("Brighten"));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        use std::io::{Read, Write as _};
+        use std::net::{Shutdown, TcpStream};
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let pool =
+                ServePool::start(&PoolConfig { workers: 1, queue_depth: 4, cache_capacity: 4 });
+            // Serve exactly one connection, then stop.
+            let (stream, _) = listener.accept().unwrap();
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            serve_batch(reader, &stream, &pool).unwrap();
+            pool.shutdown();
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(b"{\"workload\":\"Brighten\"}\n").unwrap();
+        client.shutdown(Shutdown::Write).unwrap();
+        let mut reply = String::new();
+        client.read_to_string(&mut reply).unwrap();
+        assert!(reply.contains("\"status\":\"done\""), "{reply}");
+        server.join().unwrap();
+    }
+}

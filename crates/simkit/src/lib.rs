@@ -1,7 +1,7 @@
 //! Zero-dependency determinism toolkit for the iPIM reproduction.
 //!
 //! The whole workspace builds offline with no external crates (see
-//! DESIGN.md §7, "Hermetic builds"). This crate supplies the three pieces
+//! DESIGN.md §8, "Hermetic builds"). This crate supplies the three pieces
 //! of infrastructure the simulator would otherwise pull from crates.io:
 //!
 //! * [`rng`] — a seedable xoshiro256++ PRNG (SplitMix64-initialized) with

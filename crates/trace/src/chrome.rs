@@ -28,6 +28,9 @@ pub struct LintReport {
     pub instants: usize,
     /// `X` complete events.
     pub completes: usize,
+    /// Events whose `args` object was checked against the exporter's
+    /// per-event schema (known names only).
+    pub args_checked: usize,
 }
 
 /// Escapes `s` for inclusion in a JSON string literal.
@@ -52,7 +55,7 @@ enum Render {
     Begin { name: &'static str, args: Option<String> },
     End { name: &'static str },
     Instant { name: &'static str, args: Option<String> },
-    Complete { name: &'static str, dur: u64 },
+    Complete { name: &'static str, dur: u64, args: Option<String> },
 }
 
 fn render_of(ev: &TraceEvent) -> Render {
@@ -67,7 +70,11 @@ fn render_of(ev: &TraceEvent) -> Render {
             Render::Begin { name: "barrier", args: Some(format!("{{\"phase\":{phase}}}")) }
         }
         TraceEvent::BarrierRelease => Render::End { name: "barrier" },
-        TraceEvent::SkipWindow { delta } => Render::Complete { name: "skip_window", dur: delta },
+        TraceEvent::SkipWindow { delta } => Render::Complete {
+            name: "skip_window",
+            dur: delta,
+            args: Some(format!("{{\"delta\":{delta}}}")),
+        },
         TraceEvent::DramCmd { .. } => Render::Instant { name: ev.name(), args: None },
         TraceEvent::BurstDone { read } => {
             Render::Instant { name: "burst_done", args: Some(format!("{{\"read\":{read}}}")) }
@@ -152,10 +159,11 @@ pub fn export(records: &[Record], comps: &CompRegistry) -> String {
                      \"s\":\"t\"{args}}}"
                 ));
             }
-            Render::Complete { name, dur } => {
+            Render::Complete { name, dur, args } => {
+                let args = args.map_or(String::new(), |a| format!(",\"args\":{a}"));
                 lines.push(format!(
                     "{{\"ph\":\"X\",\"name\":\"{name}\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\
-                     \"dur\":{dur}}}"
+                     \"dur\":{dur}{args}}}"
                 ));
             }
         }
@@ -172,9 +180,60 @@ pub fn export(records: &[Record], comps: &CompRegistry) -> String {
     format!("{{\"traceEvents\":[\n{}\n],\"displayTimeUnit\":\"ns\"}}\n", lines.join(",\n"))
 }
 
+/// Expected type of one `args` entry.
+#[derive(Debug, Clone, Copy)]
+enum ArgKind {
+    Num,
+    Str,
+    Bool,
+}
+
+impl ArgKind {
+    fn matches(self, v: &json::Value) -> bool {
+        match self {
+            ArgKind::Num => v.as_f64().is_some(),
+            ArgKind::Str => v.as_str().is_some(),
+            ArgKind::Bool => matches!(v, json::Value::Bool(_)),
+        }
+    }
+
+    fn describe(self) -> &'static str {
+        match self {
+            ArgKind::Num => "number",
+            ArgKind::Str => "string",
+            ArgKind::Bool => "bool",
+        }
+    }
+}
+
+/// The `args` schema the exporter promises for each known event name and
+/// phase, mirroring [`render_of`]. `E` events never carry args. Unknown
+/// names (foreign traces run through the lint) are not checked.
+fn required_args(name: &str, ph: &str) -> Option<&'static [(&'static str, ArgKind)]> {
+    const NONE: &[(&str, ArgKind)] = &[];
+    match (name, ph) {
+        (_, "E") => Some(NONE),
+        ("row_open", "B") => Some(&[("row", ArgKind::Num)]),
+        ("barrier", "B") => Some(&[("phase", ArgKind::Num)]),
+        ("refresh", "B") => Some(NONE),
+        ("skip_window", "X") => Some(&[("delta", ArgKind::Num)]),
+        ("simb_issue", "i") => Some(&[("pc", ArgKind::Num), ("category", ArgKind::Str)]),
+        ("simb_stall", "i") => Some(&[("reason", ArgKind::Str)]),
+        ("spad_access", "i") => Some(&[("spad", ArgKind::Str), ("count", ArgKind::Num)]),
+        ("serdes_send", "i") => Some(&[("bytes", ArgKind::Num)]),
+        ("flit_hop", "i") => Some(&[("delivered", ArgKind::Bool)]),
+        ("burst_done", "i") => Some(&[("read", ArgKind::Bool)]),
+        ("act" | "pre" | "rd" | "wr" | "ref" | "credit_stall", "i") => Some(NONE),
+        _ => None,
+    }
+}
+
 /// Validates that `text` is a well-formed Chrome trace document: parseable
 /// JSON, a `traceEvents` array, non-decreasing timestamps in array order,
-/// and, per thread, stack-balanced `B`/`E` pairs with matching names.
+/// per thread stack-balanced `B`/`E` pairs with matching names, and — for
+/// every event name this exporter produces — an `args` object carrying the
+/// promised keys with the promised types (e.g. `simb_issue` must carry a
+/// numeric `pc` and a string `category`).
 ///
 /// # Errors
 ///
@@ -214,6 +273,21 @@ pub fn lint(text: &str) -> Result<LintReport, String> {
                 stacks.len() - 1
             }
         };
+        if let Some(spec) = required_args(&name, ph) {
+            for (key, kind) in spec {
+                let v = ev
+                    .get("args")
+                    .and_then(|a| a.get(key))
+                    .ok_or(format!("event {i}: {ph} \"{name}\" missing args.{key}"))?;
+                if !kind.matches(v) {
+                    return Err(format!(
+                        "event {i}: {ph} \"{name}\" args.{key} is not a {}",
+                        kind.describe()
+                    ));
+                }
+            }
+            report.args_checked += 1;
+        }
         match ph {
             "B" => stacks[si].1.push(name),
             "E" => match stacks[si].1.pop() {
@@ -276,8 +350,44 @@ mod tests {
         assert_eq!(report.spans, 1);
         assert_eq!(report.instants, 5);
         assert_eq!(report.completes, 1);
+        // Every record renders a known name, so all eight args payloads
+        // were schema-checked.
+        assert_eq!(report.args_checked, 8);
         assert!(text.contains("\"thread_name\""));
         assert!(text.contains("cube0/vault0/pg0/bank0"));
+        assert!(text.contains("\"pc\":3"));
+        assert!(text.contains("\"delta\":40"));
+    }
+
+    #[test]
+    fn lint_rejects_missing_or_mistyped_args() {
+        let missing = r#"{"traceEvents":[
+            {"ph":"i","name":"simb_issue","pid":0,"tid":0,"ts":1,"s":"t"}
+        ]}"#;
+        assert!(lint(missing).unwrap_err().contains("missing args.pc"));
+        let mistyped = r#"{"traceEvents":[
+            {"ph":"i","name":"simb_issue","pid":0,"tid":0,"ts":1,"s":"t",
+             "args":{"pc":"three","category":"computation"}}
+        ]}"#;
+        assert!(lint(mistyped).unwrap_err().contains("args.pc is not a number"));
+        let bad_bool = r#"{"traceEvents":[
+            {"ph":"i","name":"flit_hop","pid":0,"tid":0,"ts":1,"s":"t","args":{"delivered":1}}
+        ]}"#;
+        assert!(lint(bad_bool).unwrap_err().contains("args.delivered is not a bool"));
+        let bad_complete = r#"{"traceEvents":[
+            {"ph":"X","name":"skip_window","pid":0,"tid":0,"ts":1,"dur":4}
+        ]}"#;
+        assert!(lint(bad_complete).unwrap_err().contains("missing args.delta"));
+    }
+
+    #[test]
+    fn lint_skips_args_of_unknown_names() {
+        let foreign = r#"{"traceEvents":[
+            {"ph":"i","name":"not_ours","pid":0,"tid":0,"ts":1,"s":"t"}
+        ]}"#;
+        let report = lint(foreign).expect("unknown names are not schema-checked");
+        assert_eq!(report.args_checked, 0);
+        assert_eq!(report.instants, 1);
     }
 
     #[test]

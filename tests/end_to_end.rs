@@ -1,66 +1,112 @@
 //! Cross-crate integration: every Table II workload compiles, runs on the
 //! cycle-accurate slice, and matches the reference interpreter.
 //!
+//! The per-workload cases fan out across an `ipim-serve` worker pool —
+//! each worker owns its (deliberately `!Send`) machines, only plain-data
+//! requests/responses cross threads — and every pooled response is checked
+//! two ways: against the reference interpreter, and (on at least one
+//! workload) for exact `ExecutionReport` + output bit-equality with a
+//! serial `Session::run_workload` on the same configuration.
+//!
 //! These are the suite's slow cases (full 128×128 sweeps, tagged with the
 //! `slow_` prefix); the fast pre-commit loop is `cargo test -q engine_`,
 //! which runs only the engine-equivalence differential suite.
 
-use ipim_core::experiments::verify_against_reference;
-use ipim_core::{all_workloads, MachineConfig, RunOutcome, Session, Workload, WorkloadScale};
+use ipim_core::experiments::verify_output_against_reference;
+use ipim_core::{all_workloads, workload_by_name, WorkloadScale};
+use ipim_serve::{DoneResponse, PoolConfig, ServePool, SimRequest, SimResponse};
 
 /// Small scale keeps the full 10-benchmark sweep tractable in debug builds.
 fn scale() -> WorkloadScale {
     WorkloadScale { width: 128, height: 128 }
 }
 
-/// Runs `w` on a `vaults`-vault slice and checks it against the reference
-/// interpreter, returning the outcome for test-specific assertions.
-fn run_and_verify(w: &Workload, vaults: usize, max_cycles: u64) -> RunOutcome {
-    let session = Session::new(MachineConfig::vault_slice(vaults));
-    let outcome = session.run_workload(w, max_cycles).unwrap_or_else(|e| panic!("{}: {e}", w.name));
-    verify_against_reference(w, &outcome);
-    outcome
+fn request(workload: &str, vaults: usize, max_cycles: u64) -> SimRequest {
+    SimRequest { vaults, max_cycles, ..SimRequest::named(workload, scale().width, scale().height) }
+}
+
+/// Runs `requests` across a 4-worker pool and verifies each response's
+/// output against the reference interpreter, returning the `Done` payloads
+/// in request order for test-specific assertions.
+fn pool_run_and_verify(requests: Vec<SimRequest>) -> Vec<DoneResponse> {
+    // Unique requests per test, so the cache stays out of the picture.
+    let pool = ServePool::start(&PoolConfig { workers: 4, queue_depth: 16, cache_capacity: 0 });
+    let responses = pool.run_all(requests.iter().cloned());
+    pool.shutdown();
+    requests
+        .iter()
+        .zip(responses)
+        .map(|(req, resp)| match resp {
+            SimResponse::Done(done) => {
+                let w = workload_by_name(&req.workload, scale())
+                    .unwrap_or_else(|| panic!("{}: unknown workload", req.workload));
+                verify_output_against_reference(&w, &done.output);
+                *done
+            }
+            other => panic!("{}: expected Done, got {other:?}", req.workload),
+        })
+        .collect()
 }
 
 #[test]
 fn slow_all_single_stage_workloads_run_and_verify() {
-    for w in all_workloads(scale()).into_iter().filter(|w| !w.multi_stage) {
-        let outcome = run_and_verify(&w, 1, 2_000_000_000);
-        assert!(outcome.report.stats.issued > 0, "{}", w.name);
-        assert!(outcome.report.energy.total_pj() > 0.0, "{}", w.name);
+    let requests: Vec<SimRequest> = all_workloads(scale())
+        .into_iter()
+        .filter(|w| !w.multi_stage)
+        .map(|w| request(w.name, 1, 2_000_000_000))
+        .collect();
+    for done in pool_run_and_verify(requests) {
+        assert!(done.report.stats.issued > 0, "{}", done.workload);
+        assert!(done.report.energy.total_pj() > 0.0, "{}", done.workload);
     }
 }
 
 #[test]
-fn slow_bilateral_grid_and_interpolate_run_and_verify() {
-    for name in ["BilateralGrid", "Interpolate"] {
-        let w = ipim_core::workload_by_name(name, scale()).unwrap();
-        run_and_verify(&w, 1, 2_000_000_000);
-    }
-}
-
-#[test]
-fn slow_local_laplacian_runs_and_verifies() {
-    let w = ipim_core::workload_by_name("LocalLaplacian", scale()).unwrap();
-    run_and_verify(&w, 1, 2_000_000_000);
-    assert_eq!(w.stages, 23);
-}
-
-#[test]
-fn slow_stencil_chain_runs_and_verifies() {
-    let w = ipim_core::workload_by_name("StencilChain", scale()).unwrap();
-    run_and_verify(&w, 1, 4_000_000_000);
-    assert_eq!(w.stages, 32);
+fn slow_multi_stage_workloads_run_and_verify() {
+    // StencilChain (32 stages) gets the larger cycle budget it needs.
+    let requests = vec![
+        request("BilateralGrid", 1, 2_000_000_000),
+        request("Interpolate", 1, 2_000_000_000),
+        request("LocalLaplacian", 1, 2_000_000_000),
+        request("StencilChain", 1, 4_000_000_000),
+    ];
+    pool_run_and_verify(requests);
+    assert_eq!(workload_by_name("LocalLaplacian", scale()).unwrap().stages, 23);
+    assert_eq!(workload_by_name("StencilChain", scale()).unwrap().stages, 32);
 }
 
 #[test]
 fn slow_histogram_runs_on_a_multi_vault_machine() {
     // Two vaults exercise the cross-vault all-gather (`req` + `sync`).
-    let w = ipim_core::workload_by_name("Histogram", scale()).unwrap();
-    let outcome = run_and_verify(&w, 2, 2_000_000_000);
-    assert!(outcome.report.stats.remote_reqs > 0);
-    assert!(outcome.report.stats.by_category.synchronization >= 4);
+    let done = pool_run_and_verify(vec![request("Histogram", 2, 2_000_000_000)]).remove(0);
+    assert!(done.report.stats.remote_reqs > 0);
+    assert!(done.report.stats.by_category.synchronization >= 4);
     // Every pixel counted exactly once.
-    let total: f32 = outcome.output.data().iter().sum();
+    let total: f32 = done.output.data().iter().sum();
     assert_eq!(total, scale().pixels() as f32);
+}
+
+#[test]
+fn slow_pooled_responses_are_bit_identical_to_serial_runs() {
+    // The same request served through the pool and run serially on a
+    // freshly instantiated session must agree exactly — every counter,
+    // every f64 energy term, every output bit.
+    for name in ["Blur", "Histogram"] {
+        let req = request(name, 1, 2_000_000_000);
+        let pool = ServePool::start(&PoolConfig { workers: 2, queue_depth: 4, cache_capacity: 0 });
+        let pooled = pool.submit(req.clone()).wait();
+        pool.shutdown();
+        let (session, workload) = req.instantiate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let serial = session
+            .run_workload(&workload, req.max_cycles)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        match pooled {
+            SimResponse::Done(done) => {
+                assert_eq!(done.report, serial.report, "{name}: report mismatch");
+                assert_eq!(done.output, serial.output, "{name}: output mismatch");
+                assert_eq!(done.cycles, serial.report.cycles);
+            }
+            other => panic!("{name}: expected Done, got {other:?}"),
+        }
+    }
 }

@@ -82,7 +82,7 @@ fn assert_engines_agree(w: &Workload, vaults: usize) {
 fn assert_traces_agree(w: &Workload, vaults: usize) {
     let traced = |engine| MachineConfig {
         engine,
-        trace: TraceConfig { enabled: true, ring_capacity: 1 << 20 },
+        trace: TraceConfig { enabled: true, ring_capacity: 1 << 20, ..TraceConfig::default() },
         ..MachineConfig::vault_slice(vaults)
     };
     let legacy = Session::new(traced(Engine::Legacy))
