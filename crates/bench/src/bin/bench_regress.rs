@@ -13,11 +13,20 @@
 //!
 //! ```text
 //! cargo run --release -p ipim-bench --bin bench_regress -- \
-//!     --baseline results/figures.jsonl [--threshold 25] [--fresh new.jsonl]
+//!     --baseline results/figures.jsonl [--threshold 25] [--fresh new.jsonl] \
+//!     [--serve-fresh serve.jsonl]
 //! ```
 //!
 //! With `--fresh`, no measurement runs: the two files are diffed directly
 //! (useful for comparing two recorded runs).
+//!
+//! With `--serve-fresh`, `serve/throughput/*` entries from a just-measured
+//! loadgen run are gated against the baseline too — but **only** baseline
+//! entries whose recorded `cores` field matches this machine's core count
+//! (and whose `mix`/`transport` match the fresh entry's). Throughput
+//! numbers depend on physical parallelism in a way the single-core
+//! normalizer cannot correct for, so cross-machine comparisons are skipped
+//! with a message instead of producing false regressions.
 
 use std::time::Instant;
 
@@ -30,8 +39,20 @@ const GATED: [&str; 2] = ["end_to_end/legacy", "end_to_end/skip_ahead"];
 /// The machine-speed normalizer entry.
 const NORMALIZER: &str = "fig01_gpu_profile";
 
-/// Parses a `results/figures.jsonl` file into `(name, min_ns)` pairs.
-fn parse_jsonl(path: &str) -> Vec<(String, u64)> {
+/// One figures-file entry, with the context fields the serve gate needs.
+struct Entry {
+    name: String,
+    min_ns: u64,
+    /// Core count the entry was recorded on (serve entries only).
+    cores: Option<u64>,
+    /// Workload mix (serve entries only).
+    mix: Option<String>,
+    /// Transport: "inproc" | "stream" (serve entries; absent = inproc).
+    transport: String,
+}
+
+/// Parses a `results/figures.jsonl` file.
+fn parse_jsonl(path: &str) -> Vec<Entry> {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read baseline {path:?}: {e}"));
     let mut out = Vec::new();
@@ -48,13 +69,23 @@ fn parse_jsonl(path: &str) -> Vec<(String, u64)> {
             .get("min_ns")
             .and_then(json::Value::as_f64)
             .unwrap_or_else(|| panic!("{path}:{}: no min_ns", i + 1));
-        out.push((name.to_string(), min_ns as u64));
+        out.push(Entry {
+            name: name.to_string(),
+            min_ns: min_ns as u64,
+            cores: v.get("cores").and_then(json::Value::as_f64).map(|c| c as u64),
+            mix: v.get("mix").and_then(json::Value::as_str).map(str::to_string),
+            transport: v
+                .get("transport")
+                .and_then(json::Value::as_str)
+                .unwrap_or("inproc")
+                .to_string(),
+        });
     }
     out
 }
 
-fn lookup(entries: &[(String, u64)], name: &str) -> Option<u64> {
-    entries.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+fn lookup(entries: &[Entry], name: &str) -> Option<u64> {
+    entries.iter().find(|e| e.name == name).map(|e| e.min_ns)
 }
 
 /// Minimum wall-clock of `iters` calls after `warmup` discarded calls.
@@ -72,9 +103,16 @@ fn min_ns_of<R>(warmup: u32, iters: u32, mut f: impl FnMut() -> R) -> u64 {
 }
 
 /// Measures fresh `min_ns` for the normalizer and both gated entries.
-fn measure_fresh() -> Vec<(String, u64)> {
+fn measure_fresh() -> Vec<Entry> {
     let mut out = Vec::new();
-    out.push((NORMALIZER.to_string(), min_ns_of(3, 10, fig1)));
+    let plain = |name: String, min_ns: u64| Entry {
+        name,
+        min_ns,
+        cores: None,
+        mix: None,
+        transport: "inproc".to_string(),
+    };
+    out.push(plain(NORMALIZER.to_string(), min_ns_of(3, 10, fig1)));
     let scale = WorkloadScale { width: 128, height: 128 };
     let w = workload_by_name("StencilChain", scale).expect("Table II workload");
     for (label, engine) in [("legacy", Engine::Legacy), ("skip_ahead", Engine::SkipAhead)] {
@@ -84,14 +122,61 @@ fn measure_fresh() -> Vec<(String, u64)> {
             verify_against_reference(&w, &o);
             o.report.cycles
         });
-        out.push((format!("end_to_end/{label}"), min));
+        out.push(plain(format!("end_to_end/{label}"), min));
     }
     out
+}
+
+/// Gates `serve/throughput/*` entries: compares a fresh loadgen run
+/// against baseline entries recorded on an identical setup (same core
+/// count as this machine, same mix and transport), skipping — loudly —
+/// anything recorded elsewhere. Returns whether any comparison failed.
+fn gate_serve(baseline: &[Entry], serve_fresh: &[Entry], norm: f64, threshold_pct: f64) -> bool {
+    let machine_cores = std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1);
+    let mut failed = false;
+    for base in baseline.iter().filter(|e| e.name.starts_with("serve/throughput/")) {
+        match base.cores {
+            Some(c) if c == machine_cores => {}
+            Some(c) => {
+                println!(
+                    "skip: {}: baseline recorded on {c} core(s), this machine has \
+                     {machine_cores} — not comparable",
+                    base.name
+                );
+                continue;
+            }
+            None => {
+                println!("skip: {}: baseline has no cores field", base.name);
+                continue;
+            }
+        }
+        let Some(fresh) = serve_fresh
+            .iter()
+            .find(|f| f.name == base.name && f.mix == base.mix && f.transport == base.transport)
+        else {
+            println!(
+                "skip: {}: no fresh entry with mix {:?} / transport {:?}",
+                base.name, base.mix, base.transport
+            );
+            continue;
+        };
+        let expected = base.min_ns as f64 * norm;
+        let delta_pct = (fresh.min_ns as f64 / expected - 1.0) * 100.0;
+        let verdict = if delta_pct > threshold_pct { "FAIL" } else { "ok" };
+        println!(
+            "{verdict}: {}: p50_ns {} vs normalized baseline {:.0} ({delta_pct:+.1} %, \
+             gate +{threshold_pct:.0} %)",
+            base.name, fresh.min_ns, expected
+        );
+        failed |= delta_pct > threshold_pct;
+    }
+    failed
 }
 
 fn main() {
     let mut baseline_path = "results/figures.jsonl".to_string();
     let mut fresh_path: Option<String> = None;
+    let mut serve_fresh_path: Option<String> = None;
     let mut threshold_pct = 25.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -99,12 +184,13 @@ fn main() {
         match a.as_str() {
             "--baseline" => baseline_path = val("--baseline"),
             "--fresh" => fresh_path = Some(val("--fresh")),
+            "--serve-fresh" => serve_fresh_path = Some(val("--serve-fresh")),
             "--threshold" => {
                 threshold_pct = val("--threshold").parse().expect("--threshold needs a number");
             }
             other => panic!(
                 "unknown argument {other:?} (supported: --baseline FILE --fresh FILE \
-                 --threshold PCT)"
+                 --serve-fresh FILE --threshold PCT)"
             ),
         }
     }
@@ -147,6 +233,11 @@ fn main() {
         );
         failed |= delta_pct > threshold_pct;
     }
+
+    if let Some(p) = &serve_fresh_path {
+        failed |= gate_serve(&baseline, &parse_jsonl(p), norm, threshold_pct);
+    }
+
     if failed {
         eprintln!("bench_regress: performance gate failed");
         std::process::exit(1);

@@ -11,19 +11,25 @@
 //!   batch per connection, forever (the client half-closes its write side
 //!   to mark end-of-batch).
 //!
+//! `--stream` switches either transport to per-response-flush pacing:
+//! response line *n* is written (and flushed) the moment jobs 1..=*n* have
+//! resolved, instead of after input EOF — the long-lived-connection mode
+//! where a client pipelines requests and reads answers as they land.
+//!
 //! Flags: `--workers N` (default 4) · `--queue-depth N` (default 64) ·
 //! `--cache N` result-cache entries, 0 disables (default 128) ·
-//! `--tcp ADDR` e.g. `127.0.0.1:7199`.
+//! `--tcp ADDR` e.g. `127.0.0.1:7199` · `--stream`.
 
-use std::io::{stdin, stdout, BufWriter};
+use std::io::{stdin, stdout, BufReader, BufWriter};
 use std::net::TcpListener;
 
-use ipim_serve::server::{serve_batch, serve_tcp};
+use ipim_serve::server::{serve_batch, serve_stream, serve_tcp};
 use ipim_serve::{PoolConfig, ServePool};
 
 fn main() {
     let mut config = PoolConfig::default();
     let mut tcp_addr: Option<String> = None;
+    let mut streaming = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut val = |flag: &str| args.next().unwrap_or_else(|| panic!("{flag} needs a value"));
@@ -32,9 +38,10 @@ fn main() {
             "--queue-depth" => config.queue_depth = parse(&val("--queue-depth"), "--queue-depth"),
             "--cache" => config.cache_capacity = parse(&val("--cache"), "--cache"),
             "--tcp" => tcp_addr = Some(val("--tcp")),
+            "--stream" => streaming = true,
             other => panic!(
                 "unknown argument {other:?} (supported: --workers N --queue-depth N --cache N \
-                 --tcp ADDR)"
+                 --tcp ADDR --stream)"
             ),
         }
     }
@@ -45,14 +52,23 @@ fn main() {
             let listener = TcpListener::bind(&addr)
                 .unwrap_or_else(|e| panic!("ipim_served: cannot bind {addr}: {e}"));
             eprintln!(
-                "ipim_served: listening on {addr} ({} worker(s), cache {})",
-                config.workers, config.cache_capacity
+                "ipim_served: listening on {addr} ({} worker(s), cache {}{})",
+                config.workers,
+                config.cache_capacity,
+                if streaming { ", streaming" } else { "" }
             );
-            serve_tcp(&listener, &pool).unwrap_or_else(|e| panic!("ipim_served: {e}"));
+            serve_tcp(&listener, &pool, streaming).unwrap_or_else(|e| panic!("ipim_served: {e}"));
         }
         None => {
-            let summary = serve_batch(stdin().lock(), BufWriter::new(stdout().lock()), &pool)
-                .unwrap_or_else(|e| panic!("ipim_served: {e}"));
+            // `stdin().lock()` is not `Send` (the stream mode's reader
+            // thread needs to own its input), so stream over the unlocked
+            // handle instead.
+            let summary = if streaming {
+                serve_stream(BufReader::new(stdin()), stdout().lock(), &pool)
+            } else {
+                serve_batch(stdin().lock(), BufWriter::new(stdout().lock()), &pool)
+            }
+            .unwrap_or_else(|e| panic!("ipim_served: {e}"));
             let metrics = pool.shutdown();
             eprintln!(
                 "ipim_served: {} request(s), {} parse error(s), {} cache hit(s)",

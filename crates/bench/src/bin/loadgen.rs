@@ -13,19 +13,27 @@
 //! is not an explicit deadline shed — a deadlock or a lost reply can only
 //! show up as the watchdog firing (exit 2 after `--watchdog-secs`).
 //!
+//! With `--stream`, clients talk to the pool over real loopback-TCP ndjson
+//! connections in per-response-flush streaming mode (`serve_stream`)
+//! instead of in-process `submit` calls — the end-to-end exercise of the
+//! `ipim_served --stream` protocol path, wire parsing included.
+//!
 //! Flags: `--workers N` (default 4) · `--clients N` (default = workers) ·
 //! `--requests M` per client (default 8) · `--seed S` (default 7) ·
 //! `--mix fast|table2` (default fast) · `--cache N` (default 0: caching off
-//! so throughput numbers are honest) · `--verify` re-run each unique
-//! request serially and compare bit-for-bit · `--watchdog-secs T`
+//! so throughput numbers are honest) · `--stream` · `--verify` re-run each
+//! unique request serially and compare bit-for-bit · `--watchdog-secs T`
 //! (default 600) · `--append-figures PATH`.
 
 use std::collections::HashMap;
-use std::io::Write;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use ipim_core::trace::json;
+use ipim_serve::server::serve_stream;
 use ipim_serve::{image_hash, PoolConfig, ServePool, SimRequest, SimResponse, TimeoutKind};
 use ipim_simkit::rng::{splitmix64, Rng};
 
@@ -35,9 +43,84 @@ struct Options {
     requests: usize,
     seed: u64,
     mix: &'static str,
+    stream: bool,
     verify: bool,
     watchdog_secs: u64,
     append_figures: Option<String>,
+}
+
+/// What one request came back as, seen from the client side — the common
+/// shape of the in-process and wire transports.
+enum Reply {
+    Done { output_hash: u64 },
+    DeadlineShed,
+    OtherTimeout(String),
+    Error(String),
+}
+
+impl Reply {
+    fn from_response(resp: SimResponse) -> Self {
+        match resp {
+            SimResponse::Done(done) => Reply::Done { output_hash: done.output_hash },
+            SimResponse::Timeout(TimeoutKind::DeadlineBeforeStart) => Reply::DeadlineShed,
+            SimResponse::Timeout(kind) => Reply::OtherTimeout(format!("{kind:?}")),
+            SimResponse::Error(msg) => Reply::Error(msg),
+        }
+    }
+
+    /// Parses one ndjson response line off the wire.
+    fn from_wire(line: &str) -> Self {
+        let Ok(v) = json::parse(line) else {
+            return Reply::Error(format!("unparseable response line {line:?}"));
+        };
+        match v.get("status").and_then(json::Value::as_str) {
+            Some("done") => match v
+                .get("output_hash")
+                .and_then(json::Value::as_str)
+                .and_then(|h| u64::from_str_radix(h, 16).ok())
+            {
+                Some(output_hash) => Reply::Done { output_hash },
+                None => Reply::Error(format!("done response without output_hash: {line:?}")),
+            },
+            Some("timeout") => match v.get("reason").and_then(json::Value::as_str) {
+                Some("deadline") => Reply::DeadlineShed,
+                reason => Reply::OtherTimeout(format!("{reason:?}")),
+            },
+            Some("error") => Reply::Error(
+                v.get("message")
+                    .and_then(json::Value::as_str)
+                    .unwrap_or("error response without message")
+                    .to_string(),
+            ),
+            other => Reply::Error(format!("unknown response status {other:?}")),
+        }
+    }
+}
+
+/// One client's transport: in-process pool submission, or an ndjson
+/// streaming TCP connection.
+enum Transport<'p> {
+    InProcess(&'p ServePool),
+    Stream { write: TcpStream, read: BufReader<TcpStream> },
+}
+
+impl Transport<'_> {
+    fn round_trip(&mut self, req: &SimRequest) -> Reply {
+        match self {
+            Transport::InProcess(pool) => Reply::from_response(pool.submit(req.clone()).wait()),
+            Transport::Stream { write, read } => {
+                if let Err(e) = writeln!(write, "{}", req.to_json_string()) {
+                    return Reply::Error(format!("wire write: {e}"));
+                }
+                let mut line = String::new();
+                match read.read_line(&mut line) {
+                    Ok(0) => Reply::Error("server closed the stream early".to_string()),
+                    Ok(_) => Reply::from_wire(line.trim()),
+                    Err(e) => Reply::Error(format!("wire read: {e}")),
+                }
+            }
+        }
+    }
 }
 
 fn parse_args() -> Options {
@@ -47,6 +130,7 @@ fn parse_args() -> Options {
         requests: 8,
         seed: 7,
         mix: "fast",
+        stream: false,
         verify: false,
         watchdog_secs: 600,
         append_figures: None,
@@ -67,6 +151,7 @@ fn parse_args() -> Options {
                 opts.watchdog_secs = num("--watchdog-secs", val("--watchdog-secs"));
             }
             "--append-figures" => opts.append_figures = Some(val("--append-figures")),
+            "--stream" => opts.stream = true,
             "--verify" => opts.verify = true,
             "--mix" => {
                 opts.mix = match val("--mix").as_str() {
@@ -77,7 +162,7 @@ fn parse_args() -> Options {
             }
             other => panic!(
                 "unknown argument {other:?} (supported: --workers N --clients N --requests M \
-                 --seed S --mix fast|table2 --cache N --verify --watchdog-secs T \
+                 --seed S --mix fast|table2 --cache N --stream --verify --watchdog-secs T \
                  --append-figures PATH)"
             ),
         }
@@ -133,14 +218,15 @@ fn main() {
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     eprintln!(
         "loadgen: {} client(s) x {} request(s), {} worker(s) on {} core(s), mix {}, cache {}, \
-         seed {}",
+         seed {}{}",
         opts.clients,
         opts.requests,
         opts.pool.workers,
         cores,
         opts.mix,
         opts.pool.cache_capacity,
-        opts.seed
+        opts.seed,
+        if opts.stream { ", streaming over TCP" } else { "" }
     );
 
     // The watchdog turns a deadlock into a loud, bounded failure: if the
@@ -164,8 +250,33 @@ fn main() {
     let observed: Mutex<HashMap<u64, (SimRequest, u64)>> = Mutex::new(HashMap::new());
     let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
 
+    // In streaming mode every client gets its own long-lived loopback-TCP
+    // connection served by `serve_stream` (the `ipim_served --stream`
+    // code path); otherwise clients submit in-process.
+    let listener = if opts.stream {
+        Some(TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+    } else {
+        None
+    };
+    let addr = listener.as_ref().map(|l| l.local_addr().expect("local addr"));
+
     let started = Instant::now();
     let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        if let Some(listener) = &listener {
+            let pool = &pool;
+            let n = opts.clients;
+            scope.spawn(move || {
+                // One streaming server per connection; exactly `clients`
+                // connections, then stop accepting so the scope can join.
+                for _ in 0..n {
+                    let (stream, _) = listener.accept().expect("accept client");
+                    scope.spawn(move || {
+                        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                        serve_stream(reader, &stream, pool).expect("serve stream");
+                    });
+                }
+            });
+        }
         let handles: Vec<_> = (0..opts.clients)
             .map(|c| {
                 let pool = &pool;
@@ -174,34 +285,47 @@ fn main() {
                 let failures = &failures;
                 let mut rng = Rng::new(splitmix64(&mut (opts.seed ^ c as u64)));
                 scope.spawn(move || {
+                    let mut transport = match addr {
+                        None => Transport::InProcess(pool),
+                        Some(addr) => {
+                            let write = TcpStream::connect(addr).expect("connect");
+                            let read = BufReader::new(write.try_clone().expect("clone"));
+                            Transport::Stream { write, read }
+                        }
+                    };
                     let mut lat = Vec::with_capacity(opts.requests);
                     for _ in 0..opts.requests {
                         let req = mix[(rng.next_u64() % mix.len() as u64) as usize].clone();
                         let sent = Instant::now();
-                        let resp = pool.submit(req.clone()).wait();
+                        let reply = transport.round_trip(&req);
                         lat.push(sent.elapsed().as_nanos() as u64);
-                        match resp {
-                            SimResponse::Done(done) => {
+                        match reply {
+                            Reply::Done { output_hash } => {
                                 let mut seen = observed.lock().unwrap();
                                 let entry = seen
                                     .entry(req.fingerprint())
-                                    .or_insert_with(|| (req.clone(), done.output_hash));
-                                if entry.1 != done.output_hash {
+                                    .or_insert_with(|| (req.clone(), output_hash));
+                                if entry.1 != output_hash {
                                     failures.lock().unwrap().push(format!(
                                         "{}: output hash diverged across identical requests",
                                         req.workload
                                     ));
                                 }
                             }
-                            SimResponse::Timeout(TimeoutKind::DeadlineBeforeStart) => {}
-                            SimResponse::Timeout(kind) => failures
+                            Reply::DeadlineShed => {}
+                            Reply::OtherTimeout(kind) => failures
                                 .lock()
                                 .unwrap()
-                                .push(format!("{}: non-deadline timeout {kind:?}", req.workload)),
-                            SimResponse::Error(msg) => {
+                                .push(format!("{}: non-deadline timeout {kind}", req.workload)),
+                            Reply::Error(msg) => {
                                 failures.lock().unwrap().push(format!("{}: {msg}", req.workload));
                             }
                         }
+                    }
+                    if let Transport::Stream { write, .. } = &transport {
+                        // Half-close marks end-of-input so the per-client
+                        // server thread sees EOF and joins.
+                        let _ = write.shutdown(Shutdown::Write);
                     }
                     lat
                 })
@@ -261,7 +385,7 @@ fn main() {
 
     if let Some(path) = &opts.append_figures {
         let line = format!(
-            r#"{{"suite":"serve","name":"serve/throughput/workers{}","iters":{},"min_ns":{},"median_ns":{},"p95_ns":{},"mean_ns":{},"p99_ns":{},"throughput_rps":{:.3},"clients":{},"cores":{},"mix":"{}","seed":{}}}"#,
+            r#"{{"suite":"serve","name":"serve/throughput/workers{}","iters":{},"min_ns":{},"median_ns":{},"p95_ns":{},"mean_ns":{},"p99_ns":{},"throughput_rps":{:.3},"clients":{},"cores":{},"mix":"{}","transport":"{}","seed":{}}}"#,
             opts.pool.workers,
             total_requests,
             p50,
@@ -273,6 +397,7 @@ fn main() {
             opts.clients,
             cores,
             opts.mix,
+            if opts.stream { "stream" } else { "inproc" },
             opts.seed,
         );
         let mut file = std::fs::OpenOptions::new()

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod codegen;
+pub mod cost;
 mod histogram;
 pub mod host;
 pub mod kb;
@@ -40,6 +41,7 @@ use ipim_frontend::{Expr, FuncBody, Pipeline};
 use ipim_isa::Program;
 
 use codegen::{pinned_dregs, MachineFacts, StageCtx};
+pub use cost::{estimate, CostEstimate};
 pub use layout::{BufferLayout, LayoutError, MemoryMap, TileGrid};
 pub use regalloc::{RegAllocError, RegAllocPolicy};
 

@@ -99,6 +99,23 @@ pub fn verify_against_reference(w: &Workload, outcome: &RunOutcome) {
 /// only hold a serving-layer response (which carries the output pixels but
 /// not the full `RunOutcome`) check it against the reference interpreter.
 pub fn verify_output_against_reference(w: &Workload, output: &ipim_frontend::Image) {
+    let diff = output_divergence(w, output);
+    assert!(
+        diff <= REFERENCE_TOLERANCE,
+        "{}: simulated output diverges from reference by {diff}",
+        w.name
+    );
+}
+
+/// The banded-comparison tolerance [`verify_output_against_reference`]
+/// enforces.
+pub const REFERENCE_TOLERANCE: f32 = 2e-3;
+
+/// Maximum absolute difference between `output` and the reference
+/// interpreter inside the boundary-inset band — the raw figure behind
+/// [`verify_output_against_reference`], for callers (e.g. the autotuner)
+/// that want a verdict rather than a panic.
+pub fn output_divergence(w: &Workload, output: &ipim_frontend::Image) -> f32 {
     let images: Vec<_> = w.inputs.iter().map(|(_, img)| img.clone()).collect();
     let expected = ipim_frontend::interpret(&w.pipeline, &images)
         .unwrap_or_else(|e| panic!("{}: reference failed: {e}", w.name));
@@ -109,7 +126,7 @@ pub fn verify_output_against_reference(w: &Workload, output: &ipim_frontend::Ima
             diff = diff.max((expected.get(x, y) - output.get(x, y)).abs());
         }
     }
-    assert!(diff <= 2e-3, "{}: simulated output diverges from reference by {diff}", w.name);
+    diff
 }
 
 // --------------------------------------------------------------------

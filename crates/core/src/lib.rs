@@ -63,7 +63,9 @@ pub use ipim_arch::{
 pub use ipim_compiler::{
     compile, host, CompileOptions, CompiledPipeline, MemoryMap, RegAllocPolicy,
 };
-pub use ipim_workloads::{all_workloads, workload_by_name, Workload, WorkloadScale};
+pub use ipim_workloads::{
+    all_workloads, workload_by_name, ComputeRootPolicy, ScheduleOverride, Workload, WorkloadScale,
+};
 
 /// Re-export of the Halide-style frontend.
 pub mod frontend {

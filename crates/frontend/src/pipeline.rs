@@ -74,6 +74,40 @@ impl Default for Schedule {
     }
 }
 
+impl Schedule {
+    /// Validates the schedule's own invariants (the same checks
+    /// [`PipelineBuilder::build`] runs), naming `func` in the error.
+    pub fn validate(&self, func: &str) -> Result<(), PipelineError> {
+        if self.tile.0 == 0 || self.tile.1 == 0 {
+            return Err(PipelineError::BadSchedule {
+                func: func.to_string(),
+                what: "tile dimensions must be non-zero".into(),
+            });
+        }
+        if !matches!(self.vectorize, 1 | 2 | 4) {
+            return Err(PipelineError::BadSchedule {
+                func: func.to_string(),
+                what: format!("vectorize({}) must be 1, 2 or 4", self.vectorize),
+            });
+        }
+        Ok(())
+    }
+
+    /// Compact one-line rendering of the knob settings, e.g.
+    /// `root tile=32x8 pgsm vec=4` — the canonical form tuner reports and
+    /// dedup keys use.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}tile={}x{}{} vec={}",
+            if self.compute_root { "root " } else { "" },
+            self.tile.0,
+            self.tile.1,
+            if self.load_pgsm { " pgsm" } else { "" },
+            self.vectorize,
+        )
+    }
+}
+
 impl FuncDef {
     /// The stage kind (pure map/stencil vs. reduction).
     pub fn kind(&self) -> StageKind {
@@ -262,9 +296,104 @@ impl Pipeline {
         self.funcs[self.output.0 as usize].source
     }
 
+    /// Upper bound on the total expression node count [`root_stages`]
+    /// (Self::root_stages) would materialize, computed arithmetically
+    /// without building any expression — O(funcs × body size).
+    ///
+    /// Inlining a deep producer chain multiplies expression sizes, so a
+    /// schedule that clears `compute_root` along such a chain can make the
+    /// real count exponential. Callers (the autotuner's space enumeration)
+    /// use this bound to reject those schedules *before* paying for the
+    /// inlining.
+    pub fn inlined_size_bound(&self) -> u64 {
+        let mut inlined: HashMap<SourceId, u64> = HashMap::new();
+        let mut total = 0u64;
+        for func in &self.funcs {
+            let is_root = func.schedule.compute_root || func.source == self.output_source();
+            let size = match func.body.as_ref().expect("validated pipeline") {
+                FuncBody::Pure(e) => bounded_size(e, &inlined),
+                FuncBody::Histogram { source, .. } => {
+                    1u64.saturating_add(inlined.get(source).copied().unwrap_or(1))
+                }
+            };
+            if is_root {
+                total = total.saturating_add(size);
+            } else {
+                inlined.insert(func.source, size);
+            }
+        }
+        total
+    }
+
+    /// Rebuilds the pipeline with every func's schedule replaced by
+    /// `f(func)`, re-validating each new schedule. Bodies, extents and the
+    /// output are untouched — this is the autotuner's entry point: the same
+    /// algorithm under a different mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::BadSchedule`] if any replacement schedule
+    /// is invalid.
+    pub fn reschedule(
+        &self,
+        mut f: impl FnMut(&FuncDef) -> Schedule,
+    ) -> Result<Pipeline, PipelineError> {
+        let mut p = self.clone();
+        for func in &mut p.funcs {
+            let s = f(func);
+            s.validate(&func.name)?;
+            func.schedule = s;
+        }
+        Ok(p)
+    }
+
+    /// One `(func name, schedule)` row per func, in definition order — the
+    /// knob-introspection view the tuner's schedule space and leaderboard
+    /// are built from.
+    pub fn schedule_knobs(&self) -> Vec<(String, Schedule)> {
+        self.funcs.iter().map(|f| (f.name.clone(), f.schedule)).collect()
+    }
+
+    /// The whole pipeline's schedule rendered as one canonical line
+    /// (`func=knobs; ...`), stable across runs — used to dedup candidate
+    /// mappings that differ syntactically but compile identically.
+    pub fn schedule_summary(&self) -> String {
+        self.funcs
+            .iter()
+            .map(|f| format!("{}={}", f.name, f.schedule.summary()))
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+
     /// Total number of stages (funcs) as the paper counts them.
     pub fn stage_count(&self) -> usize {
         self.funcs.len()
+    }
+}
+
+/// Node-count bound of `e` after substituting each reference to an
+/// inlined source with that source's (already bounded) body size. A
+/// substituted body's variables are themselves replaced by the reference's
+/// coordinate expressions, so the body size multiplies by the coordinate
+/// size — saturating arithmetic keeps runaway schedules finite.
+fn bounded_size(e: &Expr, inlined: &HashMap<SourceId, u64>) -> u64 {
+    match e {
+        Expr::ConstF(_) | Expr::ConstI(_) | Expr::Var(_) => 1,
+        Expr::At(s, cx, cy) => {
+            let coords = bounded_size(cx, inlined).saturating_add(bounded_size(cy, inlined));
+            match inlined.get(s) {
+                Some(&body) => body.saturating_mul(coords.saturating_add(1)),
+                None => coords.saturating_add(1),
+            }
+        }
+        Expr::Bin(_, a, b) => {
+            1u64.saturating_add(bounded_size(a, inlined)).saturating_add(bounded_size(b, inlined))
+        }
+        Expr::Cast(_, inner) => 1u64.saturating_add(bounded_size(inner, inlined)),
+        Expr::Select(c, a, b) => 1u64
+            .saturating_add(bounded_size(c, inlined))
+            .saturating_add(bounded_size(a, inlined))
+            .saturating_add(bounded_size(b, inlined)),
     }
 }
 
@@ -362,18 +491,7 @@ impl PipelineBuilder {
         for (i, f) in self.funcs.iter().enumerate() {
             let body =
                 f.body.as_ref().ok_or_else(|| PipelineError::UndefinedFunc(f.name.clone()))?;
-            if f.schedule.tile.0 == 0 || f.schedule.tile.1 == 0 {
-                return Err(PipelineError::BadSchedule {
-                    func: f.name.clone(),
-                    what: "tile dimensions must be non-zero".into(),
-                });
-            }
-            if !matches!(f.schedule.vectorize, 1 | 2 | 4) {
-                return Err(PipelineError::BadSchedule {
-                    func: f.name.clone(),
-                    what: format!("vectorize({}) must be 1, 2 or 4", f.schedule.vectorize),
-                });
-            }
+            f.schedule.validate(&f.name)?;
             let refs: Vec<SourceId> = match body {
                 FuncBody::Pure(e) => e.sources(),
                 FuncBody::Histogram { source, .. } => vec![*source],
@@ -508,6 +626,48 @@ mod tests {
         p.define(f, Expr::ConstF(1.0));
         p.schedule(f).vectorize(3);
         assert!(matches!(p.build(f), Err(PipelineError::BadSchedule { .. })));
+    }
+
+    #[test]
+    fn reschedule_replaces_schedules_and_revalidates() {
+        let mut p = PipelineBuilder::new();
+        let input = p.input("in", 16, 16);
+        let a = p.func("a", 16, 16);
+        p.define(a, input.at(x(), y()) * 2.0);
+        let b = p.func("b", 16, 16);
+        p.define(b, a.at(x(), y()) + 1.0);
+        let pipe = p.build(b).unwrap();
+        assert_eq!(pipe.root_stages().len(), 1, "a inlines by default");
+
+        // Force every func to a 4×2 compute_root tile: now both are roots.
+        let re = pipe
+            .reschedule(|_| Schedule { compute_root: true, tile: (4, 2), ..Schedule::default() })
+            .unwrap();
+        assert_eq!(re.root_stages().len(), 2);
+        assert_eq!(re.schedule_knobs()[0].1.tile, (4, 2));
+        // The original pipeline is untouched.
+        assert_eq!(pipe.schedule_knobs()[0].1.tile, (8, 8));
+        // Invalid replacement schedules are rejected.
+        assert!(matches!(
+            pipe.reschedule(|_| Schedule { tile: (0, 8), ..Schedule::default() }),
+            Err(PipelineError::BadSchedule { .. })
+        ));
+        assert!(matches!(
+            pipe.reschedule(|_| Schedule { vectorize: 3, ..Schedule::default() }),
+            Err(PipelineError::BadSchedule { .. })
+        ));
+    }
+
+    #[test]
+    fn schedule_summary_is_canonical() {
+        let s = Schedule { compute_root: true, tile: (32, 8), load_pgsm: true, vectorize: 4 };
+        assert_eq!(s.summary(), "root tile=32x8 pgsm vec=4");
+        let mut p = PipelineBuilder::new();
+        let input = p.input("in", 8, 8);
+        let f = p.func("f", 8, 8);
+        p.define(f, input.at(x(), y()));
+        let pipe = p.build(f).unwrap();
+        assert_eq!(pipe.schedule_summary(), "f=tile=8x8 vec=4");
     }
 
     #[test]

@@ -47,6 +47,7 @@ mod response;
 pub mod server;
 
 pub use cache::ResultCache;
+pub use ipim_core::{ComputeRootPolicy, ScheduleOverride};
 pub use pool::{PoolConfig, ServePool, Ticket};
 pub use queue::JobQueue;
 pub use request::{fnv1a, SimRequest};

@@ -9,8 +9,8 @@
 //! only in deadline share one cache entry.
 
 use ipim_core::{
-    workload_by_name, CompileOptions, Engine, MachineConfig, RegAllocPolicy, Session, Workload,
-    WorkloadScale,
+    workload_by_name, CompileOptions, ComputeRootPolicy, Engine, MachineConfig, RegAllocPolicy,
+    ScheduleOverride, Session, Workload, WorkloadScale,
 };
 use ipim_trace::json;
 
@@ -35,6 +35,10 @@ pub struct SimRequest {
     pub memory_order: bool,
     /// Simulation cycle budget; exhausting it yields a `Timeout` response.
     pub max_cycles: u64,
+    /// Schedule override applied over the workload's hand-written mapping
+    /// (`ScheduleOverride::default()` = keep it). Result-determining, so
+    /// part of the cache identity whenever non-empty.
+    pub schedule: ScheduleOverride,
     /// Wall-clock deadline in milliseconds from admission (`None` = no
     /// deadline). Not part of the cache identity.
     pub deadline_ms: Option<u64>,
@@ -52,6 +56,7 @@ impl Default for SimRequest {
             reorder: true,
             memory_order: true,
             max_cycles: 2_000_000_000,
+            schedule: ScheduleOverride::default(),
             deadline_ms: None,
         }
     }
@@ -90,16 +95,29 @@ impl SimRequest {
         let scale = WorkloadScale { width: self.width, height: self.height };
         let workload = workload_by_name(&self.workload, scale)
             .ok_or_else(|| format!("unknown workload {:?}", self.workload))?;
+        let workload = if self.schedule.is_empty() {
+            workload
+        } else {
+            workload.with_override(&self.schedule)?
+        };
         Ok((Session::for_worker(&config, &self.options()), workload))
     }
 
     /// Canonical textual identity: every result-determining field in one
     /// fixed order. Field order in the incoming JSON, the deadline, and
-    /// workload-name case never change this string.
+    /// workload-name case never change this string. A schedule override is
+    /// result-determining, so it appends its canonical rendering — the
+    /// *empty* override appends nothing, keeping override-free requests'
+    /// keys (and fingerprints) exactly as they were.
     pub fn canonical_key(&self) -> String {
+        let schedule = if self.schedule.is_empty() {
+            String::new()
+        } else {
+            format!(";schedule={}", self.schedule)
+        };
         format!(
             "workload={};width={};height={};vaults={};engine={};reg_alloc={};reorder={};\
-             memory_order={};max_cycles={}",
+             memory_order={};max_cycles={}{schedule}",
             self.workload.to_ascii_lowercase(),
             self.width,
             self.height,
@@ -121,12 +139,17 @@ impl SimRequest {
     /// Renders the request as a single-line JSON object (canonical field
     /// order), the ndjson wire format `ipim_served` accepts.
     pub fn to_json_string(&self) -> String {
+        let schedule = if self.schedule.is_empty() {
+            String::new()
+        } else {
+            format!(",\"schedule\":{}", schedule_json(&self.schedule))
+        };
         let deadline =
             self.deadline_ms.map_or(String::new(), |ms| format!(",\"deadline_ms\":{ms}"));
         format!(
             "{{\"workload\":\"{}\",\"width\":{},\"height\":{},\"vaults\":{},\
              \"engine\":\"{}\",\"reg_alloc\":\"{}\",\"reorder\":{},\"memory_order\":{},\
-             \"max_cycles\":{}{deadline}}}",
+             \"max_cycles\":{}{schedule}{deadline}}}",
             json_escape(&self.workload),
             self.width,
             self.height,
@@ -171,6 +194,10 @@ impl SimRequest {
             reorder: get_bool(v, "reorder", d.reorder)?,
             memory_order: get_bool(v, "memory_order", d.memory_order)?,
             max_cycles: get_u64(v, "max_cycles", d.max_cycles)?,
+            schedule: match v.get("schedule") {
+                None | Some(json::Value::Null) => ScheduleOverride::default(),
+                Some(s) => parse_schedule(s)?,
+            },
             deadline_ms: match v.get("deadline_ms") {
                 None | Some(json::Value::Null) => None,
                 Some(x) => Some(x.as_f64().ok_or("deadline_ms must be a number")?.max(0.0) as u64),
@@ -216,6 +243,59 @@ fn parse_reg_alloc(s: &str) -> Result<RegAllocPolicy, String> {
         "max" => Ok(RegAllocPolicy::Max),
         other => Err(format!("unknown reg_alloc {other:?} (min | max)")),
     }
+}
+
+/// Renders a (non-empty) override as its nested JSON object, only the set
+/// knobs, in canonical field order.
+fn schedule_json(s: &ScheduleOverride) -> String {
+    let mut fields = Vec::new();
+    if let Some((w, h)) = s.tile {
+        fields.push(format!("\"tile_w\":{w},\"tile_h\":{h}"));
+    }
+    if let Some(p) = s.load_pgsm {
+        fields.push(format!("\"load_pgsm\":{p}"));
+    }
+    if let Some(v) = s.vectorize {
+        fields.push(format!("\"vectorize\":{v}"));
+    }
+    if s.compute_root != ComputeRootPolicy::Keep {
+        fields.push(format!("\"compute_root\":\"{}\"", s.compute_root.name()));
+    }
+    format!("{{{}}}", fields.join(","))
+}
+
+/// Parses the optional nested `"schedule"` object: `tile_w`/`tile_h` (both
+/// or neither), `load_pgsm`, `vectorize`, `compute_root`.
+fn parse_schedule(v: &json::Value) -> Result<ScheduleOverride, String> {
+    let opt_u32 = |key: &str| -> Result<Option<u32>, String> {
+        match v.get(key) {
+            None | Some(json::Value::Null) => Ok(None),
+            Some(x) => {
+                let n = x.as_f64().ok_or_else(|| format!("schedule.{key} must be a number"))?;
+                if n < 1.0 || n.fract() != 0.0 || n > u32::MAX as f64 {
+                    return Err(format!("schedule.{key} must be a positive integer, got {n}"));
+                }
+                Ok(Some(n as u32))
+            }
+        }
+    };
+    let tile = match (opt_u32("tile_w")?, opt_u32("tile_h")?) {
+        (Some(w), Some(h)) => Some((w, h)),
+        (None, None) => None,
+        _ => return Err("schedule needs both tile_w and tile_h (or neither)".to_string()),
+    };
+    let load_pgsm = match v.get("load_pgsm") {
+        None | Some(json::Value::Null) => None,
+        Some(json::Value::Bool(b)) => Some(*b),
+        Some(_) => return Err("schedule.load_pgsm must be a boolean".to_string()),
+    };
+    let compute_root = match v.get("compute_root") {
+        None | Some(json::Value::Null) => ComputeRootPolicy::Keep,
+        Some(x) => {
+            ComputeRootPolicy::parse(x.as_str().ok_or("schedule.compute_root must be a string")?)?
+        }
+    };
+    Ok(ScheduleOverride { tile, load_pgsm, vectorize: opt_u32("vectorize")?, compute_root })
 }
 
 fn get_u64(v: &json::Value, key: &str, default: u64) -> Result<u64, String> {
@@ -283,6 +363,7 @@ mod tests {
             memory_order: true,
             max_cycles: 123_456,
             deadline_ms: Some(2500),
+            schedule: ScheduleOverride::default(),
         };
         let back = SimRequest::from_json_str(&req.to_json_string()).unwrap();
         assert_eq!(req, back);
@@ -340,6 +421,51 @@ mod tests {
         assert!(SimRequest::named("NoSuchKernel", 64, 64).instantiate().is_err());
         let (_, w) = SimRequest::named("brighten", 64, 64).instantiate().unwrap();
         assert_eq!(w.name, "Brighten");
+    }
+
+    #[test]
+    fn schedule_override_round_trips_and_hashes() {
+        let mut req = SimRequest::named("Blur", 64, 64);
+        let base_fp = req.fingerprint();
+        req.schedule = ScheduleOverride {
+            tile: Some((16, 8)),
+            load_pgsm: Some(true),
+            vectorize: None,
+            compute_root: ComputeRootPolicy::All,
+        };
+        let back = SimRequest::from_json_str(&req.to_json_string()).unwrap();
+        assert_eq!(req, back);
+        assert_ne!(req.fingerprint(), base_fp, "override must be part of the identity");
+        assert!(req.canonical_key().contains("schedule=tile=16x8,pgsm=on,root=all"));
+
+        // The empty override is the identity: explicit `{}` hashes like no
+        // schedule field at all.
+        let empty = SimRequest::from_json_str(r#"{"workload":"Blur","schedule":{}}"#).unwrap();
+        assert_eq!(empty.fingerprint(), SimRequest::named("Blur", 64, 64).fingerprint());
+
+        // Malformed overrides are named-field errors.
+        assert!(
+            SimRequest::from_json_str(r#"{"workload":"Blur","schedule":{"tile_w":8}}"#).is_err()
+        );
+        assert!(SimRequest::from_json_str(
+            r#"{"workload":"Blur","schedule":{"compute_root":"sometimes"}}"#
+        )
+        .is_err());
+        assert!(SimRequest::from_json_str(
+            r#"{"workload":"Blur","schedule":{"tile_w":0,"tile_h":8}}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn schedule_override_reaches_the_workload() {
+        let mut req = SimRequest::named("Blur", 64, 64);
+        req.schedule = ScheduleOverride { tile: Some((16, 4)), ..ScheduleOverride::default() };
+        let (_, w) = req.instantiate().unwrap();
+        assert!(w.pipeline.schedule_knobs().iter().all(|(_, s)| s.tile == (16, 4)));
+        // An override the frontend rejects degrades to an instantiate error.
+        req.schedule = ScheduleOverride { vectorize: Some(3), ..ScheduleOverride::default() };
+        assert!(req.instantiate().is_err());
     }
 
     #[test]

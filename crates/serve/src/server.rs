@@ -6,12 +6,22 @@
 //! `{"status":"error",...}` line rather than killing the stream — the
 //! client's line *n* always pairs with response line *n*.
 //!
-//! The same function serves both transports the `ipim_served` binary
+//! Two pacing modes share that framing:
+//!
+//! * **batch** ([`serve_batch`]) — read until EOF, then answer. Right for
+//!   shell pipelines, where the input ends before anyone reads output.
+//! * **stream** ([`serve_stream`]) — a reader thread keeps admitting lines
+//!   while the writer flushes each response the moment it (and all its
+//!   predecessors) resolve. Right for long-lived TCP connections, where a
+//!   client pipelines requests and consumes answers as they land.
+//!
+//! The same functions serve both transports the `ipim_served` binary
 //! offers: stdin/stdout (shell pipelines, test harnesses) and a
-//! `std::net::TcpListener` accept loop (one batch per connection).
+//! `std::net::TcpListener` accept loop (one batch/stream per connection).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
+use std::sync::mpsc;
 
 use crate::pool::{ServePool, Ticket};
 use crate::request::SimRequest;
@@ -70,19 +80,84 @@ pub fn serve_batch<R: BufRead, W: Write>(
     Ok(summary)
 }
 
-/// Accepts TCP connections forever, serving each as one ndjson batch (the
-/// client half-closes its write side to mark end-of-batch). Connection
-/// errors are logged to stderr and do not stop the accept loop.
+/// Serves one connection in streaming mode: a reader thread parses and
+/// submits request lines as they arrive, while this thread writes each
+/// response line **as soon as it completes**, flushing per line. Response
+/// order still matches request order — streaming changes *when* line *n*
+/// is written (the moment jobs 1..=n have all resolved), never which line
+/// pairs with which.
+///
+/// This is the long-lived-connection mode: a client that pipelines K
+/// requests starts consuming answers while later requests are still being
+/// produced, instead of waiting for its own EOF as in [`serve_batch`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from the transport; protocol-level problems are
+/// reported in-band, exactly as in batch mode.
+pub fn serve_stream<R, W>(
+    input: R,
+    mut output: W,
+    pool: &ServePool,
+) -> std::io::Result<ServeSummary>
+where
+    R: BufRead + Send,
+    W: Write,
+{
+    std::thread::scope(|scope| {
+        // The reader owns admission; the channel carries tickets (or
+        // in-band parse failures) in request order. Bounded-ness comes from
+        // the pool's own queue: `submit` blocks when the service is full.
+        let (tx, rx) = mpsc::channel::<std::io::Result<Result<Ticket, String>>>();
+        scope.spawn(move || {
+            for line in input.lines() {
+                let entry = match line {
+                    Ok(l) if l.trim().is_empty() => continue,
+                    Ok(l) => Ok(SimRequest::from_json_str(&l).map(|req| pool.submit(req))),
+                    Err(e) => Err(e),
+                };
+                if tx.send(entry).is_err() {
+                    return; // writer hit an I/O error and hung up
+                }
+            }
+        });
+        let mut summary = ServeSummary::default();
+        for entry in rx {
+            summary.requests += 1;
+            let response = match entry? {
+                Ok(ticket) => ticket.wait(),
+                Err(msg) => {
+                    summary.parse_errors += 1;
+                    SimResponse::Error(format!("bad request: {msg}"))
+                }
+            };
+            writeln!(output, "{}", response.to_json_string())?;
+            // The per-response flush is the whole point of this mode.
+            output.flush()?;
+        }
+        Ok(summary)
+    })
+}
+
+/// Accepts TCP connections forever, serving each as one ndjson batch — or,
+/// with `streaming`, in per-response-flush [`serve_stream`] mode (the
+/// client half-closes its write side to mark end-of-input either way).
+/// Connection errors are logged to stderr and do not stop the accept loop.
 ///
 /// # Errors
 ///
 /// Returns only listener-level failures (e.g. the socket was closed).
-pub fn serve_tcp(listener: &TcpListener, pool: &ServePool) -> std::io::Result<()> {
+pub fn serve_tcp(listener: &TcpListener, pool: &ServePool, streaming: bool) -> std::io::Result<()> {
     for stream in listener.incoming() {
         let stream = stream?;
         let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".into());
         let reader = BufReader::new(stream.try_clone()?);
-        match serve_batch(reader, &stream, pool) {
+        let served = if streaming {
+            serve_stream(reader, &stream, pool)
+        } else {
+            serve_batch(reader, &stream, pool)
+        };
+        match served {
             Ok(s) => eprintln!(
                 "ipim_served: {peer}: {} request(s), {} parse error(s)",
                 s.requests, s.parse_errors
@@ -119,6 +194,57 @@ this is not json\n\
         assert_eq!(statuses, ["done", "error", "done"]);
         let first = json::parse(lines[0]).unwrap();
         assert_eq!(first.get("workload").unwrap().as_str(), Some("Brighten"));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn stream_mode_answers_before_eof() {
+        use std::io::{BufRead as _, Write as _};
+        use std::net::{Shutdown, TcpStream};
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let pool =
+                ServePool::start(&PoolConfig { workers: 1, queue_depth: 4, cache_capacity: 4 });
+            let (stream, _) = listener.accept().unwrap();
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            let summary = serve_stream(reader, &stream, &pool).unwrap();
+            pool.shutdown();
+            summary
+        });
+        let client = TcpStream::connect(addr).unwrap();
+        let mut write_half = client.try_clone().unwrap();
+        let mut reader = BufReader::new(client);
+        // Request → response, twice, WITHOUT closing the write side in
+        // between: only the per-response flush makes the first read return.
+        for (line, expect) in [
+            ("{\"workload\":\"Brighten\"}\n", "\"status\":\"done\""),
+            ("not json\n", "\"status\":\"error\""),
+        ] {
+            write_half.write_all(line.as_bytes()).unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            assert!(reply.contains(expect), "{reply}");
+        }
+        write_half.shutdown(Shutdown::Write).unwrap();
+        let summary = server.join().unwrap();
+        assert_eq!(summary, ServeSummary { requests: 2, parse_errors: 1 });
+    }
+
+    #[test]
+    fn stream_and_batch_agree_on_responses() {
+        let pool = ServePool::start(&PoolConfig { workers: 2, queue_depth: 8, cache_capacity: 8 });
+        let input = "{\"workload\":\"Brighten\"}\nbad\n{\"workload\":\"Shift\"}\n";
+        let mut batch_out = Vec::new();
+        serve_batch(input.as_bytes(), &mut batch_out, &pool).unwrap();
+        let mut stream_out = Vec::new();
+        serve_stream(input.as_bytes(), &mut stream_out, &pool).unwrap();
+        assert_eq!(
+            std::str::from_utf8(&batch_out).unwrap(),
+            std::str::from_utf8(&stream_out).unwrap(),
+            "pacing must not change the answers"
+        );
         pool.shutdown();
     }
 

@@ -11,8 +11,10 @@
 //!    to the cold run it memoized, and both equal the serial
 //!    `Session::run_workload` path.
 
-use ipim_serve::{PoolConfig, ServePool, SimRequest, SimResponse};
-use ipim_simkit::prop::{bool_any, tuple6, u32_in, u64_any, usize_in, Config, Gen};
+use ipim_serve::{
+    ComputeRootPolicy, PoolConfig, ScheduleOverride, ServePool, SimRequest, SimResponse,
+};
+use ipim_simkit::prop::{bool_any, tuple4, tuple6, u32_in, u64_any, usize_in, Config, Gen};
 use ipim_simkit::{check, check_with, Rng};
 
 /// A generator over wire-shaped requests: workload index, dimensions,
@@ -104,6 +106,54 @@ fn prop_identity_fields_change_the_fingerprint() {
         for v in variants {
             assert_ne!(v.fingerprint(), req.fingerprint(), "{v:?}");
         }
+    });
+}
+
+/// A generator over schedule overrides, spanning the empty override and
+/// every knob combination the tuner searches.
+fn gen_override() -> Gen<ScheduleOverride> {
+    tuple4(usize_in(0, 3), usize_in(0, 2), usize_in(0, 3), usize_in(0, 2)).map(|(t, p, v, r)| {
+        ScheduleOverride {
+            tile: [None, Some((8, 8)), Some((16, 8)), Some((32, 16))][t],
+            load_pgsm: [None, Some(false), Some(true)][p],
+            vectorize: [None, Some(1), Some(2), Some(4)][v],
+            compute_root: [
+                ComputeRootPolicy::Keep,
+                ComputeRootPolicy::All,
+                ComputeRootPolicy::OutputOnly,
+            ][r],
+        }
+    })
+}
+
+#[test]
+fn prop_schedule_override_is_part_of_the_cache_identity() {
+    let gen = ipim_simkit::prop::tuple3(gen_request(), gen_override(), gen_override());
+    check("schedule_override_is_part_of_the_cache_identity", &gen, |(req, ov_a, ov_b)| {
+        let plain = req.clone();
+        let a = SimRequest { schedule: *ov_a, ..req.clone() };
+        let b = SimRequest { schedule: *ov_b, ..req.clone() };
+
+        // A non-empty override must move the fingerprint; the empty one
+        // must not (override-free requests keep their pre-override keys).
+        if ov_a.is_empty() {
+            assert_eq!(a.fingerprint(), plain.fingerprint());
+        } else {
+            assert_ne!(a.fingerprint(), plain.fingerprint(), "{ov_a}");
+        }
+
+        // Requests differing ONLY in the override hash apart.
+        if ov_a != ov_b {
+            assert_ne!(a.fingerprint(), b.fingerprint(), "{ov_a} vs {ov_b}");
+            assert_ne!(a.canonical_key(), b.canonical_key());
+        } else {
+            assert_eq!(a.fingerprint(), b.fingerprint());
+        }
+
+        // The wire round trip preserves the override and its identity.
+        let back = SimRequest::from_json_str(&a.to_json_string()).expect("wire round trip");
+        assert_eq!(back, a);
+        assert_eq!(back.fingerprint(), a.fingerprint());
     });
 }
 

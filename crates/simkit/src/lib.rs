@@ -1,8 +1,9 @@
 //! Zero-dependency determinism toolkit for the iPIM reproduction.
 //!
 //! The whole workspace builds offline with no external crates (see
-//! DESIGN.md §8, "Hermetic builds"). This crate supplies the three pieces
-//! of infrastructure the simulator would otherwise pull from crates.io:
+//! DESIGN.md §5, "Zero external dependencies"). This crate supplies the
+//! three pieces of infrastructure the simulator would otherwise pull from
+//! crates.io:
 //!
 //! * [`rng`] — a seedable xoshiro256++ PRNG (SplitMix64-initialized) with
 //!   the integer/float/range/shuffle helpers workload synthesis needs,

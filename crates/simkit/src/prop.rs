@@ -1,7 +1,7 @@
 //! A minimal property-testing harness: generator combinators, greedy
 //! shrinking, and failure-seed replay.
 //!
-//! Replaces `proptest` for the workspace's property tests (DESIGN.md §8).
+//! Replaces `proptest` for the workspace's property tests (DESIGN.md §5a).
 //! A property is an ordinary closure over a generated value that panics
 //! (via `assert!`/`assert_eq!`) when the property is violated. The runner
 //! draws `Config::cases` values from independently-seeded PRNG streams;

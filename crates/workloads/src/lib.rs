@@ -20,7 +20,9 @@ mod single;
 
 pub use images::{lut_gaussian, synthetic_image};
 
-use ipim_frontend::{Image, Pipeline, SourceId};
+use std::fmt;
+
+use ipim_frontend::{Image, Pipeline, Schedule, SourceId};
 
 /// Image scale a workload is instantiated at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +87,129 @@ impl Workload {
     /// The output image extent.
     pub fn output_extent(&self) -> (u32, u32) {
         self.pipeline.output().extent
+    }
+
+    /// Rebuilds this workload with `ov` applied over the hand-written
+    /// schedule (see [`ScheduleOverride`]). Inputs, metadata and the
+    /// algorithm are unchanged — only the mapping moves.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the overridden schedule fails frontend
+    /// validation (zero tile, bad vectorize width). Deeper machine-specific
+    /// legality (divisibility, PGSM capacity) surfaces later, at compile
+    /// time, exactly as for hand schedules.
+    pub fn with_override(&self, ov: &ScheduleOverride) -> Result<Workload, String> {
+        let output = self.pipeline.output().source;
+        let pipeline = self
+            .pipeline
+            .reschedule(|f| ov.apply(&f.schedule, f.source == output))
+            .map_err(|e| format!("{}: {e}", self.name))?;
+        Ok(Workload { pipeline, ..self.clone() })
+    }
+}
+
+/// What happens to each func's `compute_root` flag under an override.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ComputeRootPolicy {
+    /// Keep the hand-written per-func choice.
+    #[default]
+    Keep,
+    /// Materialize every func (`compute_root` everywhere): maximal kernel
+    /// boundaries, minimal recomputation, maximal DRAM traffic.
+    All,
+    /// Materialize only the output: every intermediate inlines into its
+    /// consumers (reductions stay boundaries — the compiler forces that).
+    OutputOnly,
+}
+
+impl ComputeRootPolicy {
+    /// Canonical wire/report spelling (`keep` | `all` | `output_only`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ComputeRootPolicy::Keep => "keep",
+            ComputeRootPolicy::All => "all",
+            ComputeRootPolicy::OutputOnly => "output_only",
+        }
+    }
+
+    /// Parses [`name`](Self::name)'s spelling.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the accepted spellings.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "keep" => Ok(ComputeRootPolicy::Keep),
+            "all" => Ok(ComputeRootPolicy::All),
+            "output_only" => Ok(ComputeRootPolicy::OutputOnly),
+            other => Err(format!("unknown compute_root {other:?} (keep | all | output_only)")),
+        }
+    }
+}
+
+/// A partial schedule applied on top of a workload's hand-written one:
+/// `None` fields keep the hand choice, `Some` fields replace it on every
+/// func. This is the unit the autotuner searches over and the serving
+/// layer carries in [`SimRequest`](../ipim_serve/struct.SimRequest.html)s
+/// (where it is part of the cache identity).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct ScheduleOverride {
+    /// Replace every func's `ipim_tile` size. The grid derives from the
+    /// *output* stage's tile, so this is the knob that moves the tile grid.
+    pub tile: Option<(u32, u32)>,
+    /// Replace every func's PGSM staging choice.
+    pub load_pgsm: Option<bool>,
+    /// Replace every func's SIMD vector width (1, 2 or 4).
+    pub vectorize: Option<u32>,
+    /// Rewrite the `compute_root` kernel-boundary structure.
+    pub compute_root: ComputeRootPolicy,
+}
+
+impl ScheduleOverride {
+    /// Whether this override changes nothing (the identity element — a
+    /// request carrying it must hash like one carrying no override).
+    pub fn is_empty(&self) -> bool {
+        *self == ScheduleOverride::default()
+    }
+
+    /// The schedule `base` becomes under this override (`is_output` selects
+    /// the [`ComputeRootPolicy::OutputOnly`] special case).
+    pub fn apply(&self, base: &Schedule, is_output: bool) -> Schedule {
+        Schedule {
+            compute_root: match self.compute_root {
+                ComputeRootPolicy::Keep => base.compute_root,
+                ComputeRootPolicy::All => true,
+                ComputeRootPolicy::OutputOnly => is_output,
+            },
+            tile: self.tile.unwrap_or(base.tile),
+            load_pgsm: self.load_pgsm.unwrap_or(base.load_pgsm),
+            vectorize: self.vectorize.unwrap_or(base.vectorize),
+        }
+    }
+}
+
+impl fmt::Display for ScheduleOverride {
+    /// Canonical one-line form: only the set knobs, in fixed order, e.g.
+    /// `tile=32x8,pgsm=on,root=all`; the empty override renders `default`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "default");
+        }
+        let mut parts = Vec::new();
+        if let Some((w, h)) = self.tile {
+            parts.push(format!("tile={w}x{h}"));
+        }
+        if let Some(p) = self.load_pgsm {
+            parts.push(format!("pgsm={}", if p { "on" } else { "off" }));
+        }
+        if let Some(v) = self.vectorize {
+            parts.push(format!("vec={v}"));
+        }
+        if self.compute_root != ComputeRootPolicy::Keep {
+            parts.push(format!("root={}", self.compute_root.name()));
+        }
+        write!(f, "{}", parts.join(","))
     }
 }
 
@@ -161,6 +286,56 @@ mod tests {
                 assert_eq!(def.extent, (img.width(), img.height()), "{} input extent", w.name);
             }
         }
+    }
+
+    #[test]
+    fn schedule_override_rewrites_every_func() {
+        let w = workload_by_name("Blur", WorkloadScale::tiny()).unwrap();
+        let ov = ScheduleOverride {
+            tile: Some((16, 4)),
+            load_pgsm: Some(false),
+            vectorize: None,
+            compute_root: ComputeRootPolicy::OutputOnly,
+        };
+        let re = w.with_override(&ov).unwrap();
+        for (name, s) in re.pipeline.schedule_knobs() {
+            assert_eq!(s.tile, (16, 4), "{name}");
+            assert!(!s.load_pgsm, "{name}");
+            assert_eq!(s.vectorize, 4, "{name} keeps the hand width");
+        }
+        // OutputOnly: blur_x is no longer a root, so it inlines.
+        assert_eq!(re.pipeline.root_stages().len(), 1);
+        // The original still has both roots.
+        assert_eq!(w.pipeline.root_stages().len(), 2);
+        // Bad overrides are rejected with the workload named.
+        let bad = ScheduleOverride { vectorize: Some(3), ..ScheduleOverride::default() };
+        assert!(w.with_override(&bad).unwrap_err().contains("Blur"));
+    }
+
+    #[test]
+    fn empty_override_is_identity() {
+        let ov = ScheduleOverride::default();
+        assert!(ov.is_empty());
+        assert_eq!(ov.to_string(), "default");
+        let w = workload_by_name("Brighten", WorkloadScale::tiny()).unwrap();
+        let re = w.with_override(&ov).unwrap();
+        assert_eq!(re.pipeline, w.pipeline);
+        let full = ScheduleOverride {
+            tile: Some((8, 8)),
+            load_pgsm: Some(true),
+            vectorize: Some(4),
+            compute_root: ComputeRootPolicy::All,
+        };
+        assert!(!full.is_empty());
+        assert_eq!(full.to_string(), "tile=8x8,pgsm=on,vec=4,root=all");
+    }
+
+    #[test]
+    fn compute_root_policy_round_trips() {
+        for p in [ComputeRootPolicy::Keep, ComputeRootPolicy::All, ComputeRootPolicy::OutputOnly] {
+            assert_eq!(ComputeRootPolicy::parse(p.name()).unwrap(), p);
+        }
+        assert!(ComputeRootPolicy::parse("never").is_err());
     }
 
     #[test]
