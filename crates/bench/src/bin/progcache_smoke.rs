@@ -1,0 +1,106 @@
+//! CI smoke gate for the compiled-program cache.
+//!
+//! Runs a cold wave of simulations (direct `Session` path *and* the
+//! `ServePool` path), then a warm wave of the same workloads with a
+//! different cycle budget — a budget change defeats the serve-layer
+//! `ResultCache` (`max_cycles` is in its fingerprint) but not the program
+//! cache (`max_cycles` is simulation-only, so the program key is
+//! unchanged). The gate then asserts, from the `serve/progcache/*`
+//! metrics, that the warm wave compiled **zero** programs, hit the cache
+//! once per job, and produced bit-identical outputs.
+//!
+//! ```text
+//! cargo run --release -p ipim-bench --bin progcache_smoke
+//! ```
+//!
+//! Exits non-zero on any violation.
+
+use ipim_core::{workload_by_name, MachineConfig, ProgramCache, Session, WorkloadScale};
+use ipim_serve::{PoolConfig, ServePool, SimRequest, SimResponse};
+
+/// The workload mix both waves run (all legal at 64×64 on one vault).
+const MIX: [&str; 4] = ["Brighten", "Blur", "Shift", "StencilChain"];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("progcache_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// Snapshot of the global program-cache counters.
+fn stats() -> (u64, u64, u64) {
+    ProgramCache::global().stats()
+}
+
+fn main() {
+    // --- Direct-session path -------------------------------------------
+    let session = Session::new(MachineConfig::vault_slice(1));
+    let scale = WorkloadScale { width: 64, height: 64 };
+    let workloads: Vec<_> =
+        MIX.iter().map(|n| workload_by_name(n, scale).expect("Table II workload")).collect();
+
+    let (_, m0, _) = stats();
+    let cold: Vec<_> = workloads
+        .iter()
+        .map(|w| session.run_workload(w, 4_000_000_000).expect("cold run"))
+        .collect();
+    let (h1, m1, _) = stats();
+    if m1 - m0 < MIX.len() as u64 {
+        fail(&format!("cold wave compiled {} program(s), want ≥ {}", m1 - m0, MIX.len()));
+    }
+
+    // Warm wave: different budget, same programs.
+    let warm: Vec<_> = workloads
+        .iter()
+        .map(|w| session.run_workload(w, 3_999_999_999).expect("warm run"))
+        .collect();
+    let (h2, m2, _) = stats();
+    if m2 != m1 {
+        fail(&format!("warm session wave compiled {} program(s), want 0", m2 - m1));
+    }
+    if h2 - h1 < MIX.len() as u64 {
+        fail(&format!("warm session wave hit {} time(s), want ≥ {}", h2 - h1, MIX.len()));
+    }
+    for (name, (c, w)) in MIX.iter().zip(cold.iter().zip(&warm)) {
+        if !std::sync::Arc::ptr_eq(&c.compiled, &w.compiled) {
+            fail(&format!("{name}: warm run did not reuse the cached program"));
+        }
+        if c.output.data() != w.output.data() || c.report.cycles != w.report.cycles {
+            fail(&format!("{name}: warm outcome differs from cold outcome"));
+        }
+    }
+    println!(
+        "ok: session path: {} cold compile(s), 0 warm compiles, {} warm hit(s)",
+        m1 - m0,
+        h2 - h1
+    );
+
+    // --- ServePool path ------------------------------------------------
+    // The result cache is disabled so every job really reaches the
+    // simulator; every program it needs is already cached above.
+    let pool = ServePool::start(&PoolConfig { workers: 2, queue_depth: 16, cache_capacity: 0 });
+    let responses = pool.run_all(MIX.iter().map(|n| SimRequest::named(n, 64, 64)));
+    let metrics = pool.shutdown();
+    for (name, r) in MIX.iter().zip(&responses) {
+        match r {
+            SimResponse::Done(_) => {}
+            other => fail(&format!("{name}: pool job did not complete: {other:?}")),
+        }
+    }
+    let (h3, m3, _) = stats();
+    if m3 != m2 {
+        fail(&format!("pool wave compiled {} program(s), want 0", m3 - m2));
+    }
+    if h3 - h2 < MIX.len() as u64 {
+        fail(&format!("pool wave hit {} time(s), want ≥ {}", h3 - h2, MIX.len()));
+    }
+    if metrics.counter("serve/progcache/misses") != m3 {
+        fail("pool metrics disagree with ProgramCache::stats() miss count");
+    }
+    println!(
+        "ok: pool path: 0 warm compiles, {} hit(s); progcache totals: {} hits / {} misses",
+        h3 - h2,
+        h3,
+        m3
+    );
+    println!("progcache_smoke: all checks passed");
+}

@@ -9,19 +9,33 @@
 //! pays for simulation only on the survivors.
 //!
 //! The model is deliberately coarse but structurally faithful to the
-//! codegen (see `codegen.rs`'s loop skeleton):
+//! codegen (see `codegen.rs`'s loop skeleton) and to the machine's
+//! slot-level pipelining:
 //!
 //! ```text
-//! per stage:  slots_per_pe × ( tile_setup
-//!                            + staging (bytes / 16 per cycle, if PGSM)
-//!                            + rows × (row_setup
-//!                                      + vec_groups × per_group_cost) )
+//! per stage:  tile_setup × slots
+//!           + staging                      (first slot's fill is exposed)
+//!           + slots × max(compute, staging) (later fills overlap compute)
+//! compute  =  rows × (row_setup + vec_groups × per_group_cost)
+//! staging  =  staged window bytes / 2 per cycle   (0 without PGSM)
 //! ```
 //!
 //! where `per_group_cost` counts ALU ops plus loads, loads being ~3×
 //! dearer when they go to the bank instead of a staged PGSM window. All
 //! arithmetic is integer and deterministic — the same schedule always
 //! estimates the same cost on every machine.
+//!
+//! The constants were recalibrated (PR 6) against cycle counts replayed
+//! from cached programs over a Blur 128² schedule sweep (`tune`
+//! exhaustive + `run_workload` replays). Two findings drove the shape:
+//! per-instruction cost is ~2× the old unit (control-core issue
+//! bandwidth and RAW stalls), and single-slot schedules pay their full
+//! PGSM staging latency serially — only with ≥2 slots per PE does the
+//! next slot's fill overlap the current slot's compute. The old model
+//! charged staging per slot uniformly and so ranked 1-slot 64×8 *above*
+//! the measured winner 32×8 (est 3300 vs 3400; replayed cycles 10874 vs
+//! 9084); the pipelined shape ranks the sweep with fewer inversions and
+//! puts the measured winner first.
 
 use ipim_arch::MachineConfig;
 use ipim_frontend::{footprints, Expr, FuncBody, Pipeline};
@@ -30,18 +44,20 @@ use crate::layout::{BufferLayout, MemoryMap};
 use crate::CompileError;
 
 /// Cycles charged per ALU operation (per 4-wide vector group).
-const ALU_COST: u64 = 1;
+const ALU_COST: u64 = 2;
 /// Cycles charged per load served from a staged PGSM window.
-const PGSM_LOAD_COST: u64 = 1;
+const PGSM_LOAD_COST: u64 = 2;
 /// Cycles charged per load served straight from the bank (row activation
 /// amortized over the unrolled burst).
-const BANK_LOAD_COST: u64 = 3;
-/// Fixed per-tile-slot overhead: tile/slot index calculation and masks.
-const TILE_SETUP_COST: u64 = 12;
+const BANK_LOAD_COST: u64 = 6;
+/// Fixed per-tile-slot overhead: mask/address-register prologue and the
+/// drain between slots.
+const TILE_SETUP_COST: u64 = 160;
 /// Fixed per-row overhead: row base address updates.
-const ROW_SETUP_COST: u64 = 4;
-/// PGSM staging throughput: bytes moved per cycle per PE.
-const STAGE_BYTES_PER_CYCLE: u64 = 16;
+const ROW_SETUP_COST: u64 = 40;
+/// PGSM staging throughput: bytes moved per cycle per PE (bank reads
+/// funneled through the per-PG memory controller).
+const STAGE_BYTES_PER_CYCLE: u64 = 2;
 
 /// The static cost picture of one compiled-shape pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,10 +125,13 @@ pub fn estimate(pipeline: &Pipeline, config: &MachineConfig) -> Result<CostEstim
                 let groups_per_row = u64::from(tw.div_ceil(4));
                 let rows = u64::from(th);
                 est_staged_bytes += staging * slots;
-                slots
-                    * (TILE_SETUP_COST
-                        + staging / STAGE_BYTES_PER_CYCLE
-                        + rows * (ROW_SETUP_COST + groups_per_row * per_group))
+                // Slot-level pipelining: the first slot's PGSM fill is
+                // fully exposed; each later slot's fill overlaps the
+                // previous slot's compute, so steady state runs at the
+                // slower of the two.
+                let compute = rows * (ROW_SETUP_COST + groups_per_row * per_group);
+                let staging_cycles = staging / STAGE_BYTES_PER_CYCLE;
+                TILE_SETUP_COST * slots + staging_cycles + slots * compute.max(staging_cycles)
             }
             FuncBody::Histogram { source, bins, .. } => {
                 // Phase 1: per-pixel bin-index calculation and scratch
@@ -123,8 +142,8 @@ pub fn estimate(pipeline: &Pipeline, config: &MachineConfig) -> Result<CostEstim
                     BufferLayout::Replicated { extent, .. } => *extent,
                 };
                 let pixels = u64::from(tw) * u64::from(th);
-                let merge = u64::from(*bins) * config.total_vaults() as u64 * 2;
-                slots * (TILE_SETUP_COST + pixels * 6) + merge
+                let merge = u64::from(*bins) * config.total_vaults() as u64 * 4;
+                slots * (TILE_SETUP_COST + pixels * 12) + merge
             }
         };
         est_cycles += cost;

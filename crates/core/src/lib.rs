@@ -52,8 +52,10 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+mod progcache;
 mod session;
 
+pub use progcache::{program_key, CompiledProgram, ProgramCache};
 pub use session::{RunOutcome, Session, SessionError};
 
 pub use ipim_arch::{

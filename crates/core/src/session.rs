@@ -3,12 +3,15 @@
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use ipim_arch::{ExecutionReport, Machine, MachineConfig, SimTimeout};
 use ipim_compiler::{compile, host, CompileError, CompileOptions, CompiledPipeline};
 use ipim_frontend::{Image, Pipeline, SourceId};
 use ipim_trace::{MetricsRegistry, SamplingSink, TraceCapture};
 use ipim_workloads::Workload;
+
+use crate::progcache::{CompiledProgram, ProgramCache};
 
 // The serving layer moves run results between worker threads; everything a
 // run produces must therefore be plain data. The machine itself is
@@ -63,8 +66,10 @@ pub struct RunOutcome {
     pub output: Image,
     /// Cycle-accurate performance/energy report.
     pub report: ExecutionReport,
-    /// The compiled program and memory map.
-    pub compiled: CompiledPipeline,
+    /// The compiled program and memory map — shared with (and usually
+    /// served from) the process-wide [`ProgramCache`]; dereferences to the
+    /// underlying [`CompiledPipeline`].
+    pub compiled: Arc<CompiledProgram>,
     /// Hierarchical counter/gauge/histogram snapshot of the finished run.
     pub metrics: MetricsRegistry,
     /// Captured trace events, when `MachineConfig::trace.enabled` was set.
@@ -146,7 +151,9 @@ impl Session {
         &self.options
     }
 
-    /// Compiles a pipeline without running it.
+    /// Compiles a pipeline without running it, bypassing the program
+    /// cache (a guaranteed-fresh lowering; [`Session::compile`] is the
+    /// cached path everything else should prefer).
     ///
     /// # Errors
     ///
@@ -155,19 +162,35 @@ impl Session {
         Ok(compile(pipeline, &self.config, &self.options)?)
     }
 
-    /// Compiles `pipeline`, uploads `inputs`, runs to quiescence and reads
-    /// the output back.
+    /// Compiles `pipeline` into a shareable [`CompiledProgram`] through
+    /// the process-wide [`ProgramCache`]: the first compile of a given
+    /// (pipeline content × machine shape × options) key lowers the
+    /// pipeline, every later one returns the cached artifact. Compilation
+    /// is deterministic, so the cached program is bit-identical to a
+    /// fresh compile.
     ///
     /// # Errors
     ///
-    /// Returns [`SessionError`] on compile failure or simulation timeout.
-    pub fn run_pipeline(
+    /// Returns the compiler's error on unsupported pipelines.
+    pub fn compile(&self, pipeline: &Pipeline) -> Result<Arc<CompiledProgram>, SessionError> {
+        Ok(ProgramCache::global().compile_pipeline(pipeline, &self.config, &self.options)?)
+    }
+
+    /// Uploads `inputs`, runs `program` to quiescence and reads the output
+    /// back — the simulate half of [`run_pipeline`](Self::run_pipeline),
+    /// needing no access to the frontend pipeline at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError::Timeout`] when the simulation does not
+    /// quiesce within `max_cycles`.
+    pub fn simulate(
         &self,
-        pipeline: &Pipeline,
+        program: &Arc<CompiledProgram>,
         inputs: &[(SourceId, Image)],
         max_cycles: u64,
     ) -> Result<RunOutcome, SessionError> {
-        let compiled = compile(pipeline, &self.config, &self.options)?;
+        let compiled = program.compiled();
         let mut machine = Machine::new(self.config.clone());
         // When tracing is on, wire a shared ring through every component
         // (behind a 1-in-N sampler when `sample_every` asks for one);
@@ -189,7 +212,7 @@ impl Session {
         }
         machine.load_program_all(&compiled.program);
         let report = machine.run(max_cycles)?;
-        let output = host::read_back(&machine, &compiled.map, pipeline.output().source);
+        let output = host::read_back(&machine, &compiled.map, program.output_source());
         let metrics = machine.metrics();
         let trace = capture.map(|(sink, components)| {
             let mut sampler = sink.borrow_mut();
@@ -203,7 +226,25 @@ impl Session {
                 total,
             }
         });
-        Ok(RunOutcome { output, report, compiled, metrics, trace })
+        Ok(RunOutcome { output, report, compiled: program.clone(), metrics, trace })
+    }
+
+    /// Compiles `pipeline` (through the program cache), uploads `inputs`,
+    /// runs to quiescence and reads the output back — the two-phase
+    /// [`compile`](Self::compile) + [`simulate`](Self::simulate) flow as
+    /// one call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError`] on compile failure or simulation timeout.
+    pub fn run_pipeline(
+        &self,
+        pipeline: &Pipeline,
+        inputs: &[(SourceId, Image)],
+        max_cycles: u64,
+    ) -> Result<RunOutcome, SessionError> {
+        let program = self.compile(pipeline)?;
+        self.simulate(&program, inputs, max_cycles)
     }
 
     /// Runs a Table II workload.

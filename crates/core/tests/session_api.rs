@@ -99,3 +99,20 @@ fn geomean_of_known_values() {
     assert!((geomean([2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
     assert_eq!(geomean(std::iter::empty::<f64>()), 0.0);
 }
+
+#[test]
+fn stencil_chain_compiles_at_small_sizes() {
+    // Regression: the small-size fallback tile used to be a fixed 16×16,
+    // which left 64×64 with only 16 tiles — fewer than the 32 PEs of the
+    // vault slice, an illegal mapping the compiler rejects. The fallback
+    // must now pick a tile that keeps every size down to 32×32 legal.
+    use ipim_core::{workload_by_name, WorkloadScale};
+    let session = Session::new(MachineConfig::vault_slice(1));
+    for (w, h) in [(64, 64), (32, 32)] {
+        let workload =
+            workload_by_name("StencilChain", WorkloadScale { width: w, height: h }).unwrap();
+        session
+            .compile_only(&workload.pipeline)
+            .unwrap_or_else(|e| panic!("StencilChain {w}x{h} must compile: {e}"));
+    }
+}

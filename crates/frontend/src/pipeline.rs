@@ -369,6 +369,59 @@ impl Pipeline {
     pub fn stage_count(&self) -> usize {
         self.funcs.len()
     }
+
+    /// Canonical full-content rendering: inputs, every func's extent, body
+    /// and schedule, and the output — everything that determines what the
+    /// compiler produces, in one stable line.
+    ///
+    /// Two pipelines with equal content summaries compile to the same
+    /// program on the same machine, which is what makes this string (plus a
+    /// machine/options summary) a sound content-addressed cache key for
+    /// compiled programs. Expression bodies render through their canonical
+    /// [`fmt::Display`] form, so the summary is insensitive to how the
+    /// expression tree was spelled at build time but sensitive to any
+    /// change in what it computes.
+    pub fn content_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for i in &self.inputs {
+            let _ = write!(out, "in {}={}x{};", i.source, i.extent.0, i.extent.1);
+        }
+        for f in &self.funcs {
+            let _ = write!(
+                out,
+                "fn {}={}x{}[{}]{{{}}};",
+                f.source,
+                f.extent.0,
+                f.extent.1,
+                f.schedule.summary(),
+                f.body_summary(),
+            );
+        }
+        let _ = write!(out, "out {}", self.output_source());
+        out
+    }
+}
+
+impl FuncDef {
+    /// Canonical rendering of this func's body (the per-stage half of
+    /// [`Pipeline::content_summary`]).
+    pub fn body_summary(&self) -> String {
+        match &self.body {
+            Some(FuncBody::Pure(e)) => e.to_string(),
+            Some(FuncBody::Histogram { source, bins, min, max }) => {
+                // f32 Display collapses distinct bit patterns (-0.0 vs 0.0);
+                // render the bits so the summary is exactly as sensitive as
+                // the generated code.
+                format!(
+                    "hist({source},bins={bins},min={:08x},max={:08x})",
+                    min.to_bits(),
+                    max.to_bits()
+                )
+            }
+            None => "undefined".to_string(),
+        }
+    }
 }
 
 /// Node-count bound of `e` after substituting each reference to an

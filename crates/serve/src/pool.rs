@@ -135,6 +135,7 @@ impl ServePool {
         reg.counter_add("serve/pool/errors", self.counters.errors.load(Ordering::Relaxed));
         reg.gauge_set("serve/pool/workers", self.workers.len() as f64);
         self.cache.lock().expect("cache poisoned").export_metrics(&mut reg);
+        ipim_core::ProgramCache::global().export_metrics(&mut reg);
         reg
     }
 
@@ -154,6 +155,7 @@ impl ServePool {
             reg.counter_add(&format!("serve/pool/worker{i}/jobs"), *jobs);
         }
         self.cache.lock().expect("cache poisoned").export_metrics(&mut reg);
+        ipim_core::ProgramCache::global().export_metrics(&mut reg);
         reg
     }
 }

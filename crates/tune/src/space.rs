@@ -176,7 +176,11 @@ impl ScheduleSpace {
                             if entries.iter().any(|e| e.summary == summary) {
                                 continue; // same effective schedule, not a rejection
                             }
-                            if session.compile_only(&w.pipeline).is_err() {
+                            // Compile through the process-wide program
+                            // cache: enumeration is the cold pass, so the
+                            // pool workers that later simulate surviving
+                            // candidates find every program already built.
+                            if session.compile(&w.pipeline).is_err() {
                                 rejected += 1;
                                 continue;
                             }

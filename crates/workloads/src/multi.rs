@@ -252,9 +252,19 @@ pub fn local_laplacian(scale: WorkloadScale) -> Workload {
 pub fn stencil_chain(scale: WorkloadScale) -> Workload {
     let (w, h) = (scale.width, scale.height);
     // Large tiles bound the overlapped-halo recompute of the deep chain;
-    // small images fall back to 16x16 so the tile grid still covers every
-    // PE of the simulated slice.
-    let t = if w >= 512 && h >= 512 { 64 } else { 16 };
+    // small images fall back to the largest lane-aligned tile whose grid
+    // still covers the 32 PEs of the simulated vault slice (a fixed 16×16
+    // fallback left e.g. 64×64 with only 16 tiles — an illegal mapping).
+    let t = if w >= 512 && h >= 512 {
+        64
+    } else {
+        [16u32, 8, 4]
+            .into_iter()
+            .find(|&t| {
+                w.is_multiple_of(t) && h.is_multiple_of(t) && ((w / t) * (h / t)).is_multiple_of(32)
+            })
+            .unwrap_or(4)
+    };
     let tile = (t, t);
     let mut p = PipelineBuilder::new();
     let input = p.input("in", w, h);
