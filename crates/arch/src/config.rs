@@ -15,10 +15,14 @@ pub enum Placement {
 
 /// Which cycle engine [`Machine::run`](crate::Machine::run) uses.
 ///
-/// Both engines produce bit-identical results (cycles, statistics, energy,
-/// bank contents) — `tests/engine_equivalence.rs` enforces this across the
-/// full workload suite. The legacy engine exists for differential testing
-/// and as the reference semantics.
+/// The two [`Fidelity::BitExact`] engines produce bit-identical results
+/// (cycles, statistics, energy, bank contents) — `tests/engine_equivalence.rs`
+/// enforces this across the full workload suite. The legacy engine exists
+/// for differential testing and as the reference semantics. The analytic
+/// engine is the third tier: an [`Fidelity::Approximate`] model
+/// ([`crate::analytic::predict`]) that predicts a run's report without
+/// simulating — callers must check [`Engine::fidelity`] before treating its
+/// output as ground truth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
     /// Tick every component every cycle (the reference semantics).
@@ -28,6 +32,45 @@ pub enum Engine {
     /// replaying per-cycle accounting (stall/busy/idle counters) in bulk.
     #[default]
     SkipAhead,
+    /// Predict cycles/energy from one analytic walk of the instruction
+    /// stream ([`crate::analytic`]) without simulating. Approximate:
+    /// results carry bounded, continuously-measured error vs `SkipAhead`
+    /// and produce no output image. Driving [`Machine::run`]
+    /// (crate::Machine::run) directly with this engine falls back to
+    /// `SkipAhead` semantics (the machine API is bit-exact by contract);
+    /// `ipim_core::Session::simulate` is the analytic entry point.
+    Analytic,
+}
+
+/// How much a result from an [`Engine`] can be trusted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Cycle-exact: bit-identical cycles, statistics, energy and output
+    /// across engines of this fidelity.
+    BitExact,
+    /// Modelled: cycles/energy carry a measured error envelope and the
+    /// output image is not computed.
+    Approximate,
+}
+
+impl Fidelity {
+    /// Canonical report spelling (`"bit_exact"` / `"approximate"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Fidelity::BitExact => "bit_exact",
+            Fidelity::Approximate => "approximate",
+        }
+    }
+}
+
+impl Engine {
+    /// The fidelity class of results this engine produces.
+    pub fn fidelity(self) -> Fidelity {
+        match self {
+            Engine::Legacy | Engine::SkipAhead => Fidelity::BitExact,
+            Engine::Analytic => Fidelity::Approximate,
+        }
+    }
 }
 
 /// Trace-capture configuration.

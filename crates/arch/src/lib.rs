@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analytic;
 pub mod area;
 mod config;
 mod energy;
@@ -50,7 +51,7 @@ mod scratchpad;
 mod stats;
 mod vault;
 
-pub use config::{Engine, LatencyParams, MachineConfig, Placement, TraceConfig};
+pub use config::{Engine, Fidelity, LatencyParams, MachineConfig, Placement, TraceConfig};
 pub use energy::{EnergyBook, EnergyParams};
 pub use machine::{ExecutionReport, Machine, SimTimeout};
 pub use scratchpad::Scratchpad;

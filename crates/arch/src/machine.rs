@@ -273,10 +273,14 @@ impl Machine {
                 Engine::Legacy => {
                     self.tick();
                 }
-                Engine::SkipAhead if quiet_streak < 2 => {
+                // The machine API is bit-exact by contract: when a Machine
+                // is driven directly under `Engine::Analytic`, run with the
+                // skip-ahead semantics. The analytic *prediction* path lives
+                // in `crate::analytic::predict` and never builds a Machine.
+                Engine::SkipAhead | Engine::Analytic if quiet_streak < 2 => {
                     quiet_streak = if self.tick() { 0 } else { quiet_streak + 1 };
                 }
-                Engine::SkipAhead => {
+                Engine::SkipAhead | Engine::Analytic => {
                     // Advance directly to the earliest cycle any component
                     // can act. A bound of `now` (or an event already due)
                     // means this cycle is live: fall back to a real tick.
@@ -591,26 +595,52 @@ impl Machine {
         bank_stats: &ipim_dram::BankStats,
         cycles: u64,
     ) -> EnergyBook {
-        let p = &self.energy_params;
-        let n_banks = self.config.total_vaults() * self.config.pes_per_vault();
-        let dram = ipim_dram::DramEnergy::from_stats(bank_stats, &p.dram, cycles, n_banks);
-        let bits = 128.0;
-        let noc_hops = self.meshes.iter().map(Mesh::flit_hops).sum::<u64>() as f64;
-        EnergyBook {
-            dram,
-            simd_pj: stats.simd_ops as f64 * p.simd_pj,
-            int_alu_pj: stats.int_alu_ops as f64 * p.int_alu_pj,
-            addr_rf_pj: stats.addr_rf_accesses as f64 * p.addr_rf_pj,
-            data_rf_pj: stats.data_rf_accesses as f64 * p.data_rf_pj,
-            pgsm_pj: stats.pgsm_accesses as f64 * p.pgsm_pj,
-            vsm_pj: stats.vsm_accesses as f64 * p.vsm_pj,
-            pe_bus_pj: stats.dram_accesses as f64 * bits * p.pe_bus_pj_per_bit,
-            tsv_pj: stats.tsv_transfers as f64 * bits * p.tsv_pj_per_bit,
-            noc_pj: noc_hops * bits * p.noc_pj_per_bit_hop,
-            serdes_pj: self.serdes_bits as f64 * p.serdes_pj_per_bit,
-            // mW × ns = pJ; one control core per vault.
-            ctrl_core_pj: p.ctrl_core_mw * cycles as f64 * self.vaults.len() as f64,
-        }
+        let noc_hops = self.meshes.iter().map(Mesh::flit_hops).sum::<u64>();
+        compose_energy(
+            &self.energy_params,
+            &self.config,
+            stats,
+            bank_stats,
+            cycles,
+            noc_hops,
+            self.serdes_bits,
+            self.vaults.len(),
+        )
+    }
+}
+
+/// Composes an [`EnergyBook`] from counters — the single Table III energy
+/// formula, shared by the cycle engines (via [`Machine::report`]) and the
+/// analytic predictor (`crate::analytic`), so the two tiers can never
+/// diverge on how counters turn into picojoules.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn compose_energy(
+    p: &EnergyParams,
+    config: &MachineConfig,
+    stats: &VaultStats,
+    bank_stats: &ipim_dram::BankStats,
+    cycles: u64,
+    noc_hops: u64,
+    serdes_bits: u64,
+    n_vaults: usize,
+) -> EnergyBook {
+    let n_banks = config.total_vaults() * config.pes_per_vault();
+    let dram = ipim_dram::DramEnergy::from_stats(bank_stats, &p.dram, cycles, n_banks);
+    let bits = 128.0;
+    EnergyBook {
+        dram,
+        simd_pj: stats.simd_ops as f64 * p.simd_pj,
+        int_alu_pj: stats.int_alu_ops as f64 * p.int_alu_pj,
+        addr_rf_pj: stats.addr_rf_accesses as f64 * p.addr_rf_pj,
+        data_rf_pj: stats.data_rf_accesses as f64 * p.data_rf_pj,
+        pgsm_pj: stats.pgsm_accesses as f64 * p.pgsm_pj,
+        vsm_pj: stats.vsm_accesses as f64 * p.vsm_pj,
+        pe_bus_pj: stats.dram_accesses as f64 * bits * p.pe_bus_pj_per_bit,
+        tsv_pj: stats.tsv_transfers as f64 * bits * p.tsv_pj_per_bit,
+        noc_pj: noc_hops as f64 * bits * p.noc_pj_per_bit_hop,
+        serdes_pj: serdes_bits as f64 * p.serdes_pj_per_bit,
+        // mW × ns = pJ; one control core per vault.
+        ctrl_core_pj: p.ctrl_core_mw * cycles as f64 * n_vaults as f64,
     }
 }
 

@@ -1,0 +1,130 @@
+//! Measures the analytic engine tier's cycle divergence from the
+//! SkipAhead engine across the Table II suite, and optionally records it
+//! as `analytic/divergence/<Workload>` JSONL entries that `bench_regress
+//! --analytic-fresh` gates against the committed baselines in
+//! `results/figures.jsonl` (fail on >10-point drift — the canary for
+//! silent miscalibration when a future PR touches timing).
+//!
+//! Usage:
+//!   analytic_divergence [--scale N] [--record FILE]
+//!
+//! Prints one line per workload: SkipAhead cycles, predicted cycles,
+//! divergence %, and the two wall-clock times (the speedup the analytic
+//! tier exists for).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use ipim_core::analytic::divergence_pct;
+use ipim_core::{all_workloads, Engine, Fidelity, MachineConfig, Session, WorkloadScale};
+
+const MAX_CYCLES: u64 = 4_000_000_000;
+
+fn main() {
+    let mut scale = 64u32;
+    let mut record: Option<String> = None;
+    let mut detail = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--scale needs a number"));
+            }
+            "--record" => {
+                record = Some(args.next().unwrap_or_else(|| panic!("--record needs a path")));
+            }
+            "--detail" => detail = true,
+            other => {
+                panic!("unknown argument {other:?} (supported: --scale N, --record FILE, --detail)")
+            }
+        }
+    }
+
+    let mut lines = Vec::new();
+    println!(
+        "{:<16} {:>12} {:>12} {:>9} {:>11} {:>11} {:>9}",
+        "workload", "skip_cycles", "pred_cycles", "diverge%", "skip_wall", "pred_wall", "speedup"
+    );
+    for w in all_workloads(WorkloadScale { width: scale, height: scale }) {
+        let measured = Session::new(MachineConfig {
+            engine: Engine::SkipAhead,
+            ..MachineConfig::vault_slice(1)
+        });
+        let predicted = Session::new(MachineConfig {
+            engine: Engine::Analytic,
+            ..MachineConfig::vault_slice(1)
+        });
+        // Warm the program cache so both timings are simulation-only.
+        let program = match measured.compile(&w.pipeline) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{:<16} SKIP (does not compile at {scale}²: {e})", w.name);
+                continue;
+            }
+        };
+
+        let t0 = Instant::now();
+        let skip = measured.simulate(&program, &w.inputs, MAX_CYCLES).expect("skip-ahead run");
+        let skip_wall = t0.elapsed();
+        let t1 = Instant::now();
+        let pred = predicted.simulate(&program, &w.inputs, MAX_CYCLES).expect("analytic predict");
+        let pred_wall = t1.elapsed();
+        assert_eq!(pred.fidelity, Fidelity::Approximate);
+
+        let div = divergence_pct(pred.report.cycles, skip.report.cycles);
+        let speedup = skip_wall.as_secs_f64() / pred_wall.as_secs_f64().max(1e-9);
+        println!(
+            "{:<16} {:>12} {:>12} {:>8.2}% {:>10.1?} {:>10.1?} {:>8.0}x",
+            w.name, skip.report.cycles, pred.report.cycles, div, skip_wall, pred_wall, speedup
+        );
+        if detail {
+            for (tag, r) in [("skip", &skip.report), ("pred", &pred.report)] {
+                let s = &r.stats;
+                let st = &s.stalls;
+                println!(
+                    "    {tag}: issued={} hazard={} queue={} tsv={} branch={} sync={} vsmlock={} \
+                     mem_busy={} simd_busy={} dram={} hits/miss/conf={}/{}/{}",
+                    s.issued,
+                    st.hazard,
+                    st.queue_full,
+                    st.tsv,
+                    st.branch,
+                    st.sync,
+                    st.vsm_interlock,
+                    s.mem_busy,
+                    s.simd_busy,
+                    s.dram_accesses,
+                    r.locality.row_hits,
+                    r.locality.row_misses,
+                    r.locality.row_conflicts,
+                );
+            }
+        }
+        lines.push(format!(
+            "{{\"suite\":\"analytic\",\"name\":\"analytic/divergence/{}\",\"iters\":1,\
+             \"min_ns\":{},\"divergence_pct\":{:.3},\"scale\":{},\
+             \"skip_cycles\":{},\"pred_cycles\":{}}}",
+            w.name,
+            pred_wall.as_nanos(),
+            div,
+            scale,
+            skip.report.cycles,
+            pred.report.cycles,
+        ));
+    }
+
+    if let Some(path) = record {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("open {path}: {e}"));
+        for l in &lines {
+            writeln!(f, "{l}").expect("write record");
+        }
+        println!("recorded {} entries to {path}", lines.len());
+    }
+}

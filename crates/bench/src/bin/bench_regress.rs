@@ -14,7 +14,7 @@
 //! ```text
 //! cargo run --release -p ipim-bench --bin bench_regress -- \
 //!     --baseline results/figures.jsonl [--threshold 25] [--fresh new.jsonl] \
-//!     [--serve-fresh serve.jsonl]
+//!     [--serve-fresh serve.jsonl] [--analytic-fresh analytic.jsonl]
 //! ```
 //!
 //! With `--fresh`, no measurement runs: the two files are diffed directly
@@ -27,6 +27,14 @@
 //! numbers depend on physical parallelism in a way the single-core
 //! normalizer cannot correct for, so cross-machine comparisons are skipped
 //! with a message instead of producing false regressions.
+//!
+//! With `--analytic-fresh`, `analytic/divergence/*` entries from a
+//! just-recorded `analytic_divergence --record` run are gated against the
+//! committed calibration baseline: a workload whose divergence drifts
+//! more than 10 percentage points above its baseline fails the gate.
+//! Divergence is a property of the model, not of the machine, so no
+//! normalizer applies — this is the canary that fires when a future PR
+//! changes engine timing without recalibrating the analytic tier.
 
 use std::time::Instant;
 
@@ -49,6 +57,10 @@ struct Entry {
     mix: Option<String>,
     /// Transport: "inproc" | "stream" (serve entries; absent = inproc).
     transport: String,
+    /// Analytic-vs-skip-ahead cycle divergence (analytic entries only).
+    divergence_pct: Option<f64>,
+    /// Image side the entry was recorded at (analytic entries only).
+    scale: Option<u64>,
 }
 
 /// Parses a `results/figures.jsonl` file.
@@ -79,6 +91,8 @@ fn parse_jsonl(path: &str) -> Vec<Entry> {
                 .and_then(json::Value::as_str)
                 .unwrap_or("inproc")
                 .to_string(),
+            divergence_pct: v.get("divergence_pct").and_then(json::Value::as_f64),
+            scale: v.get("scale").and_then(json::Value::as_f64).map(|s| s as u64),
         });
     }
     out
@@ -111,6 +125,8 @@ fn measure_fresh() -> Vec<Entry> {
         cores: None,
         mix: None,
         transport: "inproc".to_string(),
+        divergence_pct: None,
+        scale: None,
     };
     out.push(plain(NORMALIZER.to_string(), min_ns_of(3, 10, fig1)));
     let scale = WorkloadScale { width: 128, height: 128 };
@@ -173,10 +189,53 @@ fn gate_serve(baseline: &[Entry], serve_fresh: &[Entry], norm: f64, threshold_pc
     failed
 }
 
+/// How far (percentage points) a workload's analytic divergence may
+/// drift above its committed calibration baseline before the gate fails.
+const DIVERGENCE_DRIFT_PTS: f64 = 10.0;
+
+/// Gates `analytic/divergence/*` entries: every baseline workload×scale
+/// with a fresh re-measurement must stay within
+/// [`DIVERGENCE_DRIFT_PTS`] points of its committed divergence. Improved
+/// (lower) divergence always passes — only upward drift is a
+/// miscalibration signal. Returns whether any comparison failed.
+fn gate_analytic(baseline: &[Entry], fresh: &[Entry]) -> bool {
+    let mut failed = false;
+    let mut gated = 0;
+    for base in baseline.iter().filter(|e| e.name.starts_with("analytic/divergence/")) {
+        let Some(base_div) = base.divergence_pct else {
+            println!("skip: {}: baseline has no divergence_pct field", base.name);
+            continue;
+        };
+        let Some(f) = fresh.iter().find(|f| f.name == base.name && f.scale == base.scale) else {
+            println!("skip: {}: no fresh entry at scale {:?}", base.name, base.scale);
+            continue;
+        };
+        let Some(fresh_div) = f.divergence_pct else {
+            println!("skip: {}: fresh entry has no divergence_pct field", base.name);
+            continue;
+        };
+        gated += 1;
+        let drift = fresh_div - base_div;
+        let verdict = if drift > DIVERGENCE_DRIFT_PTS { "FAIL" } else { "ok" };
+        println!(
+            "{verdict}: {} (scale {}): divergence {fresh_div:.2}% vs baseline {base_div:.2}% \
+             ({drift:+.2} pts, gate +{DIVERGENCE_DRIFT_PTS:.0} pts)",
+            base.name,
+            base.scale.unwrap_or(0),
+        );
+        failed |= drift > DIVERGENCE_DRIFT_PTS;
+    }
+    if gated == 0 {
+        println!("skip: no comparable analytic/divergence entries on both sides");
+    }
+    failed
+}
+
 fn main() {
     let mut baseline_path = "results/figures.jsonl".to_string();
     let mut fresh_path: Option<String> = None;
     let mut serve_fresh_path: Option<String> = None;
+    let mut analytic_fresh_path: Option<String> = None;
     let mut threshold_pct = 25.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -185,12 +244,13 @@ fn main() {
             "--baseline" => baseline_path = val("--baseline"),
             "--fresh" => fresh_path = Some(val("--fresh")),
             "--serve-fresh" => serve_fresh_path = Some(val("--serve-fresh")),
+            "--analytic-fresh" => analytic_fresh_path = Some(val("--analytic-fresh")),
             "--threshold" => {
                 threshold_pct = val("--threshold").parse().expect("--threshold needs a number");
             }
             other => panic!(
                 "unknown argument {other:?} (supported: --baseline FILE --fresh FILE \
-                 --serve-fresh FILE --threshold PCT)"
+                 --serve-fresh FILE --analytic-fresh FILE --threshold PCT)"
             ),
         }
     }
@@ -246,6 +306,10 @@ fn main() {
 
     if let Some(p) = &serve_fresh_path {
         failed |= gate_serve(&baseline, &parse_jsonl(p), norm, threshold_pct);
+    }
+
+    if let Some(p) = &analytic_fresh_path {
+        failed |= gate_analytic(&baseline, &parse_jsonl(p));
     }
 
     if failed {

@@ -128,6 +128,23 @@ fn upload_replicated(machine: &mut Machine, image: &Image, base: u32) {
     }
 }
 
+/// The extent `read_back` would produce for buffer `source`, without a
+/// machine: distributed buffers cover the full tile grid, replicated
+/// buffers their planned extent. Used by the analytic engine tier, which
+/// predicts a run without materializing banks to read from.
+///
+/// # Panics
+///
+/// Panics if `source` has no layout.
+pub fn output_extent(map: &MemoryMap, source: SourceId) -> (u32, u32) {
+    match map.layout(source) {
+        BufferLayout::Distributed { tile, .. } => {
+            (tile.0 * map.grid.tiles_x, tile.1 * map.grid.tiles_y)
+        }
+        BufferLayout::Replicated { extent, .. } => *extent,
+    }
+}
+
 /// Reads buffer `source` back from the banks into an [`Image`].
 ///
 /// Distributed buffers read each tile's core region from its owner;

@@ -59,8 +59,8 @@ pub use progcache::{program_key, CompiledProgram, ProgramCache};
 pub use session::{RunOutcome, Session, SessionError};
 
 pub use ipim_arch::{
-    area, power, EnergyBook, EnergyParams, Engine, ExecutionReport, Machine, MachineConfig,
-    Placement, TraceConfig,
+    analytic, area, power, EnergyBook, EnergyParams, Engine, ExecutionReport, Fidelity, Machine,
+    MachineConfig, Placement, TraceConfig,
 };
 pub use ipim_compiler::{
     compile, host, CompileOptions, CompiledPipeline, MemoryMap, RegAllocPolicy,

@@ -5,7 +5,7 @@ use std::fmt;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use ipim_arch::{ExecutionReport, Machine, MachineConfig, SimTimeout};
+use ipim_arch::{analytic, Engine, ExecutionReport, Fidelity, Machine, MachineConfig, SimTimeout};
 use ipim_compiler::{compile, host, CompileError, CompileOptions, CompiledPipeline};
 use ipim_frontend::{Image, Pipeline, SourceId};
 use ipim_trace::{MetricsRegistry, SamplingSink, TraceCapture};
@@ -74,6 +74,11 @@ pub struct RunOutcome {
     pub metrics: MetricsRegistry,
     /// Captured trace events, when `MachineConfig::trace.enabled` was set.
     pub trace: Option<TraceCapture>,
+    /// How much this outcome can be trusted: [`Fidelity::BitExact`] for
+    /// the cycle engines, [`Fidelity::Approximate`] for the analytic
+    /// tier (whose `output` is a zero image at the correct extent and
+    /// whose report carries a measured error envelope).
+    pub fidelity: Fidelity,
 }
 
 impl RunOutcome {
@@ -190,6 +195,9 @@ impl Session {
         inputs: &[(SourceId, Image)],
         max_cycles: u64,
     ) -> Result<RunOutcome, SessionError> {
+        if self.config.engine == Engine::Analytic {
+            return self.predict(program, max_cycles);
+        }
         let compiled = program.compiled();
         let mut machine = Machine::new(self.config.clone());
         // When tracing is on, wire a shared ring through every component
@@ -226,7 +234,52 @@ impl Session {
                 total,
             }
         });
-        Ok(RunOutcome { output, report, compiled: program.clone(), metrics, trace })
+        Ok(RunOutcome {
+            output,
+            report,
+            compiled: program.clone(),
+            metrics,
+            trace,
+            fidelity: self.config.engine.fidelity(),
+        })
+    }
+
+    /// The [`Engine::Analytic`] path of [`simulate`](Self::simulate):
+    /// predicts the run from the compiled SIMB stream alone (see
+    /// `ipim_arch::analytic`), never building a machine or touching
+    /// banks. The outcome is marked [`Fidelity::Approximate`]; its
+    /// `output` is a zero image at the extent `read_back` would produce,
+    /// and `metrics` carries the predicted counters under the same
+    /// `machine/total` + `dram/*` paths the simulating engines export.
+    fn predict(
+        &self,
+        program: &Arc<CompiledProgram>,
+        max_cycles: u64,
+    ) -> Result<RunOutcome, SessionError> {
+        let compiled = program.compiled();
+        let report = analytic::predict(&compiled.program, &self.config, max_cycles)
+            .map_err(SessionError::Timeout)?;
+        let (w, h) = host::output_extent(&compiled.map, program.output_source());
+        let mut metrics = MetricsRegistry::default();
+        metrics.counter_add("machine/cycles", report.cycles);
+        report.stats.record_into(&mut metrics, "machine/total");
+        metrics.counter_add("dram/acts", report.bank_stats.acts);
+        metrics.counter_add("dram/pres", report.bank_stats.pres);
+        metrics.counter_add("dram/reads", report.bank_stats.reads);
+        metrics.counter_add("dram/writes", report.bank_stats.writes);
+        metrics.counter_add("dram/refs", report.bank_stats.refs);
+        metrics.counter_add("dram/row_hits", report.locality.row_hits);
+        metrics.counter_add("dram/row_misses", report.locality.row_misses);
+        metrics.counter_add("dram/row_conflicts", report.locality.row_conflicts);
+        metrics.counter_add("analytic/predictions", 1);
+        Ok(RunOutcome {
+            output: Image::new(w, h),
+            report,
+            compiled: program.clone(),
+            metrics,
+            trace: None,
+            fidelity: Fidelity::Approximate,
+        })
     }
 
     /// Compiles `pipeline` (through the program cache), uploads `inputs`,

@@ -135,6 +135,7 @@ mod tests {
             report,
             output: Image::splat(1, 1, tag as f32),
             output_hash: tag,
+            fidelity: ipim_core::Fidelity::BitExact,
         }))
     }
 

@@ -25,7 +25,9 @@ pub struct SimRequest {
     pub height: u32,
     /// Vaults in the simulated single-cube slice.
     pub vaults: usize,
-    /// Cycle engine: `SkipAhead` (default) or `Legacy`.
+    /// Cycle engine: `SkipAhead` (default), `Legacy`, or `Analytic` —
+    /// the prediction tier, which answers cost/admission questions from
+    /// the model alone (the response carries `fidelity:"approximate"`).
     pub engine: Engine,
     /// Register-allocation policy (`Max` = the paper's `opt`).
     pub reg_alloc: RegAllocPolicy,
@@ -219,6 +221,7 @@ fn engine_name(e: Engine) -> &'static str {
     match e {
         Engine::Legacy => "legacy",
         Engine::SkipAhead => "skip_ahead",
+        Engine::Analytic => "analytic",
     }
 }
 
@@ -226,7 +229,8 @@ fn parse_engine(s: &str) -> Result<Engine, String> {
     match s {
         "legacy" => Ok(Engine::Legacy),
         "skip_ahead" => Ok(Engine::SkipAhead),
-        other => Err(format!("unknown engine {other:?} (legacy | skip_ahead)")),
+        "analytic" => Ok(Engine::Analytic),
+        other => Err(format!("unknown engine {other:?} (legacy | skip_ahead | analytic)")),
     }
 }
 

@@ -8,7 +8,7 @@
 //! serial one.
 
 use ipim_core::frontend::Image;
-use ipim_core::{ExecutionReport, RunOutcome, SessionError};
+use ipim_core::{ExecutionReport, Fidelity, RunOutcome, SessionError};
 
 use crate::request::{fnv1a, json_escape, SimRequest};
 
@@ -30,6 +30,11 @@ pub struct DoneResponse {
     /// FNV-1a over the output's f32 bit patterns (row-major), the cheap
     /// wire-level determinism witness.
     pub output_hash: u64,
+    /// Whether `cycles`/`energy_pj` are bit-exact simulation results or
+    /// an analytic-tier prediction (in which case `output` is a blank
+    /// image and `output_hash` hashes that blank — predictions answer
+    /// cost questions, not correctness questions).
+    pub fidelity: Fidelity,
 }
 
 /// Why a job produced no result.
@@ -79,6 +84,7 @@ impl SimResponse {
             report: outcome.report,
             output: outcome.output,
             output_hash,
+            fidelity: outcome.fidelity,
         }))
     }
 
@@ -100,18 +106,27 @@ impl SimResponse {
     /// ndjson control channel.
     pub fn to_json_string(&self) -> String {
         match self {
-            SimResponse::Done(d) => format!(
-                "{{\"status\":\"done\",\"workload\":\"{}\",\"cycles\":{},\"issued\":{},\
-                 \"energy_pj\":{:?},\"output_width\":{},\"output_height\":{},\
-                 \"output_hash\":\"{:016x}\"}}",
-                json_escape(&d.workload),
-                d.cycles,
-                d.issued,
-                d.energy_pj,
-                d.output.width(),
-                d.output.height(),
-                d.output_hash,
-            ),
+            SimResponse::Done(d) => {
+                // Bit-exact responses keep their historical wire shape
+                // (recorded fingerprints stay valid); only predictions
+                // carry the marker.
+                let fidelity = match d.fidelity {
+                    Fidelity::BitExact => String::new(),
+                    f => format!(",\"fidelity\":\"{}\"", f.name()),
+                };
+                format!(
+                    "{{\"status\":\"done\",\"workload\":\"{}\",\"cycles\":{},\"issued\":{},\
+                     \"energy_pj\":{:?},\"output_width\":{},\"output_height\":{},\
+                     \"output_hash\":\"{:016x}\"{fidelity}}}",
+                    json_escape(&d.workload),
+                    d.cycles,
+                    d.issued,
+                    d.energy_pj,
+                    d.output.width(),
+                    d.output.height(),
+                    d.output_hash,
+                )
+            }
             SimResponse::Timeout(TimeoutKind::DeadlineBeforeStart) => {
                 "{\"status\":\"timeout\",\"reason\":\"deadline\"}".to_string()
             }
@@ -163,5 +178,35 @@ mod tests {
         let v = json::parse(&err.to_json_string()).unwrap();
         assert_eq!(v.get("message").unwrap().as_str(), Some("no such \"kernel\""));
         assert!(!err.is_done() && !err.is_timeout());
+    }
+
+    #[test]
+    fn fidelity_marker_only_on_predictions() {
+        let done = |fidelity| {
+            SimResponse::Done(Box::new(DoneResponse {
+                workload: "T".into(),
+                cycles: 1,
+                issued: 1,
+                energy_pj: 1.0,
+                report: ExecutionReport {
+                    cycles: 1,
+                    stats: Default::default(),
+                    bank_stats: Default::default(),
+                    locality: Default::default(),
+                    energy: Default::default(),
+                    vaults: 1,
+                    pes: 32,
+                },
+                output: Image::splat(1, 1, 0.0),
+                output_hash: 0,
+                fidelity,
+            }))
+        };
+        // Bit-exact responses keep the historical wire shape...
+        let exact = done(Fidelity::BitExact).to_json_string();
+        assert!(!exact.contains("fidelity"), "unexpected marker: {exact}");
+        // ...and predictions are unmistakably marked.
+        let v = json::parse(&done(Fidelity::Approximate).to_json_string()).unwrap();
+        assert_eq!(v.get("fidelity").unwrap().as_str(), Some("approximate"));
     }
 }

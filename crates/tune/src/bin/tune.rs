@@ -16,7 +16,8 @@
 //! `--vaults N` (1) · `--seed N` (0x1915) · `--strategy
 //! exhaustive|random|hill` (hill) · `--samples N` (random, 24) ·
 //! `--restarts N`/`--steps N` (hill, 2/8) · `--workers N` (pool, 2) ·
-//! `--max-cycles N` · `--prune-ratio X` (8.0) · `--include-backend` ·
+//! `--max-cycles N` · `--prune-ratio X` (8.0) · `--frontier N` (4; 0 =
+//! simulate every hill-climb neighbour) · `--include-backend` ·
 //! `--top N` (10) · `--out PATH` (results/tuning.jsonl) · `--no-append` ·
 //! `--gate-default`.
 
@@ -61,6 +62,7 @@ fn main() -> ExitCode {
                     .parse()
                     .unwrap_or_else(|_| panic!("--prune-ratio needs a number"));
             }
+            "--frontier" => base.frontier = parse(&val("--frontier"), "--frontier"),
             "--include-backend" => base.include_backend = true,
             "--top" => top = parse(&val("--top"), "--top"),
             "--out" => out_path = PathBuf::from(val("--out")),
@@ -70,7 +72,8 @@ fn main() -> ExitCode {
                 "unknown argument {other:?} (supported: --workloads A,B --width N --height N \
                  --vaults N --seed N --max-cycles N --strategy exhaustive|random|hill \
                  --samples N --restarts N --steps N --workers N --prune-ratio X \
-                 --include-backend --top N --out PATH --no-append --gate-default)"
+                 --frontier N --include-backend --top N --out PATH --no-append \
+                 --gate-default)"
             ),
         }
     }

@@ -14,8 +14,12 @@
 //!   [`SimRequest`](ipim_serve::SimRequest)s carrying a
 //!   [`ScheduleOverride`] — deduplicated tuner-side by canonical key and
 //!   pool-side by the content-addressed result cache.
-//! - A static cost estimate (`ipim_compiler::estimate`) prunes candidates
-//!   that could not plausibly win before any simulation is spent.
+//! - The analytic fast-forward engine (`ipim_core::analytic`) predicts
+//!   every candidate's cycles from its compiled program before any
+//!   simulation is spent: far-off candidates are pruned outright, and
+//!   hill-climb waves simulate only the top-`frontier` neighbours by
+//!   predicted rank, with the bit-exact SkipAhead engine verifying that
+//!   short-list.
 //! - Search strategies ([`Strategy`]) — exhaustive, seeded random
 //!   sampling, greedy hill-climb with restarts — all draw randomness from
 //!   the in-tree `ipim-simkit` PRNG, so the same seed finds the same best
@@ -61,9 +65,14 @@ pub struct TuneConfig {
     pub seed: u64,
     /// Search strategy.
     pub strategy: Strategy,
-    /// Candidates whose static estimate exceeds `prune_ratio` × the
-    /// space-wide minimum estimate are recorded but never simulated.
+    /// Candidates whose analytic prediction exceeds `prune_ratio` × the
+    /// space-wide minimum prediction are recorded but never simulated.
     pub prune_ratio: f64,
+    /// Hill-climb neighbour short-list: each wave simulates only the
+    /// `frontier` best-predicted neighbours (ties broken by candidate
+    /// key). `0` disables the short-list and simulates every neighbour,
+    /// which is the pre-analytic behaviour.
+    pub frontier: usize,
     /// Widen the space with backend knobs (reg_alloc / reorder /
     /// memory_order).
     pub include_backend: bool,
@@ -82,6 +91,7 @@ impl TuneConfig {
             seed: 0x1915,
             strategy: Strategy::HillClimb { restarts: 2, steps: 8 },
             prune_ratio: 8.0,
+            frontier: 4,
             include_backend: false,
         }
     }
@@ -110,8 +120,8 @@ pub struct EvalRecord {
     pub candidate: Candidate,
     /// Canonical candidate key (dedup/tie-break identity).
     pub key: String,
-    /// Static cost estimate for the candidate's schedule (0 when the
-    /// estimator had nothing to say, e.g. for the hand default).
+    /// Analytic-engine cycle prediction for the candidate's schedule (0
+    /// when the model had nothing to say, e.g. for the hand default).
     pub est_cycles: u64,
     /// Simulated cycles to quiescence (`None`: pruned, timed out or
     /// errored).

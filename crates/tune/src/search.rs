@@ -121,10 +121,21 @@ pub fn run_search(cfg: &TuneConfig, pool: &ServePool) -> Result<TuneOutcome, Str
                 };
                 let mut current_cycles = cycles_of(&mut tuner, &current).unwrap_or(u64::MAX);
                 for _ in 0..steps.max(1) {
-                    let neighbours: Vec<Candidate> =
+                    let mut neighbours: Vec<Candidate> =
                         candidates.iter().filter(|c| current.distance(c) == 1).cloned().collect();
                     if neighbours.is_empty() {
                         break;
+                    }
+                    // Analytic short-list: rank the wave by predicted
+                    // cycles (key tie-break keeps the order seedless) and
+                    // let the bit-exact engine verify only the top
+                    // `frontier`. frontier == 0 simulates every
+                    // neighbour.
+                    if cfg.frontier > 0 && neighbours.len() > cfg.frontier {
+                        neighbours.sort_by_cached_key(|c| {
+                            (tuner.space.estimate_for(c).unwrap_or(u64::MAX), c.key())
+                        });
+                        neighbours.truncate(cfg.frontier);
                     }
                     let idxs = tuner.evaluate(&neighbours);
                     // Deterministic move: best (cycles, key) among

@@ -29,6 +29,11 @@ use crate::TuneConfig;
 /// compiling (let alone simulating) them would dwarf any cycle win.
 const MAX_INLINED_NODES: u64 = 50_000;
 
+/// Cycle budget for enumeration-time analytic predictions: a candidate
+/// whose *predicted* run exceeds this is rejected the same way a
+/// simulation timeout would reject it.
+const ESTIMATE_MAX_CYCLES: u64 = 4_000_000_000;
+
 /// One legal schedule override, annotated with what enumeration learned
 /// about it.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,7 +44,11 @@ pub struct ScheduleEntry {
     /// dedup key (two overrides with the same summary compile to the same
     /// program).
     pub summary: String,
-    /// Static cost estimate from `ipim_compiler::estimate` (rank-only).
+    /// Predicted cycles from the analytic fast-forward engine
+    /// (`ipim_core::analytic`), walked over the candidate's compiled
+    /// program. Approximate (measured ≤15% at Table II 128²) but
+    /// rank-faithful — used for pruning and neighbour ordering, never
+    /// reported as a result.
     pub est_cycles: u64,
 }
 
@@ -180,15 +189,24 @@ impl ScheduleSpace {
                             // cache: enumeration is the cold pass, so the
                             // pool workers that later simulate surviving
                             // candidates find every program already built.
-                            if session.compile(&w.pipeline).is_err() {
-                                rejected += 1;
-                                continue;
-                            }
-                            let Ok(est) = ipim_compiler::estimate(&w.pipeline, machine) else {
+                            let Ok(compiled) = session.compile(&w.pipeline) else {
                                 rejected += 1;
                                 continue;
                             };
-                            entries.push(ScheduleEntry { ov, summary, est_cycles: est.est_cycles });
+                            // Rank by the analytic fast-forward model on
+                            // the very program the workers would simulate
+                            // (replaces the static `ipim_compiler::estimate`
+                            // heuristic, whose ranking was measurably noisy
+                            // — see DESIGN.md §11).
+                            let Ok(report) = ipim_core::analytic::predict(
+                                &compiled.program,
+                                machine,
+                                ESTIMATE_MAX_CYCLES,
+                            ) else {
+                                rejected += 1;
+                                continue;
+                            };
+                            entries.push(ScheduleEntry { ov, summary, est_cycles: report.cycles });
                         }
                     }
                 }

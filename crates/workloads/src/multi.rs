@@ -252,20 +252,30 @@ pub fn local_laplacian(scale: WorkloadScale) -> Workload {
 pub fn stencil_chain(scale: WorkloadScale) -> Workload {
     let (w, h) = (scale.width, scale.height);
     // Large tiles bound the overlapped-halo recompute of the deep chain;
-    // small images fall back to the largest lane-aligned tile whose grid
-    // still covers the 32 PEs of the simulated vault slice (a fixed 16×16
-    // fallback left e.g. 64×64 with only 16 tiles — an illegal mapping).
-    let t = if w >= 512 && h >= 512 {
-        64
-    } else {
-        [16u32, 8, 4]
-            .into_iter()
-            .find(|&t| {
-                w.is_multiple_of(t) && h.is_multiple_of(t) && ((w / t) * (h / t)).is_multiple_of(32)
-            })
-            .unwrap_or(4)
+    // small images fall back to a tile whose grid still covers the 32 PEs
+    // of the simulated vault slice (a fixed 16×16 fallback left e.g.
+    // 64×64 with only 16 tiles — an illegal mapping).
+    let legal = |tw: u32, th: u32| {
+        w.is_multiple_of(tw) && h.is_multiple_of(th) && ((w / tw) * (h / th)).is_multiple_of(32)
     };
-    let tile = (t, t);
+    let tile = if w >= 512 && h >= 512 {
+        (64, 64)
+    } else if w >= 128 && h >= 128 {
+        let t = [16u32, 8, 4].into_iter().find(|&t| legal(t, t)).unwrap_or(4);
+        (t, t)
+    } else {
+        // Below 128² the ipim-tune hill-climb (seed 0x1915) found the
+        // rectangular 16×8 tile 1.75× faster than the square 8×8
+        // fallback at 64×64 (3386153 → 1937208 cycles, output verified
+        // against the CPU interpreter). Prefer it wherever legal; keep
+        // the square ladder behind it — at 32×32 a 16×8 grid has only 8
+        // tiles, and the best legal rectangle there (8×4) drifts past
+        // the reference tolerance, so the 4×4 square stays the default.
+        [(16u32, 8u32), (16, 16), (8, 8), (4, 4)]
+            .into_iter()
+            .find(|&(tw, th)| legal(tw, th))
+            .unwrap_or((4, 4))
+    };
     let mut p = PipelineBuilder::new();
     let input = p.input("in", w, h);
     let mut prev = input;

@@ -1,0 +1,130 @@
+//! Tier-1 accuracy gate for the analytic fast-forward engine.
+//!
+//! Every Table II workload that compiles at {32², 64², 128²} is run
+//! through both the bit-exact skip-ahead engine and the analytic tier,
+//! and the cycle divergence must stay inside a *declared per-workload
+//! envelope*. The envelopes were set from the calibration sweep recorded
+//! in `results/figures.jsonl` (`analytic/divergence/*`) with roughly 1.5×
+//! headroom, and every one is well under the 25% ceiling the model
+//! shipped against; tightening them is progress, loosening them needs a
+//! recalibration argument (see DESIGN.md §11).
+//!
+//! The suite also pins the property the tuner actually relies on:
+//! *rank preservation*. The analytic model must order the recorded
+//! hand-vs-winner pairs from the PR 5/6 tuning sweeps the same way the
+//! bit-exact engine did (Blur 128²: the 32×8+PGSM winner beat the hand
+//! schedule 1.79×).
+
+use ipim_core::analytic::divergence_pct;
+use ipim_core::{
+    all_workloads, workload_by_name, Engine, Fidelity, MachineConfig, ScheduleOverride, Session,
+    WorkloadScale,
+};
+
+const MAX_CYCLES: u64 = 4_000_000_000;
+
+/// Declared divergence envelope, percent, per workload. Calibrated
+/// against the skip-ahead engine across 32²/64²/128² (the model's
+/// dominant error terms — refresh displacement and drain-tail overlap —
+/// scale differently per workload, so the envelopes do too).
+fn envelope_pct(name: &str) -> f64 {
+    match name {
+        "Brighten" => 18.0,
+        "Blur" => 10.0,
+        "Downsample" => 12.0,
+        "Upsample" => 10.0,
+        "Shift" => 20.0,
+        "Histogram" => 10.0,
+        "BilateralGrid" => 20.0,
+        "Interpolate" => 18.0,
+        "LocalLaplacian" => 12.0,
+        "StencilChain" => 8.0,
+        other => panic!("no declared envelope for workload {other:?}"),
+    }
+}
+
+/// Runs the full Table II suite at `side`×`side` through both engines,
+/// asserting the envelope per workload; returns how many workloads
+/// actually compiled (small scales reject most static SIMB mappings).
+fn check_scale(side: u32) -> usize {
+    let skip =
+        Session::new(MachineConfig { engine: Engine::SkipAhead, ..MachineConfig::vault_slice(1) });
+    let analytic =
+        Session::new(MachineConfig { engine: Engine::Analytic, ..MachineConfig::vault_slice(1) });
+    let mut covered = 0;
+    for w in all_workloads(WorkloadScale { width: side, height: side }) {
+        let Ok(program) = skip.compile(&w.pipeline) else {
+            continue; // not mappable at this scale — not an accuracy question
+        };
+        let s = skip.simulate(&program, &w.inputs, MAX_CYCLES).expect(w.name);
+        let p = analytic.simulate(&program, &w.inputs, MAX_CYCLES).expect(w.name);
+        assert_eq!(s.fidelity, Fidelity::BitExact);
+        assert_eq!(p.fidelity, Fidelity::Approximate);
+        let div = divergence_pct(p.report.cycles, s.report.cycles);
+        assert!(
+            div <= envelope_pct(w.name),
+            "{} {side}x{side}: analytic {} vs skip-ahead {} cycles — {div:.2}% exceeds the \
+             declared {:.0}% envelope",
+            w.name,
+            p.report.cycles,
+            s.report.cycles,
+            envelope_pct(w.name),
+        );
+        // The prediction must carry a full report, not just cycles: the
+        // tuner and serve admission read issued/energy off it.
+        assert_eq!(
+            p.report.stats.issued, s.report.stats.issued,
+            "{}: issue count is exact",
+            w.name
+        );
+        assert!(p.report.energy.total_pj() > 0.0, "{}: energy model composed", w.name);
+        covered += 1;
+    }
+    covered
+}
+
+#[test]
+fn analytic_accuracy_32() {
+    // Only Histogram and StencilChain map onto 32 PEs at this scale.
+    assert_eq!(check_scale(32), 2);
+}
+
+#[test]
+fn analytic_accuracy_64() {
+    // Downsample / Interpolate / LocalLaplacian don't map at 64².
+    assert_eq!(check_scale(64), 7);
+}
+
+#[test]
+fn slow_analytic_accuracy_128() {
+    // The full Table II suite compiles at the paper's scale.
+    assert_eq!(check_scale(128), 10);
+}
+
+#[test]
+fn analytic_preserves_recorded_tuning_ranks() {
+    // PR 5's sweep found tile=32x8 + PGSM staging beating Blur's hand
+    // schedule 1.79× at 128² (16272 → 9084 cycles, results/tuning.jsonl).
+    // The analytic model must reproduce that order from the compiled
+    // programs alone — this is the property the hill-climb short-list
+    // stands on.
+    let hand = workload_by_name("Blur", WorkloadScale { width: 128, height: 128 }).unwrap();
+    let winner = hand
+        .with_override(&ScheduleOverride {
+            tile: Some((32, 8)),
+            load_pgsm: Some(true),
+            vectorize: Some(4),
+            ..ScheduleOverride::default()
+        })
+        .expect("recorded winner override applies");
+    let session =
+        Session::new(MachineConfig { engine: Engine::Analytic, ..MachineConfig::vault_slice(1) });
+    let hand_pred = session.run_workload(&hand, MAX_CYCLES).expect("hand");
+    let win_pred = session.run_workload(&winner, MAX_CYCLES).expect("winner");
+    assert!(
+        win_pred.report.cycles < hand_pred.report.cycles,
+        "analytic rank inversion: winner predicted {} vs hand {}",
+        win_pred.report.cycles,
+        hand_pred.report.cycles,
+    );
+}

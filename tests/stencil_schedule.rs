@@ -1,0 +1,53 @@
+//! StencilChain small-size schedule regression.
+//!
+//! The hand schedule's fixed 16×16 tile was illegal below 128² (a 64×64
+//! image yields only 16 tiles for 32 PEs, so the static SIMB masks cannot
+//! cover the slice). The fallback ladder in `ipim_workloads::multi` now
+//! prefers the tuner-found rectangular 16×8 tile (1.75× faster than the
+//! square 8×8 fallback at 64×64, `ipim-tune` seed 0x1915) and keeps the
+//! square ladder behind it for sizes where 16×8 is itself illegal. These
+//! tests pin that choice: every small size must compile, 64×64 must get
+//! the tuner schedule, and the rescheduled chain must still match the
+//! reference interpreter bit-for-bit within tolerance.
+
+use ipim_core::experiments::{output_divergence, REFERENCE_TOLERANCE};
+use ipim_core::{workload_by_name, MachineConfig, Session, WorkloadScale};
+
+fn chain(side: u32) -> ipim_core::Workload {
+    workload_by_name("StencilChain", WorkloadScale { width: side, height: side })
+        .expect("StencilChain is a Table II workload")
+}
+
+#[test]
+fn stencil_chain_compiles_at_every_small_size() {
+    let session = Session::new(MachineConfig::vault_slice(1));
+    for side in [32u32, 64, 96, 128] {
+        let w = chain(side);
+        session
+            .compile(&w.pipeline)
+            .unwrap_or_else(|e| panic!("StencilChain {side}x{side} must compile: {e}"));
+    }
+}
+
+#[test]
+fn stencil_chain_64_uses_the_tuner_schedule() {
+    // Every stage carries the tuner-found tile; 32×32 (where a 16×8 grid
+    // has only 8 tiles) stays on the square fallback.
+    assert!(chain(64).pipeline.schedule_summary().contains("tile=16x8 pgsm"));
+    assert!(chain(96).pipeline.schedule_summary().contains("tile=4x4 pgsm"));
+    assert!(chain(32).pipeline.schedule_summary().contains("tile=4x4 pgsm"));
+    // 128² and above keep the pre-existing square ladder.
+    assert!(chain(128).pipeline.schedule_summary().contains("tile=16x16 pgsm"));
+}
+
+#[test]
+fn slow_stencil_chain_64_matches_reference() {
+    let w = chain(64);
+    let session = Session::new(MachineConfig::vault_slice(1));
+    let outcome = session.run_workload(&w, 4_000_000_000).expect("StencilChain 64x64 runs");
+    let diff = output_divergence(&w, &outcome.output);
+    assert!(
+        diff <= REFERENCE_TOLERANCE,
+        "tuner schedule diverges from the reference interpreter by {diff}"
+    );
+}
