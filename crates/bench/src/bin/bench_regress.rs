@@ -20,8 +20,9 @@
 //! With `--fresh`, no measurement runs: the two files are diffed directly
 //! (useful for comparing two recorded runs).
 //!
-//! With `--serve-fresh`, `serve/throughput/*` entries from a just-measured
-//! loadgen run are gated against the baseline too — but **only** baseline
+//! With `--serve-fresh`, `serve/throughput/*` and `shard/throughput/*`
+//! entries from a just-measured loadgen run are gated against the baseline
+//! too — but **only** baseline
 //! entries whose recorded `cores` field matches this machine's core count
 //! (and whose `mix`/`transport` match the fresh entry's). Throughput
 //! numbers depend on physical parallelism in a way the single-core
@@ -55,7 +56,7 @@ struct Entry {
     cores: Option<u64>,
     /// Workload mix (serve entries only).
     mix: Option<String>,
-    /// Transport: "inproc" | "stream" (serve entries; absent = inproc).
+    /// Transport: "inproc" | "stream" | "shard" (absent = inproc).
     transport: String,
     /// Analytic-vs-skip-ahead cycle divergence (analytic entries only).
     divergence_pct: Option<f64>,
@@ -143,14 +144,17 @@ fn measure_fresh() -> Vec<Entry> {
     out
 }
 
-/// Gates `serve/throughput/*` entries: compares a fresh loadgen run
-/// against baseline entries recorded on an identical setup (same core
-/// count as this machine, same mix and transport), skipping — loudly —
-/// anything recorded elsewhere. Returns whether any comparison failed.
+/// Gates `serve/throughput/*` and `shard/throughput/*` entries: compares
+/// a fresh loadgen run against baseline entries recorded on an identical
+/// setup (same core count as this machine, same mix and transport),
+/// skipping — loudly — anything recorded elsewhere. Returns whether any
+/// comparison failed.
 fn gate_serve(baseline: &[Entry], serve_fresh: &[Entry], norm: f64, threshold_pct: f64) -> bool {
     let machine_cores = std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1);
     let mut failed = false;
-    for base in baseline.iter().filter(|e| e.name.starts_with("serve/throughput/")) {
+    for base in baseline.iter().filter(|e| {
+        e.name.starts_with("serve/throughput/") || e.name.starts_with("shard/throughput/")
+    }) {
         match base.cores {
             Some(c) if c == machine_cores => {}
             Some(c) => {

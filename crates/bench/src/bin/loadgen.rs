@@ -18,23 +18,40 @@
 //! instead of in-process `submit` calls — the end-to-end exercise of the
 //! `ipim_served --stream` protocol path, wire parsing included.
 //!
+//! With `--shard N`, clients drive an `ipim-shard` router over N local
+//! streaming-TCP backends (each its own `ServePool` with `--workers`
+//! workers) — the end-to-end exercise of the distributed tier: consistent
+//! hashing, per-backend windows, retry machinery and all. `--verify` then
+//! checks every unique request's output hash, **report hash** and echoed
+//! cache **fingerprint** against a serial in-process run, which is the
+//! sharded-equals-serial determinism gate CI leans on. The figures entry
+//! becomes `shard/throughput/backendsN`; as with the serve entries, the
+//! recorded `cores` field is what makes numbers comparable (a single-core
+//! container serializes all backends, so absolute throughput there is not
+//! comparable to multi-core runs).
+//!
 //! Flags: `--workers N` (default 4) · `--clients N` (default = workers) ·
 //! `--requests M` per client (default 8) · `--seed S` (default 7) ·
-//! `--mix fast|table2` (default fast) · `--cache N` (default 0: caching off
-//! so throughput numbers are honest) · `--stream` · `--verify` re-run each
-//! unique request serially and compare bit-for-bit · `--watchdog-secs T`
-//! (default 600) · `--append-figures PATH`.
+//! `--mix fast|mixed|table2` (default fast; `mixed` is the shard-soak
+//! traffic: workload × size spread with per-class deadlines) · `--cache N`
+//! (default 0: caching off so throughput numbers are honest) · `--stream` ·
+//! `--shard N` · `--verify` re-run each unique request serially and compare
+//! bit-for-bit · `--watchdog-secs T` (default 600) ·
+//! `--append-figures PATH`.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use ipim_core::trace::json;
 use ipim_serve::server::serve_stream;
-use ipim_serve::{image_hash, PoolConfig, ServePool, SimRequest, SimResponse, TimeoutKind};
+use ipim_serve::{
+    image_hash, report_hash, PoolConfig, ServePool, SimRequest, SimResponse, TimeoutKind,
+};
+use ipim_shard::{ShardConfig, ShardRouter};
 use ipim_simkit::rng::{splitmix64, Rng};
 
 struct Options {
@@ -44,6 +61,7 @@ struct Options {
     seed: u64,
     mix: &'static str,
     stream: bool,
+    shard: usize,
     verify: bool,
     watchdog_secs: u64,
     append_figures: Option<String>,
@@ -52,16 +70,24 @@ struct Options {
 /// What one request came back as, seen from the client side — the common
 /// shape of the in-process and wire transports.
 enum Reply {
-    Done { output_hash: u64 },
+    Done { output_hash: u64, report_hash: Option<u64>, fingerprint: Option<u64> },
     DeadlineShed,
     OtherTimeout(String),
     Error(String),
 }
 
+fn hex_field(v: &json::Value, key: &str) -> Option<u64> {
+    v.get(key).and_then(json::Value::as_str).and_then(|h| u64::from_str_radix(h, 16).ok())
+}
+
 impl Reply {
     fn from_response(resp: SimResponse) -> Self {
         match resp {
-            SimResponse::Done(done) => Reply::Done { output_hash: done.output_hash },
+            SimResponse::Done(done) => Reply::Done {
+                output_hash: done.output_hash,
+                report_hash: Some(report_hash(&done.report)),
+                fingerprint: Some(done.fingerprint),
+            },
             SimResponse::Timeout(TimeoutKind::DeadlineBeforeStart) => Reply::DeadlineShed,
             SimResponse::Timeout(kind) => Reply::OtherTimeout(format!("{kind:?}")),
             SimResponse::Error(msg) => Reply::Error(msg),
@@ -74,12 +100,12 @@ impl Reply {
             return Reply::Error(format!("unparseable response line {line:?}"));
         };
         match v.get("status").and_then(json::Value::as_str) {
-            Some("done") => match v
-                .get("output_hash")
-                .and_then(json::Value::as_str)
-                .and_then(|h| u64::from_str_radix(h, 16).ok())
-            {
-                Some(output_hash) => Reply::Done { output_hash },
+            Some("done") => match hex_field(&v, "output_hash") {
+                Some(output_hash) => Reply::Done {
+                    output_hash,
+                    report_hash: hex_field(&v, "report_hash"),
+                    fingerprint: hex_field(&v, "fingerprint"),
+                },
                 None => Reply::Error(format!("done response without output_hash: {line:?}")),
             },
             Some("timeout") => match v.get("reason").and_then(json::Value::as_str) {
@@ -97,10 +123,12 @@ impl Reply {
     }
 }
 
-/// One client's transport: in-process pool submission, or an ndjson
-/// streaming TCP connection.
+/// One client's transport: in-process pool submission, an ndjson
+/// streaming TCP connection, or the shard router (which itself talks
+/// streaming TCP to every backend).
 enum Transport<'p> {
     InProcess(&'p ServePool),
+    Shard(&'p ShardRouter),
     Stream { write: TcpStream, read: BufReader<TcpStream> },
 }
 
@@ -108,6 +136,7 @@ impl Transport<'_> {
     fn round_trip(&mut self, req: &SimRequest) -> Reply {
         match self {
             Transport::InProcess(pool) => Reply::from_response(pool.submit(req.clone()).wait()),
+            Transport::Shard(router) => Reply::from_wire(router.submit(req.clone()).wait().trim()),
             Transport::Stream { write, read } => {
                 if let Err(e) = writeln!(write, "{}", req.to_json_string()) {
                     return Reply::Error(format!("wire write: {e}"));
@@ -131,6 +160,7 @@ fn parse_args() -> Options {
         seed: 7,
         mix: "fast",
         stream: false,
+        shard: 0,
         verify: false,
         watchdog_secs: 600,
         append_figures: None,
@@ -152,36 +182,64 @@ fn parse_args() -> Options {
             }
             "--append-figures" => opts.append_figures = Some(val("--append-figures")),
             "--stream" => opts.stream = true,
+            "--shard" => opts.shard = num("--shard", val("--shard")) as usize,
             "--verify" => opts.verify = true,
             "--mix" => {
                 opts.mix = match val("--mix").as_str() {
                     "fast" => "fast",
+                    "mixed" => "mixed",
                     "table2" => "table2",
-                    other => panic!("--mix must be fast or table2, got {other:?}"),
+                    other => panic!("--mix must be fast, mixed or table2, got {other:?}"),
                 }
             }
             other => panic!(
                 "unknown argument {other:?} (supported: --workers N --clients N --requests M \
-                 --seed S --mix fast|table2 --cache N --stream --verify --watchdog-secs T \
-                 --append-figures PATH)"
+                 --seed S --mix fast|mixed|table2 --cache N --stream --shard N --verify \
+                 --watchdog-secs T --append-figures PATH)"
             ),
         }
     }
     if opts.clients == 0 {
         opts.clients = opts.pool.workers;
     }
+    assert!(
+        !(opts.stream && opts.shard > 0),
+        "--stream and --shard are mutually exclusive (the shard already talks TCP to backends)"
+    );
     opts
 }
 
 /// The workload mixes. `fast` sticks to 64×64 single-stage kernels for CI
-/// soaks; `table2` is the full 10-benchmark suite at 128×128 (Downsample
-/// and Upsample need ≥128 pixels per row to fit the SIMB lanes).
+/// soaks; `mixed` is realistic shard-soak traffic — a workload × size
+/// spread skewed toward small images, with generous deadlines on the
+/// interactive classes and none on the batch classes (sizes are chosen so
+/// the tile grid divides the 32 PEs: width/8 × height/8 ≡ 0 mod 32);
+/// `table2` is the full 10-benchmark suite at 128×128 (Downsample and
+/// Upsample need ≥128 pixels per row to fit the SIMB lanes).
 fn mix_requests(mix: &str) -> Vec<SimRequest> {
+    let with_deadline = |name: &str, w: u32, h: u32, deadline_ms: Option<u64>| SimRequest {
+        deadline_ms,
+        ..SimRequest::named(name, w, h)
+    };
     match mix {
         "fast" => ["Brighten", "Blur", "Shift", "Histogram"]
             .iter()
             .map(|name| SimRequest::named(name, 64, 64))
             .collect(),
+        "mixed" => vec![
+            // Interactive class: small, deadline-bounded (generous enough
+            // never to shed on a healthy run — the deadline *plumbing* is
+            // what's being exercised).
+            with_deadline("Brighten", 64, 32, Some(120_000)),
+            with_deadline("Shift", 64, 32, Some(120_000)),
+            with_deadline("Brighten", 64, 64, Some(120_000)),
+            with_deadline("Shift", 64, 64, Some(120_000)),
+            with_deadline("Histogram", 64, 32, Some(120_000)),
+            // Batch class: larger, no deadline.
+            with_deadline("Blur", 96, 64, None),
+            with_deadline("Histogram", 96, 64, None),
+            with_deadline("Blur", 128, 64, None),
+        ],
         "table2" => [
             "Brighten",
             "Blur",
@@ -199,6 +257,37 @@ fn mix_requests(mix: &str) -> Vec<SimRequest> {
         .collect(),
         other => panic!("unknown mix {other:?}"),
     }
+}
+
+/// One local shard backend: a `ServePool` behind a loopback listener,
+/// serving every accepted connection in streaming mode on its own thread
+/// (the `ipim_served --stream --tcp` shape, in-process). The accept
+/// thread is detached — backends live until the process exits; the
+/// returned pool handle is kept for end-of-run metrics.
+/// A spawned local backend: its listen address and its pool handle (kept
+/// for end-of-run metrics).
+type LocalBackend = (String, Arc<ServePool>);
+
+/// Per-fingerprint determinism witness: the request, its output hash,
+/// and (when the transport carries one) its report hash.
+type Witness = (SimRequest, u64, Option<u64>);
+
+fn spawn_shard_backend(pool_config: &PoolConfig) -> LocalBackend {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind shard backend");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let pool = Arc::new(ServePool::start(pool_config));
+    let served = pool.clone();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            let served = served.clone();
+            std::thread::spawn(move || {
+                let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                let _ = serve_stream(reader, &stream, &*served);
+            });
+        }
+    });
+    (addr, pool)
 }
 
 fn percentile(sorted: &[u64], q: f64) -> u64 {
@@ -226,7 +315,13 @@ fn main() {
         opts.mix,
         opts.pool.cache_capacity,
         opts.seed,
-        if opts.stream { ", streaming over TCP" } else { "" }
+        if opts.stream {
+            ", streaming over TCP".to_string()
+        } else if opts.shard > 0 {
+            format!(", sharded over {} TCP backend(s)", opts.shard)
+        } else {
+            String::new()
+        }
     );
 
     // The watchdog turns a deadlock into a loud, bounded failure: if the
@@ -245,9 +340,21 @@ fn main() {
     }
 
     let pool = ServePool::start(&opts.pool);
-    // One representative (request, output_hash) per fingerprint, shared so
-    // cross-client divergence on identical requests is itself a failure.
-    let observed: Mutex<HashMap<u64, (SimRequest, u64)>> = Mutex::new(HashMap::new());
+    // In shard mode the router fans out over `opts.shard` local streaming
+    // backends, each with its own `--workers`-worker pool (the main pool
+    // above sits idle; clients never touch it). Seeded from `--seed` so
+    // retry jitter and probe timing are reproducible.
+    let shard: Option<(ShardRouter, Vec<LocalBackend>)> = (opts.shard > 0).then(|| {
+        let backends: Vec<_> = (0..opts.shard).map(|_| spawn_shard_backend(&opts.pool)).collect();
+        let addrs = backends.iter().map(|(a, _)| a.clone()).collect();
+        let router =
+            ShardRouter::start(&ShardConfig { seed: opts.seed, ..ShardConfig::over(addrs) });
+        (router, backends)
+    });
+    // One representative (request, output_hash, report_hash) per
+    // fingerprint, shared so cross-client divergence on identical requests
+    // is itself a failure.
+    let observed: Mutex<HashMap<u64, Witness>> = Mutex::new(HashMap::new());
     let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
 
     // In streaming mode every client gets its own long-lived loopback-TCP
@@ -280,14 +387,16 @@ fn main() {
         let handles: Vec<_> = (0..opts.clients)
             .map(|c| {
                 let pool = &pool;
+                let shard = &shard;
                 let mix = &mix;
                 let observed = &observed;
                 let failures = &failures;
                 let mut rng = Rng::new(splitmix64(&mut (opts.seed ^ c as u64)));
                 scope.spawn(move || {
-                    let mut transport = match addr {
-                        None => Transport::InProcess(pool),
-                        Some(addr) => {
+                    let mut transport = match (shard, addr) {
+                        (Some((router, _)), _) => Transport::Shard(router),
+                        (None, None) => Transport::InProcess(pool),
+                        (None, Some(addr)) => {
                             let write = TcpStream::connect(addr).expect("connect");
                             let read = BufReader::new(write.try_clone().expect("clone"));
                             Transport::Stream { write, read }
@@ -300,14 +409,29 @@ fn main() {
                         let reply = transport.round_trip(&req);
                         lat.push(sent.elapsed().as_nanos() as u64);
                         match reply {
-                            Reply::Done { output_hash } => {
+                            Reply::Done { output_hash, report_hash, fingerprint } => {
+                                // The server derives the cache key from the
+                                // wire bytes it received; it must match the
+                                // key we routed on.
+                                if fingerprint.is_some_and(|fp| fp != req.fingerprint()) {
+                                    failures.lock().unwrap().push(format!(
+                                        "{}: echoed fingerprint {:016x} != local {:016x}",
+                                        req.workload,
+                                        fingerprint.unwrap(),
+                                        req.fingerprint()
+                                    ));
+                                }
                                 let mut seen = observed.lock().unwrap();
                                 let entry = seen
                                     .entry(req.fingerprint())
-                                    .or_insert_with(|| (req.clone(), output_hash));
-                                if entry.1 != output_hash {
+                                    .or_insert_with(|| (req.clone(), output_hash, report_hash));
+                                if entry.1 != output_hash
+                                    || (entry.2.is_some()
+                                        && report_hash.is_some()
+                                        && entry.2 != report_hash)
+                                {
                                     failures.lock().unwrap().push(format!(
-                                        "{}: output hash diverged across identical requests",
+                                        "{}: output/report hash diverged across identical requests",
                                         req.workload
                                     ));
                                 }
@@ -336,6 +460,15 @@ fn main() {
     let wall = started.elapsed();
     finished.store(true, Ordering::SeqCst);
     let metrics = pool.shutdown();
+    // Drain the shard router (waits for in-flight jobs, joins its threads)
+    // and fold the backends' pool counters into one view. The backends'
+    // accept threads are detached and die with the process.
+    let shard_summary = shard.map(|(router, backends)| {
+        let sm = router.shutdown();
+        let sum =
+            |key: &str| -> u64 { backends.iter().map(|(_, p)| p.metrics().counter(key)).sum() };
+        (sm, sum("serve/pool/completed"), sum("serve/pool/errors"), sum("serve/cache/hits"))
+    });
 
     latencies.sort_unstable();
     let p50 = percentile(&latencies, 0.50);
@@ -352,18 +485,43 @@ fn main() {
         p95 as f64 / 1e6,
         p99 as f64 / 1e6,
     );
-    println!(
-        "loadgen: pool completed {} / timeouts {} / errors {} / cache hits {}",
-        metrics.counter("serve/pool/completed"),
-        metrics.counter("serve/pool/timeouts"),
-        metrics.counter("serve/pool/errors"),
-        metrics.counter("serve/cache/hits"),
-    );
+    match &shard_summary {
+        Some((sm, completed, errors, hits)) => {
+            println!(
+                "loadgen: shard submitted {} / completed {} / shed {} / retries {} / \
+                 ejections {} / readmissions {}",
+                sm.counter("shard/submitted"),
+                sm.counter("shard/completed"),
+                sm.counter("shard/shed"),
+                sm.counter("shard/retries"),
+                sm.counter("shard/ejections"),
+                sm.counter("shard/readmissions"),
+            );
+            println!(
+                "loadgen: backends completed {completed} / errors {errors} / cache hits {hits}"
+            );
+            // These two counters being nonzero means the distributed tier
+            // corrupted or duplicated work — always a failure.
+            for key in ["shard/fingerprint_mismatches", "shard/unsolicited"] {
+                let n = sm.counter(key);
+                if n > 0 {
+                    failures.lock().unwrap().push(format!("{key} = {n} after a clean drain"));
+                }
+            }
+        }
+        None => println!(
+            "loadgen: pool completed {} / timeouts {} / errors {} / cache hits {}",
+            metrics.counter("serve/pool/completed"),
+            metrics.counter("serve/pool/timeouts"),
+            metrics.counter("serve/pool/errors"),
+            metrics.counter("serve/cache/hits"),
+        ),
+    }
 
     if opts.verify {
         let seen = observed.lock().unwrap();
         eprintln!("loadgen: verifying {} unique request(s) against serial runs", seen.len());
-        for (req, pooled_hash) in seen.values() {
+        for (req, pooled_hash, pooled_report) in seen.values() {
             let (session, workload) =
                 req.instantiate().unwrap_or_else(|e| panic!("{}: {e}", req.workload));
             match session.run_workload(&workload, req.max_cycles) {
@@ -375,6 +533,14 @@ fn main() {
                             req.workload
                         ));
                     }
+                    let serial_report = report_hash(&outcome.report);
+                    if pooled_report.is_some_and(|r| r != serial_report) {
+                        failures.lock().unwrap().push(format!(
+                            "{}: pooled report hash {:#x} != serial {serial_report:#x}",
+                            req.workload,
+                            pooled_report.unwrap()
+                        ));
+                    }
                 }
                 Err(e) => {
                     failures.lock().unwrap().push(format!("{}: serial run: {e}", req.workload));
@@ -384,9 +550,14 @@ fn main() {
     }
 
     if let Some(path) = &opts.append_figures {
+        let (suite, name, transport) = if opts.shard > 0 {
+            ("shard", format!("shard/throughput/backends{}", opts.shard), "shard")
+        } else {
+            let transport = if opts.stream { "stream" } else { "inproc" };
+            ("serve", format!("serve/throughput/workers{}", opts.pool.workers), transport)
+        };
         let line = format!(
-            r#"{{"suite":"serve","name":"serve/throughput/workers{}","iters":{},"min_ns":{},"median_ns":{},"p95_ns":{},"mean_ns":{},"p99_ns":{},"throughput_rps":{:.3},"clients":{},"cores":{},"mix":"{}","transport":"{}","seed":{}}}"#,
-            opts.pool.workers,
+            r#"{{"suite":"{suite}","name":"{name}","iters":{},"min_ns":{},"median_ns":{},"p95_ns":{},"mean_ns":{},"p99_ns":{},"throughput_rps":{:.3},"clients":{},"cores":{},"mix":"{}","transport":"{transport}","seed":{}}}"#,
             total_requests,
             p50,
             p50,
@@ -397,7 +568,6 @@ fn main() {
             opts.clients,
             cores,
             opts.mix,
-            if opts.stream { "stream" } else { "inproc" },
             opts.seed,
         );
         let mut file = std::fs::OpenOptions::new()
@@ -406,7 +576,7 @@ fn main() {
             .open(path)
             .unwrap_or_else(|e| panic!("loadgen: cannot open {path}: {e}"));
         writeln!(file, "{line}").unwrap_or_else(|e| panic!("loadgen: cannot write {path}: {e}"));
-        println!("loadgen: appended serve/throughput/workers{} to {path}", opts.pool.workers);
+        println!("loadgen: appended {name} to {path}");
     }
 
     let failures = failures.into_inner().unwrap();

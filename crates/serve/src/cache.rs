@@ -129,6 +129,7 @@ mod tests {
         };
         SimResponse::Done(Box::new(DoneResponse {
             workload: "T".into(),
+            fingerprint: tag,
             cycles: tag,
             issued: 0,
             energy_pj: 0.0,

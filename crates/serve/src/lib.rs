@@ -51,4 +51,5 @@ pub use ipim_core::{ComputeRootPolicy, ScheduleOverride};
 pub use pool::{PoolConfig, ServePool, Ticket};
 pub use queue::JobQueue;
 pub use request::{fnv1a, SimRequest};
-pub use response::{image_hash, DoneResponse, SimResponse, TimeoutKind};
+pub use response::{image_hash, report_hash, DoneResponse, SimResponse, TimeoutKind};
+pub use server::{LineService, PendingLine};

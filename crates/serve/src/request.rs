@@ -23,7 +23,13 @@ pub struct SimRequest {
     pub width: u32,
     /// Image height in pixels.
     pub height: u32,
-    /// Vaults in the simulated single-cube slice.
+    /// Cubes in the simulated machine (default 1). A multi-cube request
+    /// tiles its image across all `cubes × vaults` vaults, with cross-cube
+    /// traffic crossing the SERDES links (paper Sec. IV-E) — the paper's
+    /// 8-cube / 8K-image regime. Result-determining, so part of the cache
+    /// identity whenever it departs from the single-cube default.
+    pub cubes: usize,
+    /// Vaults per cube.
     pub vaults: usize,
     /// Cycle engine: `SkipAhead` (default), `Legacy`, or `Analytic` —
     /// the prediction tier, which answers cost/admission questions from
@@ -52,6 +58,7 @@ impl Default for SimRequest {
             workload: "Brighten".to_string(),
             width: 64,
             height: 64,
+            cubes: 1,
             vaults: 1,
             engine: Engine::SkipAhead,
             reg_alloc: RegAllocPolicy::Max,
@@ -80,9 +87,15 @@ impl SimRequest {
         }
     }
 
-    /// The machine configuration the request selects.
+    /// The machine configuration the request selects: `cubes` cubes of
+    /// `vaults` vaults each (the single-cube case is exactly the old
+    /// [`MachineConfig::vault_slice`] shape).
     pub fn machine_config(&self) -> MachineConfig {
-        MachineConfig { engine: self.engine, ..MachineConfig::vault_slice(self.vaults) }
+        MachineConfig {
+            engine: self.engine,
+            cubes: self.cubes,
+            ..MachineConfig::vault_slice(self.vaults)
+        }
     }
 
     /// Instantiates the workload and a session for it.
@@ -110,8 +123,11 @@ impl SimRequest {
     /// workload-name case never change this string. A schedule override is
     /// result-determining, so it appends its canonical rendering — the
     /// *empty* override appends nothing, keeping override-free requests'
-    /// keys (and fingerprints) exactly as they were.
+    /// keys (and fingerprints) exactly as they were. The cube count follows
+    /// the same rule: the single-cube default appends nothing, so every
+    /// pre-multi-cube fingerprint is unchanged.
     pub fn canonical_key(&self) -> String {
+        let cubes = if self.cubes == 1 { String::new() } else { format!(";cubes={}", self.cubes) };
         let schedule = if self.schedule.is_empty() {
             String::new()
         } else {
@@ -119,7 +135,7 @@ impl SimRequest {
         };
         format!(
             "workload={};width={};height={};vaults={};engine={};reg_alloc={};reorder={};\
-             memory_order={};max_cycles={}{schedule}",
+             memory_order={};max_cycles={}{cubes}{schedule}",
             self.workload.to_ascii_lowercase(),
             self.width,
             self.height,
@@ -141,6 +157,8 @@ impl SimRequest {
     /// Renders the request as a single-line JSON object (canonical field
     /// order), the ndjson wire format `ipim_served` accepts.
     pub fn to_json_string(&self) -> String {
+        let cubes =
+            if self.cubes == 1 { String::new() } else { format!(",\"cubes\":{}", self.cubes) };
         let schedule = if self.schedule.is_empty() {
             String::new()
         } else {
@@ -151,7 +169,7 @@ impl SimRequest {
         format!(
             "{{\"workload\":\"{}\",\"width\":{},\"height\":{},\"vaults\":{},\
              \"engine\":\"{}\",\"reg_alloc\":\"{}\",\"reorder\":{},\"memory_order\":{},\
-             \"max_cycles\":{}{schedule}{deadline}}}",
+             \"max_cycles\":{}{cubes}{schedule}{deadline}}}",
             json_escape(&self.workload),
             self.width,
             self.height,
@@ -181,6 +199,7 @@ impl SimRequest {
             workload,
             width: get_u64(v, "width", d.width as u64)? as u32,
             height: get_u64(v, "height", d.height as u64)? as u32,
+            cubes: get_u64(v, "cubes", d.cubes as u64)? as usize,
             vaults: get_u64(v, "vaults", d.vaults as u64)? as usize,
             engine: match v.get("engine").map(|e| e.as_str().ok_or("engine must be a string")) {
                 None => d.engine,
@@ -360,6 +379,7 @@ mod tests {
             workload: "Blur".into(),
             width: 128,
             height: 96,
+            cubes: 2,
             vaults: 2,
             engine: Engine::Legacy,
             reg_alloc: RegAllocPolicy::Min,
@@ -401,6 +421,7 @@ mod tests {
         let base = SimRequest::named("Blur", 64, 64);
         for other in [
             SimRequest { width: 128, ..base.clone() },
+            SimRequest { cubes: 2, ..base.clone() },
             SimRequest { vaults: 2, ..base.clone() },
             SimRequest { engine: Engine::Legacy, ..base.clone() },
             SimRequest { reg_alloc: RegAllocPolicy::Min, ..base.clone() },
@@ -470,6 +491,26 @@ mod tests {
         // An override the frontend rejects degrades to an instantiate error.
         req.schedule = ScheduleOverride { vectorize: Some(3), ..ScheduleOverride::default() };
         assert!(req.instantiate().is_err());
+    }
+
+    #[test]
+    fn single_cube_keeps_the_historical_fingerprint() {
+        // `cubes` follows the schedule-override precedent: the default is
+        // invisible on the wire and in the canonical key, so every
+        // pre-multi-cube fingerprint (and cache entry) survives.
+        let base = SimRequest::named("Blur", 64, 64);
+        assert!(!base.canonical_key().contains("cubes"));
+        assert!(!base.to_json_string().contains("cubes"));
+        let explicit = SimRequest::from_json_str(r#"{"workload":"Blur","cubes":1}"#).unwrap();
+        assert_eq!(explicit.fingerprint(), base.fingerprint());
+
+        let multi = SimRequest { cubes: 2, ..base.clone() };
+        assert!(multi.canonical_key().contains(";cubes=2"));
+        let back = SimRequest::from_json_str(&multi.to_json_string()).unwrap();
+        assert_eq!(multi, back);
+        let config = multi.machine_config();
+        assert_eq!(config.cubes, 2);
+        assert_eq!(config.total_vaults(), 2);
     }
 
     #[test]

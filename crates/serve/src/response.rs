@@ -17,6 +17,11 @@ use crate::request::{fnv1a, json_escape, SimRequest};
 pub struct DoneResponse {
     /// Canonical workload name (as the suite spells it).
     pub workload: String,
+    /// The request's content-addressed identity
+    /// ([`SimRequest::fingerprint`]), echoed so a front tier (the shard
+    /// router) can check that the backend derived the same cache key from
+    /// the wire bytes it forwarded.
+    pub fingerprint: u64,
     /// Wall-clock cycles to machine-wide quiescence.
     pub cycles: u64,
     /// Instructions issued across all vaults.
@@ -72,12 +77,22 @@ pub fn image_hash(img: &Image) -> u64 {
     fnv1a(&bytes)
 }
 
+/// Hashes a full [`ExecutionReport`] — every counter, bank statistic and
+/// f64 energy term — into one 64-bit witness, so a wire client can assert
+/// report-level bit-identity without shipping the whole report. The hash
+/// covers the report's canonical `Debug` rendering (f64s print in
+/// shortest-round-trip form, so equal hashes mean bit-equal reports).
+pub fn report_hash(report: &ExecutionReport) -> u64 {
+    fnv1a(format!("{report:?}").as_bytes())
+}
+
 impl SimResponse {
     /// Builds the response for a finished serial run.
     pub fn from_outcome(req: &SimRequest, outcome: RunOutcome) -> Self {
         let output_hash = image_hash(&outcome.output);
         SimResponse::Done(Box::new(DoneResponse {
             workload: req.workload.clone(),
+            fingerprint: req.fingerprint(),
             cycles: outcome.report.cycles,
             issued: outcome.report.stats.issued,
             energy_pj: outcome.report.energy.total_pj(),
@@ -101,15 +116,16 @@ impl SimResponse {
     }
 
     /// The wire form: one JSON object per response. `Done` sends the
-    /// summary and the output hash, not the pixels — the hash is the
-    /// determinism witness, and megapixel payloads don't belong on an
-    /// ndjson control channel.
+    /// summary, the output hash, the report hash and the request
+    /// fingerprint, not the pixels — the hashes are the determinism
+    /// witnesses (sharded-vs-serial bit-identity is asserted over them),
+    /// and megapixel payloads don't belong on an ndjson control channel.
     pub fn to_json_string(&self) -> String {
         match self {
             SimResponse::Done(d) => {
-                // Bit-exact responses keep their historical wire shape
-                // (recorded fingerprints stay valid); only predictions
-                // carry the marker.
+                // Bit-exact responses keep their historical fields
+                // (recorded output hashes stay valid); only predictions
+                // carry the fidelity marker.
                 let fidelity = match d.fidelity {
                     Fidelity::BitExact => String::new(),
                     f => format!(",\"fidelity\":\"{}\"", f.name()),
@@ -117,7 +133,8 @@ impl SimResponse {
                 format!(
                     "{{\"status\":\"done\",\"workload\":\"{}\",\"cycles\":{},\"issued\":{},\
                      \"energy_pj\":{:?},\"output_width\":{},\"output_height\":{},\
-                     \"output_hash\":\"{:016x}\"{fidelity}}}",
+                     \"output_hash\":\"{:016x}\",\"report_hash\":\"{:016x}\",\
+                     \"fingerprint\":\"{:016x}\"{fidelity}}}",
                     json_escape(&d.workload),
                     d.cycles,
                     d.issued,
@@ -125,6 +142,8 @@ impl SimResponse {
                     d.output.width(),
                     d.output.height(),
                     d.output_hash,
+                    report_hash(&d.report),
+                    d.fingerprint,
                 )
             }
             SimResponse::Timeout(TimeoutKind::DeadlineBeforeStart) => {
@@ -181,10 +200,55 @@ mod tests {
     }
 
     #[test]
+    fn report_hash_tracks_report_content() {
+        let mut a = ExecutionReport {
+            cycles: 10,
+            stats: Default::default(),
+            bank_stats: Default::default(),
+            locality: Default::default(),
+            energy: Default::default(),
+            vaults: 1,
+            pes: 32,
+        };
+        let h = report_hash(&a);
+        assert_eq!(h, report_hash(&a.clone()), "hash is a pure function of the report");
+        a.cycles += 1;
+        assert_ne!(h, report_hash(&a), "any counter change must change the hash");
+    }
+
+    #[test]
+    fn done_wire_carries_the_identity_witnesses() {
+        let done = SimResponse::Done(Box::new(DoneResponse {
+            workload: "T".into(),
+            fingerprint: 0xabcd,
+            cycles: 1,
+            issued: 1,
+            energy_pj: 1.0,
+            report: ExecutionReport {
+                cycles: 1,
+                stats: Default::default(),
+                bank_stats: Default::default(),
+                locality: Default::default(),
+                energy: Default::default(),
+                vaults: 1,
+                pes: 32,
+            },
+            output: Image::splat(1, 1, 0.0),
+            output_hash: 0x1234,
+            fidelity: Fidelity::BitExact,
+        }));
+        let v = json::parse(&done.to_json_string()).unwrap();
+        assert_eq!(v.get("fingerprint").unwrap().as_str(), Some("000000000000abcd"));
+        assert_eq!(v.get("output_hash").unwrap().as_str(), Some("0000000000001234"));
+        assert!(v.get("report_hash").unwrap().as_str().is_some());
+    }
+
+    #[test]
     fn fidelity_marker_only_on_predictions() {
         let done = |fidelity| {
             SimResponse::Done(Box::new(DoneResponse {
                 workload: "T".into(),
+                fingerprint: 0xfeed,
                 cycles: 1,
                 issued: 1,
                 energy_pj: 1.0,

@@ -18,6 +18,13 @@
 //! The same functions serve both transports the `ipim_served` binary
 //! offers: stdin/stdout (shell pipelines, test harnesses) and a
 //! `std::net::TcpListener` accept loop (one batch/stream per connection).
+//!
+//! Both pacing modes are generic over a [`LineService`]: anything that
+//! admits a parsed request and eventually resolves it to one response
+//! line. [`ServePool`] is the local implementation; the `ipim-shard`
+//! front tier implements the same trait over a fleet of TCP backends, so
+//! the wire framing, ordering guarantee and in-band error handling are
+//! written exactly once.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
@@ -26,6 +33,38 @@ use std::sync::mpsc;
 use crate::pool::{ServePool, Ticket};
 use crate::request::SimRequest;
 use crate::response::SimResponse;
+
+/// A handle to one admitted request's eventually-resolved response line.
+pub trait PendingLine: Send {
+    /// Blocks until the response is ready and returns its ndjson line
+    /// (no trailing newline).
+    fn into_line(self) -> String;
+}
+
+/// Anything that can stand behind the ndjson protocol: admits parsed
+/// requests (blocking for backpressure) and answers each with exactly one
+/// response line. Implementations must tolerate any request — protocol
+/// problems are reported in-band by the returned line, never by panicking.
+pub trait LineService: Sync {
+    /// The pending-response handle [`dispatch`](Self::dispatch) returns.
+    type Pending: PendingLine;
+    /// Admits one request, returning a handle to its eventual response.
+    fn dispatch(&self, req: SimRequest) -> Self::Pending;
+}
+
+impl PendingLine for Ticket {
+    fn into_line(self) -> String {
+        self.wait().to_json_string()
+    }
+}
+
+impl LineService for ServePool {
+    type Pending = Ticket;
+
+    fn dispatch(&self, req: SimRequest) -> Ticket {
+        self.submit(req)
+    }
+}
 
 /// What one served batch did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -47,14 +86,14 @@ pub struct ServeSummary {
 ///
 /// Propagates I/O errors from the transport; protocol-level problems
 /// (malformed JSON, unknown workloads) are reported in-band.
-pub fn serve_batch<R: BufRead, W: Write>(
+pub fn serve_batch<R: BufRead, W: Write, S: LineService>(
     input: R,
     mut output: W,
-    pool: &ServePool,
+    service: &S,
 ) -> std::io::Result<ServeSummary> {
     let mut summary = ServeSummary::default();
-    // A ticket per line, Err carrying the in-band parse failure.
-    let mut pending: Vec<Result<Ticket, String>> = Vec::new();
+    // A pending response per line, Err carrying the in-band parse failure.
+    let mut pending: Vec<Result<S::Pending, String>> = Vec::new();
     for line in input.lines() {
         let line = line?;
         if line.trim().is_empty() {
@@ -62,7 +101,7 @@ pub fn serve_batch<R: BufRead, W: Write>(
         }
         summary.requests += 1;
         match SimRequest::from_json_str(&line) {
-            Ok(req) => pending.push(Ok(pool.submit(req))),
+            Ok(req) => pending.push(Ok(service.dispatch(req))),
             Err(msg) => {
                 summary.parse_errors += 1;
                 pending.push(Err(msg));
@@ -70,11 +109,11 @@ pub fn serve_batch<R: BufRead, W: Write>(
         }
     }
     for entry in pending {
-        let response = match entry {
-            Ok(ticket) => ticket.wait(),
-            Err(msg) => SimResponse::Error(format!("bad request: {msg}")),
+        let line = match entry {
+            Ok(p) => p.into_line(),
+            Err(msg) => SimResponse::Error(format!("bad request: {msg}")).to_json_string(),
         };
-        writeln!(output, "{}", response.to_json_string())?;
+        writeln!(output, "{line}")?;
     }
     output.flush()?;
     Ok(summary)
@@ -95,25 +134,22 @@ pub fn serve_batch<R: BufRead, W: Write>(
 ///
 /// Propagates I/O errors from the transport; protocol-level problems are
 /// reported in-band, exactly as in batch mode.
-pub fn serve_stream<R, W>(
-    input: R,
-    mut output: W,
-    pool: &ServePool,
-) -> std::io::Result<ServeSummary>
+pub fn serve_stream<R, W, S>(input: R, mut output: W, service: &S) -> std::io::Result<ServeSummary>
 where
     R: BufRead + Send,
     W: Write,
+    S: LineService,
 {
     std::thread::scope(|scope| {
-        // The reader owns admission; the channel carries tickets (or
-        // in-band parse failures) in request order. Bounded-ness comes from
-        // the pool's own queue: `submit` blocks when the service is full.
-        let (tx, rx) = mpsc::channel::<std::io::Result<Result<Ticket, String>>>();
+        // The reader owns admission; the channel carries pending responses
+        // (or in-band parse failures) in request order. Bounded-ness comes
+        // from the service itself: `dispatch` blocks when it is full.
+        let (tx, rx) = mpsc::channel::<std::io::Result<Result<S::Pending, String>>>();
         scope.spawn(move || {
             for line in input.lines() {
                 let entry = match line {
                     Ok(l) if l.trim().is_empty() => continue,
-                    Ok(l) => Ok(SimRequest::from_json_str(&l).map(|req| pool.submit(req))),
+                    Ok(l) => Ok(SimRequest::from_json_str(&l).map(|req| service.dispatch(req))),
                     Err(e) => Err(e),
                 };
                 if tx.send(entry).is_err() {
@@ -124,14 +160,14 @@ where
         let mut summary = ServeSummary::default();
         for entry in rx {
             summary.requests += 1;
-            let response = match entry? {
-                Ok(ticket) => ticket.wait(),
+            let line = match entry? {
+                Ok(p) => p.into_line(),
                 Err(msg) => {
                     summary.parse_errors += 1;
-                    SimResponse::Error(format!("bad request: {msg}"))
+                    SimResponse::Error(format!("bad request: {msg}")).to_json_string()
                 }
             };
-            writeln!(output, "{}", response.to_json_string())?;
+            writeln!(output, "{line}")?;
             // The per-response flush is the whole point of this mode.
             output.flush()?;
         }
@@ -147,15 +183,19 @@ where
 /// # Errors
 ///
 /// Returns only listener-level failures (e.g. the socket was closed).
-pub fn serve_tcp(listener: &TcpListener, pool: &ServePool, streaming: bool) -> std::io::Result<()> {
+pub fn serve_tcp<S: LineService>(
+    listener: &TcpListener,
+    service: &S,
+    streaming: bool,
+) -> std::io::Result<()> {
     for stream in listener.incoming() {
         let stream = stream?;
         let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".into());
         let reader = BufReader::new(stream.try_clone()?);
         let served = if streaming {
-            serve_stream(reader, &stream, pool)
+            serve_stream(reader, &stream, service)
         } else {
-            serve_batch(reader, &stream, pool)
+            serve_batch(reader, &stream, service)
         };
         match served {
             Ok(s) => eprintln!(

@@ -1,0 +1,52 @@
+//! Multi-cube serving: `SimRequest.cubes > 1` tiles a large image across
+//! `cubes × vaults` vaults, with cross-cube traffic riding the SERDES
+//! links of the arch model. These tests hold the acceptance bar for the
+//! distributed tier's backend side: a ≥2-cube run of a large image
+//! verifies against the golden interpreter, demonstrably crosses the
+//! SERDES boundary, and stays bit-identical across engines.
+
+use ipim_core::experiments::verify_output_against_reference;
+use ipim_core::Engine;
+use ipim_serve::{PoolConfig, ServePool, SimRequest, SimResponse};
+
+fn run(req: SimRequest) -> ipim_serve::DoneResponse {
+    let pool = ServePool::start(&PoolConfig { workers: 1, queue_depth: 4, cache_capacity: 0 });
+    let resp = pool.submit(req).wait();
+    pool.shutdown();
+    match resp {
+        SimResponse::Done(d) => *d,
+        other => panic!("expected done, got {other:?}"),
+    }
+}
+
+#[test]
+fn two_cube_large_image_verifies_against_reference() {
+    let req = SimRequest { cubes: 2, vaults: 2, ..SimRequest::named("Blur", 128, 128) };
+    let (_, workload) = req.instantiate().expect("valid multi-cube request");
+    let done = run(req);
+    assert_eq!(done.report.vaults, 4, "2 cubes × 2 vaults tile the image");
+    verify_output_against_reference(&workload, &done.output);
+}
+
+#[test]
+fn cross_cube_traffic_rides_the_serdes_links() {
+    // Histogram's reduction tree spans all vaults, so with 2 cubes part
+    // of it must cross the cube boundary.
+    let single = run(SimRequest { cubes: 1, vaults: 2, ..SimRequest::named("Histogram", 64, 64) });
+    let multi = run(SimRequest { cubes: 2, vaults: 1, ..SimRequest::named("Histogram", 64, 64) });
+    assert_eq!(single.report.energy.serdes_pj, 0.0, "one cube has nothing to serialize");
+    assert!(
+        multi.report.energy.serdes_pj > 0.0,
+        "2-cube run must spend SERDES energy: {:?}",
+        multi.report.energy
+    );
+}
+
+#[test]
+fn engines_agree_bit_for_bit_at_multi_cube() {
+    let base = SimRequest { cubes: 2, vaults: 2, ..SimRequest::named("Shift", 128, 64) };
+    let legacy = run(SimRequest { engine: Engine::Legacy, ..base.clone() });
+    let skip = run(SimRequest { engine: Engine::SkipAhead, ..base });
+    assert_eq!(legacy.output_hash, skip.output_hash, "outputs must match bit-for-bit");
+    assert_eq!(legacy.report, skip.report, "reports must match exactly across engines");
+}

@@ -1,0 +1,88 @@
+//! The shard tier's determinism bar: a sharded run over N real-TCP
+//! backends answers **bit-identically** to the same job list run serially
+//! on one local pool — same wire lines, hence same output hashes, report
+//! hashes and cache fingerprints. This is what makes the distributed tier
+//! semantically invisible: only throughput changes.
+
+mod common;
+
+use common::spawn_backend;
+use ipim_serve::{PoolConfig, ServePool, SimRequest};
+use ipim_shard::{HashRing, ShardConfig, ShardRouter};
+
+/// A mixed, deterministic job list: several workloads and sizes,
+/// duplicates (cache-hit path), a multi-cube job (inter-cube tiling over
+/// SERDES) and an unknown workload (in-band error path).
+fn job_list() -> Vec<SimRequest> {
+    let mut jobs = vec![
+        SimRequest::named("Brighten", 64, 32),
+        SimRequest::named("Blur", 96, 64),
+        SimRequest::named("Shift", 64, 64),
+        SimRequest::named("Histogram", 64, 64),
+        SimRequest::named("Brighten", 64, 64),
+        SimRequest::named("Blur", 64, 96),
+        SimRequest { cubes: 2, ..SimRequest::named("Brighten", 128, 128) },
+        SimRequest::named("NoSuchKernel", 16, 16),
+    ];
+    // Duplicates: consistent hashing sends a repeat to the same backend,
+    // whose result cache answers it bit-identically.
+    jobs.push(jobs[0].clone());
+    jobs.push(jobs[3].clone());
+    jobs.push(jobs[6].clone());
+    jobs
+}
+
+#[test]
+fn sharded_run_is_bit_identical_to_serial() {
+    let backends: Vec<_> = (0..3).map(|_| spawn_backend(1, 32)).collect();
+    let addrs: Vec<String> = backends.iter().map(|b| b.addr.clone()).collect();
+    let router = ShardRouter::start(&ShardConfig::over(addrs));
+
+    let jobs = job_list();
+    let sharded = router.run_all(jobs.clone());
+    let metrics = router.shutdown();
+
+    // Serial reference: one pool, one worker, same jobs, same order.
+    let serial_pool =
+        ServePool::start(&PoolConfig { workers: 1, queue_depth: 64, cache_capacity: 32 });
+    let serial: Vec<String> =
+        jobs.iter().map(|r| serial_pool.submit(r.clone()).wait().to_json_string()).collect();
+    serial_pool.shutdown();
+
+    assert_eq!(sharded.len(), serial.len());
+    for (i, (s, r)) in sharded.iter().zip(&serial).enumerate() {
+        assert_eq!(s, r, "job {i} ({}) diverged between sharded and serial", jobs[i].workload);
+    }
+
+    // Every response arrived exactly once and every backend derived the
+    // same cache key we routed on.
+    assert_eq!(metrics.counter("shard/submitted"), jobs.len() as u64);
+    assert_eq!(
+        metrics.counter("shard/completed") + metrics.counter("shard/backend_errors"),
+        jobs.len() as u64
+    );
+    assert_eq!(metrics.counter("shard/fingerprint_mismatches"), 0);
+    assert_eq!(metrics.counter("shard/errors"), 0, "no job may be lost to front errors");
+}
+
+#[test]
+fn duplicates_route_to_the_same_backend_and_hit_its_cache() {
+    let backends: Vec<_> = (0..3).map(|_| spawn_backend(1, 32)).collect();
+    let addrs: Vec<String> = backends.iter().map(|b| b.addr.clone()).collect();
+    let config = ShardConfig::over(addrs);
+    let ring = HashRing::new(3, config.replicas);
+    let router = ShardRouter::start(&config);
+
+    let req = SimRequest::named("Brighten", 64, 64);
+    let owner = ring.owner(req.fingerprint());
+    let first = router.submit(req.clone()).wait();
+    let second = router.submit(req.clone()).wait();
+    assert_eq!(first, second, "a cache hit must be bit-identical to the cold run");
+    let metrics = router.shutdown();
+    assert_eq!(
+        metrics.counter(&format!("shard/backend{owner}/answered")),
+        2,
+        "both submissions must land on the ring owner"
+    );
+    assert_eq!(backends[owner].pool.metrics().counter("serve/cache/hits"), 1);
+}
