@@ -229,6 +229,19 @@ fn gate_analytic(baseline: &[Entry], fresh: &[Entry]) -> bool {
         );
         failed |= drift > DIVERGENCE_DRIFT_PTS;
     }
+    // Loud-skip the other direction too: a fresh measurement with no
+    // committed baseline is a brand-new workload×scale (or a renamed one)
+    // — not a failure, but it must be visible so the calibration entry
+    // actually gets recorded rather than silently never gated.
+    for f in fresh.iter().filter(|e| e.name.starts_with("analytic/divergence/")) {
+        if !baseline.iter().any(|b| b.name == f.name && b.scale == f.scale) {
+            println!(
+                "skip: {} (scale {}): fresh entry has no committed baseline yet — record one",
+                f.name,
+                f.scale.unwrap_or(0),
+            );
+        }
+    }
     if gated == 0 {
         println!("skip: no comparable analytic/divergence entries on both sides");
     }

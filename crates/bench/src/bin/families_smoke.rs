@@ -1,0 +1,63 @@
+//! `families_smoke` — CI gate for the NN/video workload families
+//! (DESIGN.md §13).
+//!
+//! Runs one NN kernel (RowSoftmax: the full-row reduction trees) and one
+//! video kernel (MotionEnergy: inter-frame PGSM state) end to end on all
+//! three engines and asserts the subsystem's three load-bearing claims:
+//!
+//! 1. both cycle engines (legacy, skip-ahead) agree bit-for-bit on every
+//!    counter and every output pixel;
+//! 2. the cycle-accurate output matches the golden CPU interpreter inside
+//!    the canonical banded tolerance;
+//! 3. the analytic tier produces an `Approximate`-fidelity prediction with
+//!    an exact issue count and a composed energy model.
+//!
+//! Panics (non-zero exit) on any violation. Scale and workload choice are
+//! fixed so the run is deterministic and fast enough for every CI push.
+
+use ipim_core::experiments::verify_output_against_reference;
+use ipim_core::{workload_by_name, Engine, Fidelity, MachineConfig, Session, WorkloadScale};
+
+const MAX_CYCLES: u64 = 2_000_000_000;
+
+fn main() {
+    let scale = WorkloadScale { width: 64, height: 64 };
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>9}",
+        "workload", "legacy", "skip_ahead", "analytic", "diverge%"
+    );
+    for name in ["RowSoftmax", "MotionEnergy"] {
+        let w = workload_by_name(name, scale).expect("registered workload");
+        let run = |engine| {
+            Session::new(MachineConfig { engine, ..MachineConfig::vault_slice(1) })
+                .run_workload(&w, MAX_CYCLES)
+                .unwrap_or_else(|e| panic!("{name} ({engine:?}): {e}"))
+        };
+        let legacy = run(Engine::Legacy);
+        let skip = run(Engine::SkipAhead);
+        let analytic = run(Engine::Analytic);
+
+        assert_eq!(legacy.fidelity, Fidelity::BitExact, "{name}: legacy fidelity");
+        assert_eq!(skip.fidelity, Fidelity::BitExact, "{name}: skip-ahead fidelity");
+        assert_eq!(analytic.fidelity, Fidelity::Approximate, "{name}: analytic fidelity");
+
+        assert_eq!(legacy.report.cycles, skip.report.cycles, "{name}: cycles diverge");
+        assert_eq!(legacy.report.stats, skip.report.stats, "{name}: statistics diverge");
+        assert_eq!(legacy.output.data(), skip.output.data(), "{name}: outputs diverge");
+
+        verify_output_against_reference(&w, &legacy.output);
+
+        assert_eq!(
+            analytic.report.stats.issued, skip.report.stats.issued,
+            "{name}: analytic issue count must be exact"
+        );
+        assert!(analytic.report.energy.total_pj() > 0.0, "{name}: energy model composed");
+
+        let div = ipim_core::analytic::divergence_pct(analytic.report.cycles, skip.report.cycles);
+        println!(
+            "{:<14} {:>12} {:>12} {:>12} {:>8.2}%",
+            name, legacy.report.cycles, skip.report.cycles, analytic.report.cycles, div
+        );
+    }
+    println!("families_smoke: ok (engines agree, golden-verified, analytic composed)");
+}

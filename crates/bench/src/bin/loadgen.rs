@@ -210,10 +210,11 @@ fn parse_args() -> Options {
 }
 
 /// The workload mixes. `fast` sticks to 64×64 single-stage kernels for CI
-/// soaks; `mixed` is realistic shard-soak traffic — a workload × size
-/// spread skewed toward small images, with generous deadlines on the
-/// interactive classes and none on the batch classes (sizes are chosen so
-/// the tile grid divides the 32 PEs: width/8 × height/8 ≡ 0 mod 32);
+/// soaks; `mixed` is realistic shard-soak traffic — a spread over all
+/// three workload families (image, NN, video) × sizes skewed toward small
+/// images, with generous deadlines on the interactive classes and none on
+/// the batch classes (sizes are chosen so each workload's schedule keeps
+/// the tile grid a multiple of the 32 PEs);
 /// `table2` is the full 10-benchmark suite at 128×128 (Downsample and
 /// Upsample need ≥128 pixels per row to fit the SIMB lanes).
 fn mix_requests(mix: &str) -> Vec<SimRequest> {
@@ -235,10 +236,19 @@ fn mix_requests(mix: &str) -> Vec<SimRequest> {
             with_deadline("Brighten", 64, 64, Some(120_000)),
             with_deadline("Shift", 64, 64, Some(120_000)),
             with_deadline("Histogram", 64, 32, Some(120_000)),
+            // Interactive NN/video traffic: the small-kernel end of the
+            // new families (their schedule ladders keep these legal well
+            // below Table II's minimum sizes).
+            with_deadline("Gemm", 64, 32, Some(120_000)),
+            with_deadline("RowSoftmax", 64, 32, Some(120_000)),
+            with_deadline("FrameDelta", 96, 64, Some(120_000)),
+            with_deadline("MotionEnergy", 64, 32, Some(120_000)),
             // Batch class: larger, no deadline.
             with_deadline("Blur", 96, 64, None),
             with_deadline("Histogram", 96, 64, None),
             with_deadline("Blur", 128, 64, None),
+            with_deadline("Conv3x3", 64, 64, None),
+            with_deadline("TemporalBlur", 64, 64, None),
         ],
         "table2" => [
             "Brighten",

@@ -479,14 +479,21 @@ pub(crate) fn emit_pure_stage(
     // PGSM share stage whole; larger ones fall back to line-buffer-style
     // row windows (only legal when every access has unit y scale).
     let share = ctx.facts.pgsm_bytes / ctx.facts.pes_per_pg;
+    // Every PGSM port moves a full 16-byte vector, so a per-lane gather of
+    // a region's last element — and the staging loop's final store on a
+    // row width that is not vector-aligned — touches up to 12 bytes past
+    // the region's end. Pad each staged allocation by that window so the
+    // overrun lands in this PE's own share rather than the neighbouring
+    // partition (or, on the last PE, off the scratchpad entirely).
+    const STAGE_PAD: u32 = 12;
     let mut pgsm_cursor = 0u32;
     for s in &plan.staged_sources {
         let BufferLayout::Distributed { stored_w, stored_h, .. } = *ctx.map.layout(*s) else {
             unreachable!("staged sources are distributed");
         };
         let whole_bytes = stored_w * stored_h * 4;
-        let (mode, bytes) = if pgsm_cursor + whole_bytes <= share {
-            (StagingMode::WholeTile, whole_bytes)
+        let (mode, bytes) = if pgsm_cursor + whole_bytes + STAGE_PAD <= share {
+            (StagingMode::WholeTile, whole_bytes + STAGE_PAD)
         } else {
             // Collect the y-offsets of this source's staged accesses; the
             // fallback needs an integer common y scale (dy == 1).
@@ -521,7 +528,7 @@ pub(crate) fn emit_pure_stage(
                 });
             };
             let rows = (oy_max - oy_min + 1) as u32;
-            let bytes = rows * stored_w * 4;
+            let bytes = rows * stored_w * 4 + STAGE_PAD;
             if pgsm_cursor + bytes > share {
                 return Err(CompileError::Unsupported {
                     what: format!(

@@ -66,7 +66,8 @@ pub use ipim_compiler::{
     compile, host, CompileOptions, CompiledPipeline, MemoryMap, RegAllocPolicy,
 };
 pub use ipim_workloads::{
-    all_workloads, workload_by_name, ComputeRootPolicy, ScheduleOverride, Workload, WorkloadScale,
+    all_workloads, workload_by_name, workloads_in_family, ComputeRootPolicy, ScheduleOverride,
+    Workload, WorkloadFamily, WorkloadScale,
 };
 
 /// Re-export of the Halide-style frontend.

@@ -116,3 +116,27 @@ fn stencil_chain_compiles_at_small_sizes() {
             .unwrap_or_else(|e| panic!("StencilChain {w}x{h} must compile: {e}"));
     }
 }
+
+#[test]
+fn new_families_compile_across_the_size_ladder() {
+    // The NN/video families ship with fallback schedule ladders (the
+    // StencilChain-style tile descent plus the row-tile search for the
+    // reduction kernels), so every family member must compile at every
+    // size the mixed serving traffic uses — including the rectangular and
+    // sub-Table-II ones. 128×128 additionally pins the PGSM staging-pad
+    // regression: RowSoftmax's whole-tile staging used to land exactly on
+    // the share boundary and the per-lane gather's 16-byte read ran off
+    // the end of the scratchpad.
+    use ipim_core::{workload_by_name, WorkloadScale};
+    let session = Session::new(MachineConfig::vault_slice(1));
+    let names = ["Gemm", "Conv3x3", "RowSoftmax", "FrameDelta", "TemporalBlur", "MotionEnergy"];
+    let sizes = [(32u32, 32u32), (64, 32), (64, 64), (96, 64), (128, 128)];
+    for name in names {
+        for (w, h) in sizes {
+            let workload = workload_by_name(name, WorkloadScale { width: w, height: h }).unwrap();
+            session
+                .compile_only(&workload.pipeline)
+                .unwrap_or_else(|e| panic!("{name} {w}x{h} must compile: {e}"));
+        }
+    }
+}

@@ -107,6 +107,43 @@ fn same_seed_finds_the_same_best_schedule() {
 }
 
 #[test]
+fn new_family_spaces_are_nontrivial_and_tuner_is_deterministic() {
+    // The NN/video families must be *tunable*, not just runnable: the
+    // schedule space for Gemm and TemporalBlur has to offer real choice
+    // (more than one compiling point), and the search over a new-family
+    // workload must be exactly as deterministic as over Blur.
+    let machine = MachineConfig::vault_slice(1);
+    for name in ["Gemm", "TemporalBlur"] {
+        let scale = WorkloadScale { width: 64, height: 64 };
+        let workload = workload_by_name(name, scale).unwrap();
+        let space = ScheduleSpace::enumerate(&workload, &machine, false).unwrap();
+        assert!(
+            space.entries.len() >= 2,
+            "{name}: schedule space is trivial ({} entries)",
+            space.entries.len()
+        );
+    }
+
+    let cfg = small_cfg("TemporalBlur");
+    let mut outcomes = Vec::new();
+    for workers in [1usize, 1, 2] {
+        let pool = ServePool::start(&PoolConfig { workers, queue_depth: 32, cache_capacity: 64 });
+        let outcome = run_search(&cfg, &pool).expect("search succeeds");
+        pool.shutdown();
+        outcomes.push(outcome);
+    }
+    let best_keys: Vec<&str> = outcomes.iter().map(|o| o.best.key.as_str()).collect();
+    assert_eq!(best_keys[0], best_keys[1], "same seed, same pool: different winner");
+    assert_eq!(best_keys[0], best_keys[2], "pool width changed the winner");
+    assert_eq!(outcomes[0].best.cycles, outcomes[1].best.cycles);
+    let keys =
+        |o: &ipim_tune::TuneOutcome| o.evals.iter().map(|e| e.key.clone()).collect::<Vec<_>>();
+    assert_eq!(keys(&outcomes[0]), keys(&outcomes[1]));
+    assert_eq!(keys(&outcomes[0]), keys(&outcomes[2]));
+    assert!(outcomes[0].verified_divergence <= REFERENCE_TOLERANCE);
+}
+
+#[test]
 fn tuned_blur_beats_the_hand_default() {
     // The CI smoke gate's in-tree twin: fixed seed, small budget, Blur —
     // the found schedule must be at least as fast as the hand-written one

@@ -1,7 +1,15 @@
-//! The paper's Table II benchmark suite: six single-stage kernels covering
-//! elementwise, stencil, resampling, shift and reduction patterns, plus
-//! four heterogeneous multi-stage pipelines (bilateral grid, interpolate,
-//! local Laplacian, stencil chain).
+//! The workload suite, organized into [`WorkloadFamily`]s:
+//!
+//! * **Image** — the paper's Table II benchmarks: six single-stage kernels
+//!   covering elementwise, stencil, resampling, shift and reduction
+//!   patterns, plus four heterogeneous multi-stage pipelines (bilateral
+//!   grid, interpolate, local Laplacian, stencil chain).
+//! * **NN** — neural-network operators on the same SIMB backend: tiled
+//!   GEMM, an im2col-unrolled 3×3 convolution with a LUT activation
+//!   gather, and a row-softmax built from log-tree reductions.
+//! * **Video** — temporal pipelines over multiple frames: per-frame
+//!   delta, 3-frame temporal blur, and a motion-energy stencil whose
+//!   inter-frame state stages through PGSM.
 //!
 //! Each [`Workload`] bundles a frontend [`Pipeline`] with deterministic
 //! synthetic inputs (standing in for DIV8K; see DESIGN.md §2) and the
@@ -16,9 +24,13 @@
 
 mod images;
 mod multi;
+mod nn;
 mod single;
+mod video;
 
 pub use images::{lut_gaussian, synthetic_image};
+pub use nn::{conv3x3, gemm, row_softmax};
+pub use video::{frame_delta, motion_energy, temporal_blur};
 
 use std::fmt;
 
@@ -59,11 +71,64 @@ impl WorkloadScale {
     }
 }
 
-/// One Table II benchmark instance.
+/// Which domain a workload belongs to — the unit the suite is organized,
+/// filtered and reported by. The paper's figures cover only
+/// [`WorkloadFamily::Image`]; the NN and Video families exercise compiler
+/// paths (full-row reductions, computed-index gathers, inter-frame PGSM
+/// state) that Table II never touches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum WorkloadFamily {
+    /// The paper's Table II image-processing kernels.
+    #[default]
+    Image,
+    /// Neural-network operators (GEMM, convolution, softmax).
+    Nn,
+    /// Temporal/video pipelines over multiple input frames.
+    Video,
+}
+
+impl WorkloadFamily {
+    /// Canonical wire/report spelling (`image` | `nn` | `video`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadFamily::Image => "image",
+            WorkloadFamily::Nn => "nn",
+            WorkloadFamily::Video => "video",
+        }
+    }
+
+    /// Parses [`name`](Self::name)'s spelling.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the accepted spellings.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "image" => Ok(WorkloadFamily::Image),
+            "nn" => Ok(WorkloadFamily::Nn),
+            "video" => Ok(WorkloadFamily::Video),
+            other => Err(format!("unknown workload family {other:?} (image | nn | video)")),
+        }
+    }
+
+    /// Every family, in suite order.
+    pub const ALL: [WorkloadFamily; 3] =
+        [WorkloadFamily::Image, WorkloadFamily::Nn, WorkloadFamily::Video];
+}
+
+impl fmt::Display for WorkloadFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One benchmark instance.
 #[derive(Debug, Clone)]
 pub struct Workload {
     /// Benchmark name as in the paper's figures.
     pub name: &'static str,
+    /// The family this workload belongs to.
+    pub family: WorkloadFamily,
     /// Whether the paper groups it with the multi-stage benchmarks.
     pub multi_stage: bool,
     /// Pipeline stage count as the paper reports it.
@@ -213,7 +278,8 @@ impl fmt::Display for ScheduleOverride {
     }
 }
 
-/// All ten Table II benchmarks at the given scale, in the paper's order.
+/// Every benchmark at the given scale: the ten Table II kernels in the
+/// paper's order, then the NN family, then the Video family.
 pub fn all_workloads(scale: WorkloadScale) -> Vec<Workload> {
     vec![
         single::brighten(scale),
@@ -226,7 +292,18 @@ pub fn all_workloads(scale: WorkloadScale) -> Vec<Workload> {
         multi::interpolate(scale),
         multi::local_laplacian(scale),
         multi::stencil_chain(scale),
+        nn::gemm(scale),
+        nn::conv3x3(scale),
+        nn::row_softmax(scale),
+        video::frame_delta(scale),
+        video::temporal_blur(scale),
+        video::motion_energy(scale),
     ]
+}
+
+/// The workloads of one family, in [`all_workloads`] order.
+pub fn workloads_in_family(family: WorkloadFamily, scale: WorkloadScale) -> Vec<Workload> {
+    all_workloads(scale).into_iter().filter(|w| w.family == family).collect()
 }
 
 /// Looks up one benchmark by its paper name.
@@ -234,17 +311,42 @@ pub fn workload_by_name(name: &str, scale: WorkloadScale) -> Option<Workload> {
     all_workloads(scale).into_iter().find(|w| w.name.eq_ignore_ascii_case(name))
 }
 
+/// The widest legal 2-D tile for a `w`×`h` output on the 32-PE vault
+/// slice, from a fixed preference ladder — the same small-size fallback
+/// idea as StencilChain's 16/8/4 ladder, extended with rectangular rungs
+/// so every `w`,`h` that are multiples of 8 (and ≥ 32 total tiles) map.
+/// Shared by the NN conv and the Video family, whose workloads must stay
+/// legal down to 32×32 and at non-square loadgen sizes.
+pub(crate) fn ladder_tile(w: u32, h: u32) -> (u32, u32) {
+    let legal = |tw: u32, th: u32| {
+        w.is_multiple_of(tw) && h.is_multiple_of(th) && ((w / tw) * (h / th)).is_multiple_of(32)
+    };
+    [(32u32, 8u32), (16, 8), (8, 8), (8, 4), (4, 4), (4, 2), (4, 1)]
+        .into_iter()
+        .find(|&(tw, th)| legal(tw, th))
+        .unwrap_or((4, 1))
+}
+
+/// The row-tile height for the reduction-style NN workloads (GEMM,
+/// row-softmax), whose grid is 1 tile wide × `h/th` tiles tall: the
+/// largest `th` dividing `h` that keeps the tile count a multiple of the
+/// 32 SIMB lanes. `None` when `h` has no such divisor (e.g. `h` < 32).
+pub(crate) fn row_tile_height(h: u32) -> Option<u32> {
+    (1..=h).rev().find(|&th| h.is_multiple_of(th) && (h / th).is_multiple_of(32))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn ten_benchmarks_in_paper_order() {
+    fn suite_lists_families_in_order() {
         let ws = all_workloads(WorkloadScale::tiny());
         let names: Vec<_> = ws.iter().map(|w| w.name).collect();
         assert_eq!(
             names,
             vec![
+                // Table II, in the paper's order.
                 "Brighten",
                 "Blur",
                 "Downsample",
@@ -255,9 +357,28 @@ mod tests {
                 "Interpolate",
                 "LocalLaplacian",
                 "StencilChain",
+                // NN family.
+                "Gemm",
+                "Conv3x3",
+                "RowSoftmax",
+                // Video family.
+                "FrameDelta",
+                "TemporalBlur",
+                "MotionEnergy",
             ]
         );
-        assert_eq!(ws.iter().filter(|w| w.multi_stage).count(), 4);
+        let in_family = |f| ws.iter().filter(|w| w.family == f).count();
+        assert_eq!(in_family(WorkloadFamily::Image), 10);
+        assert_eq!(in_family(WorkloadFamily::Nn), 3);
+        assert_eq!(in_family(WorkloadFamily::Video), 3);
+        for f in WorkloadFamily::ALL {
+            let names: Vec<_> =
+                workloads_in_family(f, WorkloadScale::tiny()).iter().map(|w| w.name).collect();
+            assert!(!names.is_empty(), "{f}: empty family");
+            for w in &ws {
+                assert_eq!(w.family == f, names.contains(&w.name), "{}", w.name);
+            }
+        }
     }
 
     #[test]
@@ -268,6 +389,47 @@ mod tests {
         assert_eq!(count("Interpolate"), 12);
         assert_eq!(count("LocalLaplacian"), 23);
         assert_eq!(count("StencilChain"), 32);
+    }
+
+    #[test]
+    fn new_family_stage_counts() {
+        let ws = all_workloads(WorkloadScale::tiny());
+        let get = |n: &str| ws.iter().find(|w| w.name == n).unwrap();
+        // GEMM: one accumulation stage per 4-wide K chunk.
+        assert_eq!(get("Gemm").stages, 8);
+        assert_eq!(get("Conv3x3").stages, 2);
+        // RowSoftmax at 128²: 5 max-tree + 5 sum-tree levels (128 → 4),
+        // the exp base, 4 squarings and the normalize.
+        assert_eq!(get("RowSoftmax").stages, 16);
+        assert_eq!(get("FrameDelta").stages, 1);
+        assert_eq!(get("TemporalBlur").stages, 1);
+        assert_eq!(get("MotionEnergy").stages, 2);
+        // The declared stage count always matches the built pipeline.
+        for w in &ws {
+            assert_eq!(w.stages, w.pipeline.stage_count(), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn family_round_trips_and_reduction_widths() {
+        for f in WorkloadFamily::ALL {
+            assert_eq!(WorkloadFamily::parse(f.name()).unwrap(), f);
+        }
+        assert!(WorkloadFamily::parse("audio").is_err());
+        assert_eq!(nn::reduction_widths(128), vec![128, 64, 32, 16, 8, 4]);
+        assert_eq!(nn::reduction_widths(96), vec![96, 48, 24, 12]);
+        assert_eq!(nn::reduction_widths(4), vec![4]);
+        // Ladder tiles stay legal on the 32-PE slice for every loadgen
+        // size (multiples of 8 with ≥ 32 tiles available).
+        for (w, h) in [(32u32, 32u32), (64, 32), (64, 64), (96, 64), (128, 64), (512, 512)] {
+            let (tw, th) = ladder_tile(w, h);
+            assert_eq!(w % tw, 0, "{w}x{h}");
+            assert_eq!(h % th, 0, "{w}x{h}");
+            assert_eq!((w / tw) * (h / th) % 32, 0, "{w}x{h}");
+        }
+        assert_eq!(row_tile_height(512), Some(16));
+        assert_eq!(row_tile_height(32), Some(1));
+        assert_eq!(row_tile_height(24), None);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use ipim_frontend::{x, y, Expr, PipelineBuilder, SourceRef};
 
 use crate::images::{lut_gaussian, synthetic_image};
-use crate::{Workload, WorkloadScale};
+use crate::{Workload, WorkloadFamily, WorkloadScale};
 
 /// Bilateral grid (4 stages): grid construction (2× spatial subsampling),
 /// two grid blurs, and a slice stage combining an upsample of the blurred
@@ -52,6 +52,7 @@ pub fn bilateral_grid(scale: WorkloadScale) -> Workload {
     let pipeline = p.build(out).expect("bilateral grid pipeline");
     Workload {
         name: "BilateralGrid",
+        family: WorkloadFamily::Image,
         multi_stage: true,
         stages: 4,
         pipeline,
@@ -133,6 +134,7 @@ pub fn interpolate(scale: WorkloadScale) -> Workload {
     assert_eq!(pipeline.stage_count(), 12, "stage count matches Table II");
     Workload {
         name: "Interpolate",
+        family: WorkloadFamily::Image,
         multi_stage: true,
         stages: 12,
         pipeline,
@@ -237,6 +239,7 @@ pub fn local_laplacian(scale: WorkloadScale) -> Workload {
     assert_eq!(pipeline.stage_count(), 23, "stage count matches Table II");
     Workload {
         name: "LocalLaplacian",
+        family: WorkloadFamily::Image,
         multi_stage: true,
         stages: 23,
         pipeline,
@@ -302,6 +305,7 @@ pub fn stencil_chain(scale: WorkloadScale) -> Workload {
     let pipeline = p.build(last).expect("stencil chain pipeline");
     Workload {
         name: "StencilChain",
+        family: WorkloadFamily::Image,
         multi_stage: true,
         stages: 32,
         pipeline,

@@ -3,7 +3,7 @@
 use ipim_frontend::{x, y, PipelineBuilder};
 
 use crate::images::synthetic_image;
-use crate::{Workload, WorkloadScale};
+use crate::{Workload, WorkloadFamily, WorkloadScale};
 
 /// Tile shape for the single-stage kernels: wide tiles enable deep
 /// unrolling (memory-level parallelism) at realistic scales, while small
@@ -28,6 +28,7 @@ pub fn brighten(scale: WorkloadScale) -> Workload {
     let pipeline = p.build(out).expect("brighten pipeline");
     Workload {
         name: "Brighten",
+        family: WorkloadFamily::Image,
         multi_stage: false,
         stages: 1,
         pipeline,
@@ -54,6 +55,7 @@ pub fn blur(scale: WorkloadScale) -> Workload {
     let pipeline = p.build(out).expect("blur pipeline");
     Workload {
         name: "Blur",
+        family: WorkloadFamily::Image,
         multi_stage: false,
         stages: 2,
         pipeline,
@@ -87,6 +89,7 @@ pub fn downsample(scale: WorkloadScale) -> Workload {
     let pipeline = p.build(out).expect("downsample pipeline");
     Workload {
         name: "Downsample",
+        family: WorkloadFamily::Image,
         multi_stage: false,
         stages: 2,
         pipeline,
@@ -116,6 +119,7 @@ pub fn upsample(scale: WorkloadScale) -> Workload {
     let pipeline = p.build(out).expect("upsample pipeline");
     Workload {
         name: "Upsample",
+        family: WorkloadFamily::Image,
         multi_stage: false,
         stages: 2,
         pipeline,
@@ -139,6 +143,7 @@ pub fn shift(scale: WorkloadScale) -> Workload {
     let pipeline = p.build(out).expect("shift pipeline");
     Workload {
         name: "Shift",
+        family: WorkloadFamily::Image,
         multi_stage: false,
         stages: 1,
         pipeline,
@@ -162,6 +167,7 @@ pub fn histogram(scale: WorkloadScale) -> Workload {
     let pipeline = p.build(out).expect("histogram pipeline");
     Workload {
         name: "Histogram",
+        family: WorkloadFamily::Image,
         multi_stage: false,
         stages: 1,
         pipeline,

@@ -1,13 +1,17 @@
 //! Tier-1 accuracy gate for the analytic fast-forward engine.
 //!
-//! Every Table II workload that compiles at {32², 64², 128²} is run
-//! through both the bit-exact skip-ahead engine and the analytic tier,
-//! and the cycle divergence must stay inside a *declared per-workload
-//! envelope*. The envelopes were set from the calibration sweep recorded
-//! in `results/figures.jsonl` (`analytic/divergence/*`) with roughly 1.5×
-//! headroom, and every one is well under the 25% ceiling the model
-//! shipped against; tightening them is progress, loosening them needs a
-//! recalibration argument (see DESIGN.md §11).
+//! Every registered workload (Table II plus the NN and video families)
+//! that compiles at {32², 64², 128²} is run through both the bit-exact
+//! skip-ahead engine and the analytic tier, and the cycle divergence must
+//! stay inside a *declared per-workload envelope*. The envelopes were set
+//! from the calibration sweep recorded in `results/figures.jsonl`
+//! (`analytic/divergence/*`) with roughly 1.5× headroom. The Table II
+//! envelopes are all well under the 25% ceiling the model shipped
+//! against; the NN/video kernels lean on the replicated-gather and
+//! row-reduction paths the model was never calibrated for, so their
+//! envelopes are declared wider (worst case Gemm at 45%). Tightening an
+//! envelope is progress, loosening one needs a recalibration argument
+//! (see DESIGN.md §11 and §13).
 //!
 //! The suite also pins the property the tuner actually relies on:
 //! *rank preservation*. The analytic model must order the recorded
@@ -39,6 +43,16 @@ fn envelope_pct(name: &str) -> f64 {
         "Interpolate" => 18.0,
         "LocalLaplacian" => 12.0,
         "StencilChain" => 8.0,
+        // NN family: the replicated-gather path (Gemm's B operand,
+        // Conv3x3's LUT) is the model's weakest spot — per-lane gathers
+        // serialize in ways the closed form underestimates at scale.
+        "Gemm" => 45.0,
+        "Conv3x3" => 30.0,
+        "RowSoftmax" => 22.0,
+        // Video family.
+        "FrameDelta" => 18.0,
+        "TemporalBlur" => 38.0,
+        "MotionEnergy" => 16.0,
         other => panic!("no declared envelope for workload {other:?}"),
     }
 }
@@ -85,20 +99,22 @@ fn check_scale(side: u32) -> usize {
 
 #[test]
 fn analytic_accuracy_32() {
-    // Only Histogram and StencilChain map onto 32 PEs at this scale.
-    assert_eq!(check_scale(32), 2);
+    // Only Histogram and StencilChain of Table II map onto 32 PEs at this
+    // scale; all six NN/video kernels do (their schedule ladders fall back
+    // to finer tiles).
+    assert_eq!(check_scale(32), 8);
 }
 
 #[test]
 fn analytic_accuracy_64() {
     // Downsample / Interpolate / LocalLaplacian don't map at 64².
-    assert_eq!(check_scale(64), 7);
+    assert_eq!(check_scale(64), 13);
 }
 
 #[test]
 fn slow_analytic_accuracy_128() {
-    // The full Table II suite compiles at the paper's scale.
-    assert_eq!(check_scale(128), 10);
+    // The full 16-workload suite compiles at the paper's scale.
+    assert_eq!(check_scale(128), 16);
 }
 
 #[test]

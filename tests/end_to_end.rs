@@ -69,10 +69,18 @@ fn slow_multi_stage_workloads_run_and_verify() {
         request("Interpolate", 1, 2_000_000_000),
         request("LocalLaplacian", 1, 2_000_000_000),
         request("StencilChain", 1, 4_000_000_000),
+        // The NN/video families' multi-stage kernels reach the pool by the
+        // same wire names the shard router uses; the reference check walks
+        // the gather / row-reduction interpreter paths.
+        request("Gemm", 1, 2_000_000_000),
+        request("Conv3x3", 1, 2_000_000_000),
+        request("RowSoftmax", 1, 2_000_000_000),
+        request("MotionEnergy", 1, 2_000_000_000),
     ];
     pool_run_and_verify(requests);
     assert_eq!(workload_by_name("LocalLaplacian", scale()).unwrap().stages, 23);
     assert_eq!(workload_by_name("StencilChain", scale()).unwrap().stages, 32);
+    assert_eq!(workload_by_name("Gemm", scale()).unwrap().stages, 8);
 }
 
 #[test]

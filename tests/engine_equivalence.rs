@@ -134,6 +134,20 @@ fn engine_equivalence_single_stage_workloads() {
 }
 
 #[test]
+fn engine_equivalence_new_family_multi_stage() {
+    // The NN/video families' multi-stage kernels exercise engine paths
+    // Table II never drives together: the replicated per-lane gather
+    // (Gemm's B strip, Conv3x3's LUT), the one-tile-wide row-reduction
+    // grid (Gemm, RowSoftmax) and cross-stage PGSM restaging
+    // (MotionEnergy). The single-stage family members ride along in
+    // `engine_equivalence_single_stage_workloads`.
+    for name in ["Gemm", "Conv3x3", "RowSoftmax", "MotionEnergy"] {
+        let w = ipim_core::workload_by_name(name, scale()).unwrap();
+        assert_engines_agree(&w, 1);
+    }
+}
+
+#[test]
 fn engine_equivalence_bilateral_grid() {
     let w = ipim_core::workload_by_name("BilateralGrid", scale()).unwrap();
     assert_engines_agree(&w, 1);
