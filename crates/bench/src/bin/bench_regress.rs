@@ -36,6 +36,15 @@
 //! Divergence is a property of the model, not of the machine, so no
 //! normalizer applies — this is the canary that fires when a future PR
 //! changes engine timing without recalibrating the analytic tier.
+//!
+//! With `--matrix`, a fresh `matrix.jsonl` (from `ipim-report`'s `matrix`
+//! bin) is gated against the committed `results/matrix.jsonl` (override
+//! with `--matrix-baseline`): a schema-version mismatch fails outright;
+//! per cell, simulated `cycles` are deterministic and fail on >threshold
+//! upward drift un-normalized, while `wall_ns` is normalized by the
+//! `fig01_gpu_profile` anchor *recorded inside each matrix file* and
+//! gated only for cells whose baseline wall time clears a 1 ms noise
+//! floor. Cells present on only one side loud-skip.
 
 use std::time::Instant;
 
@@ -248,11 +257,99 @@ fn gate_analytic(baseline: &[Entry], fresh: &[Entry]) -> bool {
     failed
 }
 
+/// The wall-clock noise floor for matrix cells. A cell's `wall_ns` spans
+/// submit→completion through the serve pool, so it includes
+/// queue-position wait — which shifts with `--workers` and OS scheduling
+/// jitter (2× swings on millisecond cells in practice). Only cells long
+/// enough to amortize that (≥ 50 ms) gate wall; quicker baselines are
+/// loud-skipped and their deterministic `cycles` gated exactly instead.
+const MATRIX_WALL_FLOOR_NS: u64 = 50_000_000;
+
+/// Gates a fresh benchmark matrix against the committed baseline. Both
+/// files are schema-checked by the shared `ipim-report` parser (a version
+/// mismatch fails before any comparison). Returns whether any cell
+/// failed.
+fn gate_matrix(baseline_path: &str, fresh_path: &str, threshold_pct: f64) -> bool {
+    let parse = |path: &str| match ipim_report::read_matrix(std::path::Path::new(path)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("FAIL: matrix gate: {e}");
+            std::process::exit(1);
+        }
+    };
+    let base = parse(baseline_path);
+    let fresh = parse(fresh_path);
+    // Each matrix file carries its own machine-speed anchor, so the gate
+    // needs no entry from figures.jsonl.
+    let norm = match (base.anchor_ns(), fresh.anchor_ns()) {
+        (Some(b), Some(f)) if b > 0 && f > 0 => f as f64 / b as f64,
+        _ => {
+            eprintln!("warning: matrix anchor missing on one side; comparing raw wall_ns");
+            1.0
+        }
+    };
+    println!("matrix machine-speed normalizer: {norm:.3}x baseline");
+    let mut failed = false;
+    for b in &base.cells {
+        let Some(f) = fresh.cells.iter().find(|f| f.fingerprint() == b.fingerprint()) else {
+            println!("skip: matrix {}: no fresh cell (not re-measured)", b.canonical_key());
+            continue;
+        };
+        // Simulated cycles are deterministic: any upward drift beyond
+        // the threshold is a real simulated-performance regression, no
+        // normalizer needed (downward drift is an improvement).
+        if let (Some(bc), Some(fc)) = (b.cycles, f.cycles) {
+            let delta_pct = (fc as f64 / bc as f64 - 1.0) * 100.0;
+            let verdict = if delta_pct > threshold_pct { "FAIL" } else { "ok" };
+            println!(
+                "{verdict}: matrix {}: cycles {fc} vs baseline {bc} ({delta_pct:+.1} %, \
+                 gate +{threshold_pct:.0} %)",
+                b.canonical_key()
+            );
+            failed |= delta_pct > threshold_pct;
+        }
+        if b.wall_ns >= MATRIX_WALL_FLOOR_NS {
+            let expected = b.wall_ns as f64 * norm;
+            let delta_pct = (f.wall_ns as f64 / expected - 1.0) * 100.0;
+            let verdict = if delta_pct > threshold_pct { "FAIL" } else { "ok" };
+            println!(
+                "{verdict}: matrix {}: wall_ns {} vs normalized baseline {:.0} \
+                 ({delta_pct:+.1} %, gate +{threshold_pct:.0} %)",
+                b.canonical_key(),
+                f.wall_ns,
+                expected
+            );
+            failed |= delta_pct > threshold_pct;
+        } else {
+            println!(
+                "skip: matrix {}: baseline wall {} ns under the {} ns gate floor",
+                b.canonical_key(),
+                b.wall_ns,
+                MATRIX_WALL_FLOOR_NS
+            );
+        }
+    }
+    for f in &fresh.cells {
+        if !base.cells.iter().any(|b| b.fingerprint() == f.fingerprint()) {
+            println!(
+                "skip: matrix {}: fresh cell has no committed baseline yet — record one",
+                f.canonical_key()
+            );
+        }
+    }
+    if base.cells.is_empty() {
+        println!("skip: matrix baseline has no cells");
+    }
+    failed
+}
+
 fn main() {
     let mut baseline_path = "results/figures.jsonl".to_string();
     let mut fresh_path: Option<String> = None;
     let mut serve_fresh_path: Option<String> = None;
     let mut analytic_fresh_path: Option<String> = None;
+    let mut matrix_fresh_path: Option<String> = None;
+    let mut matrix_baseline_path = "results/matrix.jsonl".to_string();
     let mut threshold_pct = 25.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -262,12 +359,15 @@ fn main() {
             "--fresh" => fresh_path = Some(val("--fresh")),
             "--serve-fresh" => serve_fresh_path = Some(val("--serve-fresh")),
             "--analytic-fresh" => analytic_fresh_path = Some(val("--analytic-fresh")),
+            "--matrix" => matrix_fresh_path = Some(val("--matrix")),
+            "--matrix-baseline" => matrix_baseline_path = val("--matrix-baseline"),
             "--threshold" => {
                 threshold_pct = val("--threshold").parse().expect("--threshold needs a number");
             }
             other => panic!(
                 "unknown argument {other:?} (supported: --baseline FILE --fresh FILE \
-                 --serve-fresh FILE --analytic-fresh FILE --threshold PCT)"
+                 --serve-fresh FILE --analytic-fresh FILE --matrix FILE \
+                 --matrix-baseline FILE --threshold PCT)"
             ),
         }
     }
@@ -327,6 +427,19 @@ fn main() {
 
     if let Some(p) = &analytic_fresh_path {
         failed |= gate_analytic(&baseline, &parse_jsonl(p));
+    }
+
+    if let Some(p) = &matrix_fresh_path {
+        // Mirror the figures-baseline degradation: a missing committed
+        // matrix is a recording gap, not a regression.
+        if std::path::Path::new(&matrix_baseline_path).exists() {
+            failed |= gate_matrix(&matrix_baseline_path, p, threshold_pct);
+        } else {
+            println!(
+                "skip: matrix baseline {matrix_baseline_path:?} does not exist — record one \
+                 with `cargo run --release -p ipim-report --bin matrix` and commit it"
+            );
+        }
     }
 
     if failed {

@@ -1,0 +1,77 @@
+//! Records the cross-backend benchmark matrix to `results/matrix.jsonl`.
+//!
+//! ```text
+//! cargo run --release -p ipim-report --bin matrix -- \
+//!     [--out results/matrix.jsonl] [--scales 32,64,128] \
+//!     [--workloads Blur,Histogram] [--backends skip_ahead,gpu] \
+//!     [--workers 1] [--max-cycles N] [--smoke]
+//! ```
+//!
+//! `--smoke` is the CI shape: one workload per family (Histogram,
+//! RowSoftmax, MotionEnergy) at 32² across every backend. The output file
+//! is truncated, not appended — a matrix file is one coherent recording.
+//!
+//! Skipped cells print loudly to stdout and never fail the run; an
+//! unwritable output path does.
+
+use ipim_report::{run_matrix, Backend, MatrixPlan};
+
+fn main() {
+    let mut out_path = "results/matrix.jsonl".to_string();
+    let mut plan = MatrixPlan::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |flag: &str| args.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match a.as_str() {
+            "--out" => out_path = val("--out"),
+            "--scales" => {
+                plan.scales = val("--scales")
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| panic!("bad scale {s:?}")))
+                    .collect();
+            }
+            "--workloads" => {
+                plan.workloads = val("--workloads").split(',').map(|s| s.trim().into()).collect();
+            }
+            "--backends" => {
+                plan.backends = val("--backends")
+                    .split(',')
+                    .map(|s| Backend::parse(s.trim()).unwrap_or_else(|e| panic!("{e}")))
+                    .collect();
+            }
+            "--workers" => {
+                plan.workers = val("--workers").parse().expect("--workers needs a number");
+            }
+            "--max-cycles" => {
+                plan.max_cycles = val("--max-cycles").parse().expect("--max-cycles needs a number");
+            }
+            "--smoke" => {
+                plan.workloads =
+                    vec!["Histogram".into(), "RowSoftmax".into(), "MotionEnergy".into()];
+                plan.scales = vec![32];
+            }
+            other => panic!(
+                "unknown argument {other:?} (supported: --out FILE --scales LIST \
+                 --workloads LIST --backends LIST --workers N --max-cycles N --smoke)"
+            ),
+        }
+    }
+
+    let run = run_matrix(&plan);
+    for skip in &run.skips {
+        println!("{skip}");
+    }
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create results dir");
+        }
+    }
+    std::fs::write(&out_path, run.to_file().to_jsonl())
+        .unwrap_or_else(|e| panic!("cannot write {out_path:?}: {e}"));
+    println!(
+        "matrix: {} cells, {} skips, anchor {} ns -> {out_path}",
+        run.cells.len(),
+        run.skips.len(),
+        run.to_file().anchor_ns().unwrap_or(0),
+    );
+}

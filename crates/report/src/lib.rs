@@ -1,0 +1,32 @@
+//! Cross-backend benchmark matrix + trajectory report (ROADMAP item 5).
+//!
+//! Two subsystems, both std-only and hermetic:
+//!
+//! * [`matrix`] — runs every workload × scale × backend ({skip-ahead,
+//!   legacy, analytic, PonB, GPU roofline, golden CPU interpreter}) and
+//!   emits one normalized record per cell to the schema-versioned
+//!   `results/matrix.jsonl`. Cycle backends fan across the serve pool and
+//!   share one compiled program per workload×scale (the global
+//!   `ProgramCache`'s key excludes engine and placement); unmappable
+//!   cells loud-skip. A `fig01_gpu_profile` machine-speed anchor is
+//!   recorded in the same file, making it self-contained for the
+//!   `bench_regress --matrix` drift gate.
+//! * [`render`] — folds `matrix.jsonl`, `figures.jsonl`,
+//!   `serve_fresh.jsonl` and `tuning.jsonl` into one deterministic
+//!   `results/REPORT.md` (matrix, speedup-vs-baseline, divergence
+//!   envelope, serve/shard throughput, tuner leaderboard). Byte-identical
+//!   on identical inputs — CI regenerates and `cmp`s it.
+//!
+//! See DESIGN.md §14 for the schema and normalization rules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod matrix;
+pub mod render;
+
+pub use matrix::{
+    arith_ops, measure_anchor, parse_matrix, read_matrix, run_matrix, Anchor, Backend, Bound,
+    MatrixCell, MatrixFile, MatrixPlan, MatrixRun, ANCHOR_NAME, SCHEMA_VERSION,
+};
+pub use render::{render, FigLine, Streams, TuneBest};

@@ -1,0 +1,565 @@
+//! The trajectory report renderer: folds the repo's four JSONL result
+//! streams into one deterministic `results/REPORT.md`.
+//!
+//! Inputs (all optional — a missing stream is a *loud skip*: the report
+//! names it and renders the remaining sections):
+//!
+//! * `matrix.jsonl` — the benchmark matrix ([`crate::matrix`]).
+//! * `figures.jsonl` — the recorded bench baselines, including the
+//!   `analytic/divergence/*` calibration entries.
+//! * `serve_fresh.jsonl` — serve/shard throughput soaks.
+//! * `tuning.jsonl` — autotuner `tune_eval`/`tune_best` records.
+//!
+//! Determinism contract: the rendered bytes are a pure function of the
+//! parsed stream *contents* — input line order never matters (every
+//! section sorts by explicit keys), floats print with fixed precision,
+//! and nothing timestamps the output. `render` on the same inputs is
+//! byte-identical forever, which is what lets CI `cmp` a fresh rendering
+//! against the committed `REPORT.md`.
+
+use std::path::Path;
+
+use ipim_core::trace::json;
+use ipim_core::{all_workloads, WorkloadScale};
+
+use crate::matrix::{read_matrix, Backend, MatrixCell};
+
+/// One parsed line of `figures.jsonl` / `serve_fresh.jsonl` (the fields
+/// the report uses; everything else is ignored).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FigLine {
+    /// Entry name (e.g. `analytic/divergence/Blur`).
+    pub name: String,
+    /// Minimum (serve: p50) wall nanoseconds.
+    pub min_ns: Option<f64>,
+    /// Analytic-vs-skip-ahead divergence (divergence entries only).
+    pub divergence_pct: Option<f64>,
+    /// Image side (divergence entries only).
+    pub scale: Option<u64>,
+    /// Requests per second (throughput entries only).
+    pub throughput_rps: Option<f64>,
+    /// p99 latency (throughput entries only).
+    pub p99_ns: Option<f64>,
+    /// Core count the entry was recorded on.
+    pub cores: Option<u64>,
+    /// Workload mix label.
+    pub mix: Option<String>,
+    /// Transport: `inproc` | `stream` | `shard`.
+    pub transport: Option<String>,
+}
+
+/// One parsed `tune_best` line of `tuning.jsonl`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneBest {
+    /// Tuned workload.
+    pub workload: String,
+    /// Image width/height.
+    pub width: u64,
+    /// Image height.
+    pub height: u64,
+    /// Search strategy label.
+    pub strategy: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// Winning candidate's canonical schedule key.
+    pub best_candidate: String,
+    /// Winning candidate's cycles.
+    pub best_cycles: u64,
+    /// Hand-schedule cycles (when the default completed).
+    pub default_cycles: Option<u64>,
+    /// Speedup over the hand schedule.
+    pub speedup: f64,
+}
+
+/// One tuner evaluation-count row: `(workload, strategy, seed, evals)`.
+pub type TuneEvalCount = (String, String, u64, u64);
+
+/// Everything the renderer folds, plus the loud-skip notes for streams
+/// that were missing on disk.
+#[derive(Debug, Clone, Default)]
+pub struct Streams {
+    /// The benchmark matrix cells.
+    pub cells: Vec<MatrixCell>,
+    /// `figures.jsonl` entries.
+    pub figures: Vec<FigLine>,
+    /// `serve_fresh.jsonl` entries.
+    pub serve: Vec<FigLine>,
+    /// `tuning.jsonl` `tune_best` entries.
+    pub tuning: Vec<TuneBest>,
+    /// Evaluation-line count per (workload, strategy, seed) leaderboard row.
+    pub tune_evals: Vec<TuneEvalCount>,
+    /// Names of streams that were missing (rendered as loud skips).
+    pub missing: Vec<String>,
+}
+
+fn parse_fig_line(v: &json::Value) -> Option<FigLine> {
+    Some(FigLine {
+        name: v.get("name")?.as_str()?.to_string(),
+        min_ns: v.get("min_ns").and_then(json::Value::as_f64),
+        divergence_pct: v.get("divergence_pct").and_then(json::Value::as_f64),
+        scale: v.get("scale").and_then(json::Value::as_f64).map(|s| s as u64),
+        throughput_rps: v.get("throughput_rps").and_then(json::Value::as_f64),
+        p99_ns: v.get("p99_ns").and_then(json::Value::as_f64),
+        cores: v.get("cores").and_then(json::Value::as_f64).map(|c| c as u64),
+        mix: v.get("mix").and_then(json::Value::as_str).map(str::to_string),
+        transport: v.get("transport").and_then(json::Value::as_str).map(str::to_string),
+    })
+}
+
+fn parse_fig_file(text: &str, path: &str) -> Result<Vec<FigLine>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("{path}:{}: bad JSON: {e}", i + 1))?;
+        if let Some(f) = parse_fig_line(&v) {
+            out.push(f);
+        }
+    }
+    Ok(out)
+}
+
+/// Parses `tuning.jsonl` into the leaderboard rows + eval counts.
+fn parse_tuning(text: &str, path: &str) -> Result<(Vec<TuneBest>, Vec<TuneEvalCount>), String> {
+    let mut best = Vec::new();
+    let mut evals: Vec<TuneEvalCount> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let at = |msg: String| format!("{path}:{}: {msg}", i + 1);
+        let v = json::parse(line).map_err(|e| at(format!("bad JSON: {e}")))?;
+        let str_of = |k: &str| v.get(k).and_then(json::Value::as_str).map(str::to_string);
+        let num_of = |k: &str| v.get(k).and_then(json::Value::as_f64);
+        match v.get("kind").and_then(json::Value::as_str) {
+            Some("tune_eval") => {
+                let key = (
+                    str_of("workload").ok_or_else(|| at("tune_eval needs workload".into()))?,
+                    str_of("strategy").unwrap_or_default(),
+                    num_of("seed").unwrap_or(0.0) as u64,
+                );
+                match evals.iter_mut().find(|(w, s, d, _)| (w, s, d) == (&key.0, &key.1, &key.2)) {
+                    Some(row) => row.3 += 1,
+                    None => evals.push((key.0, key.1, key.2, 1)),
+                }
+            }
+            Some("tune_best") => best.push(TuneBest {
+                workload: str_of("workload")
+                    .ok_or_else(|| at("tune_best needs workload".into()))?,
+                width: num_of("width").unwrap_or(0.0) as u64,
+                height: num_of("height").unwrap_or(0.0) as u64,
+                strategy: str_of("strategy").unwrap_or_default(),
+                seed: num_of("seed").unwrap_or(0.0) as u64,
+                best_candidate: str_of("best_candidate").unwrap_or_default(),
+                best_cycles: num_of("best_cycles").unwrap_or(0.0) as u64,
+                default_cycles: num_of("default_cycles").map(|c| c as u64),
+                speedup: num_of("speedup").unwrap_or(0.0),
+            }),
+            // Unknown kinds are future extensions, not errors.
+            _ => {}
+        }
+    }
+    Ok((best, evals))
+}
+
+impl Streams {
+    /// Loads every stream from `dir`, recording missing files as loud
+    /// skips instead of failing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message only for files that exist but do not parse —
+    /// a present-but-corrupt stream is a bug, not a gap.
+    pub fn load(dir: &Path) -> Result<Streams, String> {
+        let mut s = Streams::default();
+        let read = |name: &str| -> Option<String> { std::fs::read_to_string(dir.join(name)).ok() };
+        match read("matrix.jsonl") {
+            Some(_) => s.cells = read_matrix(&dir.join("matrix.jsonl"))?.cells,
+            None => s.missing.push("matrix.jsonl".into()),
+        }
+        match read("figures.jsonl") {
+            Some(text) => s.figures = parse_fig_file(&text, "figures.jsonl")?,
+            None => s.missing.push("figures.jsonl".into()),
+        }
+        match read("serve_fresh.jsonl") {
+            Some(text) => s.serve = parse_fig_file(&text, "serve_fresh.jsonl")?,
+            None => s.missing.push("serve_fresh.jsonl".into()),
+        }
+        match read("tuning.jsonl") {
+            Some(text) => (s.tuning, s.tune_evals) = parse_tuning(&text, "tuning.jsonl")?,
+            None => s.missing.push("tuning.jsonl".into()),
+        }
+        Ok(s)
+    }
+}
+
+/// Suite rank of a workload name — the paper's Table II order, then NN,
+/// then Video; unknown names sort after the suite, alphabetically.
+fn workload_rank(name: &str) -> (usize, String) {
+    let suite = all_workloads(WorkloadScale::tiny());
+    match suite.iter().position(|w| w.name.eq_ignore_ascii_case(name)) {
+        Some(i) => (i, String::new()),
+        None => (suite.len(), name.to_ascii_lowercase()),
+    }
+}
+
+fn backend_rank(b: Backend) -> usize {
+    Backend::ALL.iter().position(|x| *x == b).expect("backend in ALL")
+}
+
+/// Geometric mean (same definition as `ipim_core::experiments::geomean`,
+/// re-derived here to keep the renderer's float path self-contained).
+fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (sum / values.len() as f64).exp()
+}
+
+/// Fixed-precision microseconds used throughout the tables.
+fn us(ns: f64) -> String {
+    format!("{:.2}", ns / 1000.0)
+}
+
+/// Renders the full report. Pure: same streams → byte-identical output,
+/// regardless of the order lines appeared in on disk.
+pub fn render(streams: &Streams) -> String {
+    let mut out = String::new();
+    out.push_str("# iPIM trajectory report\n\n");
+    out.push_str(
+        "One deterministic view over the repo's recorded result streams \
+         (`matrix.jsonl`, `figures.jsonl`, `serve_fresh.jsonl`, `tuning.jsonl`). \
+         Regenerate with `cargo run --release -p ipim-report --bin render_report`; \
+         CI diffs the regenerated bytes against this file.\n\n",
+    );
+    let mut missing = streams.missing.clone();
+    missing.sort_unstable();
+    for m in &missing {
+        out.push_str(&format!("> **missing stream:** `{m}` — its sections are skipped.\n"));
+    }
+    if !missing.is_empty() {
+        out.push('\n');
+    }
+    render_matrix(&mut out, streams);
+    render_speedups(&mut out, streams);
+    render_divergence(&mut out, streams);
+    render_throughput(&mut out, streams);
+    render_tuning(&mut out, streams);
+    out
+}
+
+fn sorted_cells(streams: &Streams) -> Vec<&MatrixCell> {
+    let mut cells: Vec<&MatrixCell> = streams.cells.iter().collect();
+    // Coordinates first; the measurement fields break ties so that even
+    // a degenerate input with duplicate coordinates renders identically
+    // regardless of line order.
+    let key = |c: &MatrixCell| {
+        (
+            workload_rank(&c.workload),
+            c.scale,
+            backend_rank(c.backend),
+            c.wall_ns,
+            c.kernel_ns.to_bits(),
+        )
+    };
+    cells.sort_by_key(|c| key(c));
+    cells
+}
+
+fn render_matrix(out: &mut String, streams: &Streams) {
+    out.push_str("## Benchmark matrix\n\n");
+    if streams.cells.is_empty() {
+        out.push_str("_No matrix cells recorded._\n\n");
+        return;
+    }
+    out.push_str(
+        "Modeled kernel time per cell in µs (cycle engines: simulated cycles at 1 GHz; \
+         gpu: V100 roofline; cpu_ref: measured interpreter wall time). \
+         `—` marks a cell whose schedule does not map at that scale.\n\n",
+    );
+    let cells = sorted_cells(streams);
+    out.push_str("| workload | family | scale |");
+    for b in Backend::ALL {
+        out.push_str(&format!(" {} |", b.name()));
+    }
+    out.push_str("\n|---|---|---:|");
+    for _ in Backend::ALL {
+        out.push_str("---:|");
+    }
+    out.push('\n');
+    // Row keys in sorted order, deduplicated.
+    let mut rows: Vec<(String, String, u32)> =
+        cells.iter().map(|c| (c.workload.clone(), c.family.clone(), c.scale)).collect();
+    rows.dedup();
+    for (workload, family, scale) in rows {
+        out.push_str(&format!("| {workload} | {family} | {scale} |"));
+        for b in Backend::ALL {
+            let cell =
+                cells.iter().find(|c| c.workload == workload && c.scale == scale && c.backend == b);
+            match cell {
+                Some(c) => out.push_str(&format!(" {} |", us(c.kernel_ns))),
+                None => out.push_str(" — |"),
+            }
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+}
+
+fn render_speedups(out: &mut String, streams: &Streams) {
+    out.push_str("## Speedup vs baselines\n\n");
+    let cells = sorted_cells(streams);
+    let find = |workload: &str, scale: u32, b: Backend| {
+        cells.iter().find(|c| c.workload == workload && c.scale == scale && c.backend == b)
+    };
+    let mut rows = Vec::new();
+    let mut keys: Vec<(String, u32)> =
+        cells.iter().map(|c| (c.workload.clone(), c.scale)).collect();
+    keys.dedup();
+    for (workload, scale) in keys {
+        let Some(ipim) = find(&workload, scale, Backend::SkipAhead) else { continue };
+        let vs_gpu = find(&workload, scale, Backend::Gpu).map(|g| g.kernel_ns / ipim.kernel_ns);
+        let vs_ponb = match (find(&workload, scale, Backend::Ponb), ipim.cycles) {
+            (Some(p), Some(ic)) => p.cycles.map(|pc| pc as f64 / ic as f64),
+            _ => None,
+        };
+        rows.push((workload, scale, vs_gpu, vs_ponb));
+    }
+    if rows.is_empty() {
+        out.push_str("_No comparable skip_ahead cells recorded._\n\n");
+        return;
+    }
+    out.push_str(
+        "iPIM (skip_ahead) per-cell speedup: vs the V100 roofline at the same scale, \
+         and vs process-on-base-die (same engine, base-die placement).\n\n",
+    );
+    out.push_str("| workload | scale | vs gpu | vs ponb |\n|---|---:|---:|---:|\n");
+    let fmt = |v: Option<f64>| v.map_or("—".to_string(), |x| format!("{x:.2}×"));
+    for (workload, scale, vs_gpu, vs_ponb) in &rows {
+        out.push_str(&format!("| {workload} | {scale} | {} | {} |\n", fmt(*vs_gpu), fmt(*vs_ponb)));
+    }
+    let gms: Vec<f64> = rows.iter().filter_map(|r| r.2).collect();
+    let pms: Vec<f64> = rows.iter().filter_map(|r| r.3).collect();
+    out.push_str(&format!(
+        "| **geomean** | | **{}** | **{}** |\n\n",
+        if gms.is_empty() { "—".to_string() } else { format!("{:.2}×", geomean(&gms)) },
+        if pms.is_empty() { "—".to_string() } else { format!("{:.2}×", geomean(&pms)) },
+    ));
+}
+
+fn render_divergence(out: &mut String, streams: &Streams) {
+    out.push_str("## Analytic divergence envelope\n\n");
+    let mut divs: Vec<(&FigLine, &str)> = streams
+        .figures
+        .iter()
+        .filter_map(|f| {
+            f.name
+                .strip_prefix("analytic/divergence/")
+                .filter(|_| f.divergence_pct.is_some())
+                .map(|w| (f, w))
+        })
+        .collect();
+    if divs.is_empty() {
+        out.push_str("_No analytic/divergence entries in figures.jsonl._\n\n");
+        return;
+    }
+    divs.sort_by_key(|a| (workload_rank(a.1), a.0.scale));
+    let mut scales: Vec<u64> = divs.iter().filter_map(|(f, _)| f.scale).collect();
+    scales.sort_unstable();
+    scales.dedup();
+    out.push_str(
+        "Analytic-tier cycle divergence vs the skip-ahead engine, per calibrated \
+         workload × scale (from `figures.jsonl`; the `bench_regress` drift gate \
+         fails at +10 pts over these baselines).\n\n",
+    );
+    out.push_str("| workload |");
+    for s in &scales {
+        out.push_str(&format!(" {s}² |"));
+    }
+    out.push_str("\n|---|");
+    for _ in &scales {
+        out.push_str("---:|");
+    }
+    out.push('\n');
+    let mut names: Vec<&str> = divs.iter().map(|(_, w)| *w).collect();
+    names.dedup();
+    let mut worst = 0.0f64;
+    for name in names {
+        out.push_str(&format!("| {name} |"));
+        for s in &scales {
+            match divs.iter().find(|(f, w)| *w == name && f.scale == Some(*s)) {
+                Some((f, _)) => {
+                    let d = f.divergence_pct.expect("filtered above");
+                    worst = worst.max(d);
+                    out.push_str(&format!(" {d:.2}% |"));
+                }
+                None => out.push_str(" — |"),
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("\nEnvelope (worst calibrated cell): **{worst:.2}%**.\n\n"));
+}
+
+fn render_throughput(out: &mut String, streams: &Streams) {
+    out.push_str("## Serve / shard throughput\n\n");
+    let mut rows: Vec<&FigLine> = streams
+        .figures
+        .iter()
+        .chain(streams.serve.iter())
+        .filter(|f| {
+            f.name.starts_with("serve/throughput/") || f.name.starts_with("shard/throughput/")
+        })
+        .collect();
+    if rows.is_empty() {
+        out.push_str("_No throughput entries recorded._\n\n");
+        return;
+    }
+    rows.sort_by(|a, b| {
+        (&a.name, &a.transport, &a.mix, a.cores).cmp(&(&b.name, &b.transport, &b.mix, b.cores))
+    });
+    out.push_str(
+        "Closed-loop loadgen soaks (`figures.jsonl` baselines + `serve_fresh.jsonl` \
+         fresh runs). Throughput entries are cores-matched by the regression gate.\n\n",
+    );
+    out.push_str(
+        "| entry | transport | mix | cores | rps | p50 µs | p99 µs |\n\
+         |---|---|---|---:|---:|---:|---:|\n",
+    );
+    for f in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} |\n",
+            f.name,
+            f.transport.as_deref().unwrap_or("inproc"),
+            f.mix.as_deref().unwrap_or("—"),
+            f.cores.map_or("—".to_string(), |c| c.to_string()),
+            f.throughput_rps.map_or("—".to_string(), |r| format!("{r:.1}")),
+            f.min_ns.map_or("—".to_string(), us),
+            f.p99_ns.map_or("—".to_string(), us),
+        ));
+    }
+    out.push('\n');
+}
+
+fn render_tuning(out: &mut String, streams: &Streams) {
+    out.push_str("## Tuner leaderboard\n\n");
+    if streams.tuning.is_empty() {
+        out.push_str("_No tune_best entries recorded._\n\n");
+        return;
+    }
+    let mut rows: Vec<&TuneBest> = streams.tuning.iter().collect();
+    rows.sort_by(|a, b| {
+        b.speedup.partial_cmp(&a.speedup).expect("speedups are finite").then_with(|| {
+            (workload_rank(&a.workload), a.seed).cmp(&(workload_rank(&b.workload), b.seed))
+        })
+    });
+    out.push_str(
+        "Autotuner runs from `tuning.jsonl`, best speedup over the hand schedule first.\n\n",
+    );
+    out.push_str(
+        "| workload | size | strategy | seed | best candidate | default → best cycles | \
+         speedup | evals |\n|---|---|---|---:|---|---|---:|---:|\n",
+    );
+    for t in rows {
+        let evals = streams
+            .tune_evals
+            .iter()
+            .find(|(w, s, d, _)| (w, s, *d) == (&t.workload, &t.strategy, t.seed))
+            .map_or("—".to_string(), |(_, _, _, n)| n.to_string());
+        out.push_str(&format!(
+            "| {} | {}×{} | {} | {} | `{}` | {} → {} | {:.3}× | {} |\n",
+            t.workload,
+            t.width,
+            t.height,
+            t.strategy,
+            t.seed,
+            t.best_candidate,
+            t.default_cycles.map_or("—".to_string(), |c| c.to_string()),
+            t.best_cycles,
+            t.speedup,
+            evals,
+        ));
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Bound;
+
+    fn cell(workload: &str, scale: u32, backend: Backend, kernel_ns: f64) -> MatrixCell {
+        MatrixCell {
+            workload: workload.into(),
+            family: "image".into(),
+            scale,
+            backend,
+            cycles: backend.engine_placement().map(|_| kernel_ns as u64),
+            kernel_ns,
+            wall_ns: 1000,
+            gbps: None,
+            pj_per_op: None,
+            ai: None,
+            peak_gbps: None,
+            bound: Bound::NotApplicable,
+        }
+    }
+
+    #[test]
+    fn render_is_input_order_invariant() {
+        let mut s = Streams {
+            cells: vec![
+                cell("Blur", 64, Backend::SkipAhead, 1000.0),
+                cell("Blur", 64, Backend::Gpu, 4000.0),
+                cell("Brighten", 64, Backend::SkipAhead, 500.0),
+            ],
+            figures: vec![FigLine {
+                name: "analytic/divergence/Blur".into(),
+                divergence_pct: Some(3.4),
+                scale: Some(64),
+                ..FigLine::default()
+            }],
+            ..Streams::default()
+        };
+        let a = render(&s);
+        s.cells.reverse();
+        s.figures.reverse();
+        let b = render(&s);
+        assert_eq!(a, b, "render must not depend on input order");
+        assert!(a.contains("| Blur | image | 64 |"), "{a}");
+        assert!(a.contains("4.00×"), "gpu/ipim speedup: {a}");
+    }
+
+    #[test]
+    fn missing_streams_are_loud_not_fatal() {
+        let dir = std::env::temp_dir().join("ipim-report-empty-stream-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let s = Streams::load(&dir).unwrap();
+        assert_eq!(s.missing.len(), 4, "{:?}", s.missing);
+        let text = render(&s);
+        for stream in ["matrix.jsonl", "figures.jsonl", "serve_fresh.jsonl", "tuning.jsonl"] {
+            assert!(text.contains(&format!("**missing stream:** `{stream}`")), "{text}");
+        }
+        assert!(text.contains("_No matrix cells recorded._"), "{text}");
+    }
+
+    #[test]
+    fn tuning_leaderboard_counts_evals() {
+        let tuning_text = concat!(
+            "{\"kind\":\"tune_eval\",\"workload\":\"Blur\",\"strategy\":\"hill\",\"seed\":7}\n",
+            "{\"kind\":\"tune_eval\",\"workload\":\"Blur\",\"strategy\":\"hill\",\"seed\":7}\n",
+            "{\"kind\":\"tune_best\",\"workload\":\"Blur\",\"width\":64,\"height\":64,",
+            "\"seed\":7,\"strategy\":\"hill\",\"best_candidate\":\"tile=16x8\",",
+            "\"best_cycles\":3000,\"default_cycles\":3768,\"speedup\":1.256}\n",
+        );
+        let (best, evals) = parse_tuning(tuning_text, "tuning.jsonl").unwrap();
+        let s = Streams { tuning: best, tune_evals: evals, ..Streams::default() };
+        let text = render(&s);
+        assert!(
+            text.contains("| Blur | 64×64 | hill | 7 | `tile=16x8` | 3768 → 3000 | 1.256× | 2 |"),
+            "{text}"
+        );
+    }
+}

@@ -9,8 +9,8 @@
 //! only in deadline share one cache entry.
 
 use ipim_core::{
-    workload_by_name, CompileOptions, ComputeRootPolicy, Engine, MachineConfig, RegAllocPolicy,
-    ScheduleOverride, Session, Workload, WorkloadScale,
+    workload_by_name, CompileOptions, ComputeRootPolicy, Engine, MachineConfig, Placement,
+    RegAllocPolicy, ScheduleOverride, Session, Workload, WorkloadScale,
 };
 use ipim_trace::json;
 
@@ -47,6 +47,13 @@ pub struct SimRequest {
     /// (`ScheduleOverride::default()` = keep it). Result-determining, so
     /// part of the cache identity whenever non-empty.
     pub schedule: ScheduleOverride,
+    /// Where the compute logic sits: `NearBank` (iPIM, the default) or
+    /// `BaseDie` (the paper's PonB baseline, Sec. VII-C1) — what the
+    /// benchmark-matrix `ponb` backend selects. Result-determining, so
+    /// part of the cache identity whenever it departs from the near-bank
+    /// default (the default is invisible on the wire and in the canonical
+    /// key, keeping every pre-existing fingerprint unchanged).
+    pub placement: Placement,
     /// Wall-clock deadline in milliseconds from admission (`None` = no
     /// deadline). Not part of the cache identity.
     pub deadline_ms: Option<u64>,
@@ -66,6 +73,7 @@ impl Default for SimRequest {
             memory_order: true,
             max_cycles: 2_000_000_000,
             schedule: ScheduleOverride::default(),
+            placement: Placement::NearBank,
             deadline_ms: None,
         }
     }
@@ -94,6 +102,7 @@ impl SimRequest {
         MachineConfig {
             engine: self.engine,
             cubes: self.cubes,
+            placement: self.placement,
             ..MachineConfig::vault_slice(self.vaults)
         }
     }
@@ -133,9 +142,14 @@ impl SimRequest {
         } else {
             format!(";schedule={}", self.schedule)
         };
+        let placement = if self.placement == Placement::NearBank {
+            String::new()
+        } else {
+            format!(";placement={}", placement_name(self.placement))
+        };
         format!(
             "workload={};width={};height={};vaults={};engine={};reg_alloc={};reorder={};\
-             memory_order={};max_cycles={}{cubes}{schedule}",
+             memory_order={};max_cycles={}{cubes}{schedule}{placement}",
             self.workload.to_ascii_lowercase(),
             self.width,
             self.height,
@@ -164,12 +178,17 @@ impl SimRequest {
         } else {
             format!(",\"schedule\":{}", schedule_json(&self.schedule))
         };
+        let placement = if self.placement == Placement::NearBank {
+            String::new()
+        } else {
+            format!(",\"placement\":\"{}\"", placement_name(self.placement))
+        };
         let deadline =
             self.deadline_ms.map_or(String::new(), |ms| format!(",\"deadline_ms\":{ms}"));
         format!(
             "{{\"workload\":\"{}\",\"width\":{},\"height\":{},\"vaults\":{},\
              \"engine\":\"{}\",\"reg_alloc\":\"{}\",\"reorder\":{},\"memory_order\":{},\
-             \"max_cycles\":{}{cubes}{schedule}{deadline}}}",
+             \"max_cycles\":{}{cubes}{schedule}{placement}{deadline}}}",
             json_escape(&self.workload),
             self.width,
             self.height,
@@ -219,6 +238,13 @@ impl SimRequest {
                 None | Some(json::Value::Null) => ScheduleOverride::default(),
                 Some(s) => parse_schedule(s)?,
             },
+            placement: match v
+                .get("placement")
+                .map(|p| p.as_str().ok_or("placement must be a string"))
+            {
+                None => d.placement,
+                Some(s) => parse_placement(s?)?,
+            },
             deadline_ms: match v.get("deadline_ms") {
                 None | Some(json::Value::Null) => None,
                 Some(x) => Some(x.as_f64().ok_or("deadline_ms must be a number")?.max(0.0) as u64),
@@ -250,6 +276,21 @@ fn parse_engine(s: &str) -> Result<Engine, String> {
         "skip_ahead" => Ok(Engine::SkipAhead),
         "analytic" => Ok(Engine::Analytic),
         other => Err(format!("unknown engine {other:?} (legacy | skip_ahead | analytic)")),
+    }
+}
+
+fn placement_name(p: Placement) -> &'static str {
+    match p {
+        Placement::NearBank => "near_bank",
+        Placement::BaseDie => "base_die",
+    }
+}
+
+fn parse_placement(s: &str) -> Result<Placement, String> {
+    match s {
+        "near_bank" => Ok(Placement::NearBank),
+        "base_die" => Ok(Placement::BaseDie),
+        other => Err(format!("unknown placement {other:?} (near_bank | base_die)")),
     }
 }
 
@@ -388,6 +429,7 @@ mod tests {
             max_cycles: 123_456,
             deadline_ms: Some(2500),
             schedule: ScheduleOverride::default(),
+            placement: Placement::BaseDie,
         };
         let back = SimRequest::from_json_str(&req.to_json_string()).unwrap();
         assert_eq!(req, back);
@@ -427,6 +469,7 @@ mod tests {
             SimRequest { reg_alloc: RegAllocPolicy::Min, ..base.clone() },
             SimRequest { reorder: false, ..base.clone() },
             SimRequest { max_cycles: 1, ..base.clone() },
+            SimRequest { placement: Placement::BaseDie, ..base.clone() },
         ] {
             assert_ne!(base.fingerprint(), other.fingerprint(), "{other:?}");
         }
@@ -511,6 +554,28 @@ mod tests {
         let config = multi.machine_config();
         assert_eq!(config.cubes, 2);
         assert_eq!(config.total_vaults(), 2);
+    }
+
+    #[test]
+    fn near_bank_keeps_the_historical_fingerprint() {
+        // `placement` follows the cubes/schedule precedent: the near-bank
+        // default is invisible on the wire and in the canonical key, so
+        // every pre-PonB-backend fingerprint (and cache entry) survives.
+        let base = SimRequest::named("Blur", 64, 64);
+        assert!(!base.canonical_key().contains("placement"));
+        assert!(!base.to_json_string().contains("placement"));
+        let explicit =
+            SimRequest::from_json_str(r#"{"workload":"Blur","placement":"near_bank"}"#).unwrap();
+        assert_eq!(explicit.fingerprint(), base.fingerprint());
+
+        let ponb = SimRequest { placement: Placement::BaseDie, ..base.clone() };
+        assert!(ponb.canonical_key().contains(";placement=base_die"));
+        let back = SimRequest::from_json_str(&ponb.to_json_string()).unwrap();
+        assert_eq!(ponb, back);
+        assert_eq!(ponb.machine_config().placement, Placement::BaseDie);
+        assert!(
+            SimRequest::from_json_str(r#"{"workload":"Blur","placement":"on_the_moon"}"#).is_err()
+        );
     }
 
     #[test]

@@ -36,10 +36,10 @@ fn dependency_graph_is_workspace_only() {
     );
 
     // Sanity-check the parse actually saw the graph, so a silently empty
-    // `cargo tree` can't green-wash the guard. `ipim-shard` is the newest
-    // leaf — its presence proves the guard walks the whole workspace,
-    // distributed tier included.
-    for crate_name in ["ipim-core", "ipim-shard"] {
+    // `cargo tree` can't green-wash the guard. `ipim-report` is the
+    // newest leaf — its presence proves the guard walks the whole
+    // workspace, report tier included.
+    for crate_name in ["ipim-core", "ipim-shard", "ipim-report"] {
         assert!(
             text.lines().any(|l| l.starts_with(crate_name)),
             "cargo tree output did not mention {crate_name}:\n{text}"
